@@ -1,0 +1,47 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench repro repro-quick examples vet fmt cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table and figure of the paper (plus ablations).
+repro:
+	$(GO) run ./cmd/paperrepro
+
+repro-quick:
+	$(GO) run ./cmd/paperrepro -quick
+
+# Run every example program.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/latency_sweep
+	$(GO) run ./examples/compiler_pipeline
+	$(GO) run ./examples/custom_kernel
+	$(GO) run ./examples/superscalar
+	$(GO) run ./examples/historical
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,304 @@
+// Package bsched's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper (run the full reproduction with
+// cmd/paperrepro), plus microbenchmarks of the algorithms themselves.
+//
+//	go test -bench=. -benchmem
+package bsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"bsched/internal/analytic"
+	"bsched/internal/core"
+	"bsched/internal/deps"
+	"bsched/internal/experiments"
+	"bsched/internal/ir"
+	"bsched/internal/machine"
+	"bsched/internal/memlat"
+	"bsched/internal/ooo"
+	"bsched/internal/pipeline"
+	"bsched/internal/regalloc"
+	"bsched/internal/sched"
+	"bsched/internal/sim"
+	"bsched/internal/unroll"
+	"bsched/internal/workload"
+)
+
+// benchRunner mirrors experiments.QuickRunner: enough trials for stable
+// shapes, small enough to iterate.
+func benchRunner() *experiments.Runner {
+	return &experiments.Runner{Trials: 10, Resamples: 40, Seed: 1993}
+}
+
+func benchProgs() (map[string]*ir.Program, []string) {
+	return workload.All(), workload.BenchmarkNames()
+}
+
+// BenchmarkFigure2 regenerates the three schedules of Figure 2.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Figure2(); len(out) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the interlock-vs-latency data of Figure 3.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure3(8)
+		if len(rows) != 8 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the balanced schedule of Figure 5.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Figure5(); len(out) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the weight-contribution matrix of Table 1.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Table1(); len(out) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (all benchmarks × all systems,
+// UNLIMITED processor).
+func BenchmarkTable2(b *testing.B) {
+	progs, names := benchProgs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rows := r.Table2(progs, names)
+		if len(rows) != 17 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the MDG detail table across all three
+// processor models.
+func BenchmarkTable3(b *testing.B) {
+	progs, _ := benchProgs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rows, _ := r.Table3(progs["MDG"])
+		if len(rows) != 17 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the spill-percentage table (compilation
+// only, no simulation).
+func BenchmarkTable4(b *testing.B) {
+	progs, names := benchProgs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rows := r.Table4(progs, names)
+		if len(rows) != len(names) {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the N(30,5) breakdown table.
+func BenchmarkTable5(b *testing.B) {
+	progs, names := benchProgs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		rows := r.Table5(progs, names)
+		if len(rows) != len(names) {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// --- Algorithm microbenchmarks -------------------------------------------
+
+func randomBlock(n int) *ir.Block {
+	rng := rand.New(rand.NewSource(99))
+	return workload.Random(rng, workload.DefaultRandomParams(n))
+}
+
+// BenchmarkBalancedWeights measures the Fig. 6 algorithm itself (the
+// O(n²·α(n)) analysis) at several block sizes.
+func BenchmarkBalancedWeights(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		blk := randomBlock(n)
+		g := deps.Build(blk, deps.BuildOptions{})
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Weights(g, core.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkBalancedWeightsUnionFind measures the paper's union-find
+// variant for comparison (ablation A2's cost side).
+func BenchmarkBalancedWeightsUnionFind(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		blk := randomBlock(n)
+		g := deps.Build(blk, deps.BuildOptions{})
+		opts := core.Options{Chances: core.ChancesUnionFind}
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Weights(g, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkListSchedule measures the shared list scheduler.
+func BenchmarkListSchedule(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		blk := randomBlock(n)
+		g := deps.Build(blk, deps.BuildOptions{})
+		w := sched.Traditional(2)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched.Schedule(g, w)
+			}
+		})
+	}
+}
+
+// BenchmarkDepsBuild measures code-DAG construction.
+func BenchmarkDepsBuild(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		blk := randomBlock(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				deps.Build(blk, deps.BuildOptions{})
+			}
+		})
+	}
+}
+
+// BenchmarkRegalloc measures the local allocator under pressure.
+func BenchmarkRegalloc(b *testing.B) {
+	src := randomBlock(256)
+	cfg := regalloc.Config{Regs: 16, SpillPool: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := src.Clone()
+		if _, err := regalloc.Run(blk, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileBlock measures the full two-pass pipeline on a
+// realistic kernel.
+func BenchmarkCompileBlock(b *testing.B) {
+	blk := workload.MDForce("md", 1, 4)
+	opts := pipeline.Balanced()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.CompileBlock(blk, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColoringAllocator measures the Chaitin/Briggs backend under
+// pressure, for comparison with BenchmarkRegalloc.
+func BenchmarkColoringAllocator(b *testing.B) {
+	src := randomBlock(256)
+	cfg := regalloc.Config{Regs: 16, SpillPool: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := src.Clone()
+		if _, err := regalloc.RunColoring(blk, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnroll measures the automatic loop unroller.
+func BenchmarkUnroll(b *testing.B) {
+	base := workload.Gather("u", 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := unroll.Unroll(base, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticEstimate measures the closed-form stall model against
+// a compiled kernel.
+func BenchmarkAnalyticEstimate(b *testing.B) {
+	blk := workload.MDForce("md", 1, 4)
+	compiled, err := pipeline.CompileBlock(blk, pipeline.Balanced())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := memlat.NewNormal(3, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analytic.EstimateRuntime(compiled.Block.Instrs, dist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate measures the block simulator with a stochastic
+// memory system on each processor model.
+func BenchmarkSimulate(b *testing.B) {
+	blk := workload.FFT("f", 1, 6)
+	compiled, err := pipeline.CompileBlock(blk, pipeline.Balanced())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := memlat.NewNormal(3, 5)
+	for _, proc := range machine.PaperModels() {
+		b.Run(proc.Name(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < b.N; i++ {
+				sim.RunBlock(compiled.Block.Instrs, proc, mem, rng, sim.Options{})
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 32:
+		return "n32"
+	case 128:
+		return "n128"
+	default:
+		return "n512"
+	}
+}
+
+// BenchmarkOOO measures the idealized out-of-order core (A17's engine).
+func BenchmarkOOO(b *testing.B) {
+	blk := workload.FFT("f", 1, 6)
+	compiled, err := pipeline.CompileBlock(blk, pipeline.Balanced())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := memlat.NewNormal(3, 5)
+	cfg := ooo.Config{Window: 16, Width: 4}
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ooo.Run(compiled.Block.Instrs, cfg, mem, rng)
+	}
+}

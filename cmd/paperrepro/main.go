@@ -1,0 +1,132 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation, plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	paperrepro [-quick] [-seed N] [-only table2,figure3,...]
+//
+// Output goes to stdout in the paper's table layouts. With -quick, trial
+// counts are reduced (10 trials / 40 resamples instead of 30/100) for a
+// fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bsched/internal/experiments"
+	"bsched/internal/machine"
+	"bsched/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced trial counts for a fast run")
+	seed := flag.Int64("seed", 1993, "random seed")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,table5,figure2,figure3,figure5,ablations,summary,profile")
+	ci := flag.Bool("ci", false, "render Table 2 with 95% confidence intervals")
+	csvDir := flag.String("csv", "", "also write table2.csv and figure3.csv into this directory")
+	flag.Parse()
+
+	runner := experiments.DefaultRunner()
+	if *quick {
+		runner = experiments.QuickRunner()
+	}
+	runner.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, w := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(w)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	progs := workload.All()
+	names := workload.BenchmarkNames()
+
+	start := time.Now()
+	if sel("summary") {
+		fmt.Println("Workload summary (Perfect Club analogues):")
+		for _, n := range names {
+			s := workload.Summarize(progs[n])
+			fmt.Printf("  %-7s %2d blocks, %4d static instrs, %3d loads, %6.0f M instrs executed — %s\n",
+				s.Name, s.Blocks, s.Instrs, s.Loads, s.MIns, workload.About(n))
+		}
+		fmt.Println()
+	}
+
+	if sel("figure2") {
+		fmt.Println(experiments.Figure2())
+	}
+	if sel("figure3") {
+		rows := experiments.Figure3(8)
+		fmt.Println(experiments.FormatFigure3(rows))
+		if *csvDir != "" {
+			writeCSV(filepath.Join(*csvDir, "figure3.csv"), func(w *os.File) error {
+				return experiments.WriteFigure3CSV(w, rows)
+			})
+		}
+	}
+	if sel("figure5") {
+		fmt.Println(experiments.Figure5())
+	}
+	if sel("table1") {
+		fmt.Println(experiments.Table1())
+	}
+	if sel("profile") {
+		fmt.Println(experiments.WorkloadProfile(progs, names, runner.Alias))
+	}
+	if sel("table2") {
+		rows := runner.Table2(progs, names)
+		fmt.Println(experiments.FormatTable2(rows, names, machine.UNLIMITED()))
+		if *ci {
+			fmt.Println(experiments.FormatTable2CI(rows, names))
+		}
+		fmt.Println(experiments.FormatHeadline(rows, machine.UNLIMITED()))
+		fmt.Println()
+		if *csvDir != "" {
+			writeCSV(filepath.Join(*csvDir, "table2.csv"), func(w *os.File) error {
+				return experiments.WriteTable2CSV(w, rows, names)
+			})
+		}
+		for _, proc := range []machine.Config{machine.MAX(8), machine.LEN(8)} {
+			rows := runner.ImprovementTable(progs, names, proc)
+			fmt.Println(experiments.FormatTable2(rows, names, proc))
+			fmt.Println(experiments.FormatHeadline(rows, proc))
+			fmt.Println()
+		}
+	}
+	if sel("table3") {
+		rows, bIns := runner.Table3(progs["MDG"])
+		fmt.Println(experiments.FormatTable3("MDG", rows, bIns))
+	}
+	if sel("table4") {
+		fmt.Println(experiments.FormatTable4(runner.Table4(progs, names)))
+	}
+	if sel("table5") {
+		fmt.Println(experiments.FormatTable5(runner.Table5(progs, names)))
+	}
+	if sel("ablations") {
+		fmt.Println(experiments.FormatAblations(runner, progs, names))
+	}
+
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start))
+}
+
+// writeCSV creates the file and runs fn over it, reporting errors to
+// stderr without aborting the reproduction.
+func writeCSV(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		return
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+	}
+}

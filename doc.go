@@ -1,0 +1,18 @@
+// Package bsched reproduces "Balanced Scheduling: Instruction Scheduling
+// When Memory Latency is Uncertain" (Kerns & Eggers, PLDI 1993).
+//
+// The implementation lives under internal/ (see README.md for the map);
+// the paper's contribution — computing a per-load latency weight from the
+// load level parallelism of the code DAG — is internal/core. Command line
+// tools are under cmd/ (bsched, bsim, paperrepro), runnable walkthroughs
+// under examples/, and this root package carries the benchmark harness
+// with one testing.B benchmark per table and figure of the paper
+// (bench_test.go).
+//
+// Reproduce the paper:
+//
+//	go run ./cmd/paperrepro
+//
+// Read DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package bsched

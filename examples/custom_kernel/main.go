@@ -1,0 +1,75 @@
+// Custom kernel: writing your own code in the textual IR.
+//
+// Parses a small stencil kernel written in the assembly syntax, prints
+// the balanced weights the algorithm assigns to its loads, schedules it
+// both ways and compares them under an uncertain memory system — the
+// workflow for trying balanced scheduling on code of your own.
+//
+// Run with: go run ./examples/custom_kernel
+package main
+
+import (
+	"fmt"
+
+	"bsched/internal/core"
+	"bsched/internal/deps"
+	"bsched/internal/experiments"
+	"bsched/internal/ir"
+	"bsched/internal/machine"
+	"bsched/internal/memlat"
+)
+
+const source = `
+# A 3-point stencil with a serial gather on the side: mixed load level
+# parallelism, so the balanced weights differ per load.
+func custom
+block body freq=1000
+  v0 = const 8
+  v1 = load x[v0+-8]       # stencil west
+  v2 = load x[v0+0]        # stencil centre
+  v3 = load x[v0+8]        # stencil east
+  v4 = fadd v1, v2
+  v5 = fadd v4, v3
+  v6 = load idx[v0+0]      # gather: index load ...
+  v7 = shli v6, 3
+  v8 = load table[v7+0]    # ... feeds a dependent data load
+  v9 = fmul v5, v8
+  store out[v0+0], v9
+  v10 = addi v0, 8
+  liveout v10
+  v11 = slt v10, v9
+  br v11, body
+end
+`
+
+func main() {
+	prog, err := ir.Parse(source)
+	if err != nil {
+		panic(err)
+	}
+	blk := prog.Blocks()[0]
+	g := deps.Build(blk, deps.BuildOptions{})
+
+	fmt.Println("balanced weights (loads marked *):")
+	weights := core.Weights(g, core.Options{})
+	for i, in := range blk.Instrs {
+		mark := " "
+		if in.Op.IsLoad() {
+			mark = "*"
+		}
+		fmt.Printf("  %s w=%-6.3f %s\n", mark, weights[i], in)
+	}
+	fmt.Println()
+	fmt.Println("Parallel stencil loads share the block's padding; the serial")
+	fmt.Println("index->data pair splits its share between the two chained loads.")
+	fmt.Println()
+
+	runner := experiments.DefaultRunner()
+	for _, spec := range []string{"L80(2,10)", "N(3,5)"} {
+		mem := memlat.MustParseModel(spec)
+		c := runner.Compare(prog, 2, machine.UNLIMITED(), mem)
+		fmt.Printf("%-10s traditional %5.0f cycles, balanced %5.0f cycles -> %s\n",
+			mem.Name(), c.Trad.MeanCycles/1000, c.Bal.MeanCycles/1000, c.Imp)
+	}
+	fmt.Println("(cycles per iteration; improvement with 95% CI)")
+}

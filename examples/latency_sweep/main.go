@@ -1,0 +1,53 @@
+// Latency sweep: how the balanced advantage scales with memory latency
+// uncertainty.
+//
+// Compiles the MG3D benchmark analogue with both schedulers and sweeps
+// the standard deviation of a network memory system N(3,σ) from 0 to 8,
+// printing the percentage improvement at each point as a small ASCII
+// chart. Reproduces the trend of §5: "the balanced scheduler does
+// relatively better as the uncertainty of the load instruction latencies
+// increases."
+//
+// Run with: go run ./examples/latency_sweep
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"bsched/internal/experiments"
+	"bsched/internal/machine"
+	"bsched/internal/memlat"
+	"bsched/internal/workload"
+)
+
+func main() {
+	runner := experiments.DefaultRunner()
+	prog := workload.Benchmark("MG3D")
+	const mu, optLat = 3.0, 3.0
+
+	fmt.Printf("balanced vs. traditional on %s, system N(%g,σ), processor UNLIMITED\n\n", prog.Name, mu)
+	fmt.Println("    σ   improvement  (95% CI)")
+	for _, sigma := range []float64{0.5, 1, 2, 3, 4, 5, 6, 8} {
+		mem := memlat.NewNormal(mu, sigma)
+		c := runner.Compare(prog, optLat, machine.UNLIMITED(), mem)
+		bar := strings.Repeat("#", clamp(int(c.Imp.Mean+0.5), 0, 60))
+		fmt.Printf("  %4.1f   %6.1f%%      [%5.1f, %5.1f]  %s\n",
+			sigma, c.Imp.Mean, c.Imp.Lo, c.Imp.Hi, bar)
+	}
+
+	fmt.Println()
+	fmt.Println("With σ≈0 both schedulers plan for the true latency and tie; as σ")
+	fmt.Println("grows the fixed-weight schedule stalls more while the balanced one")
+	fmt.Println("keeps every load covered by the parallelism the code can support.")
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,43 @@
+// Superscalar: the §6 extension on multi-issue machines.
+//
+// The balanced weighter normally counts one issue slot per instruction.
+// On a w-wide machine each instruction occupies 1/w of a cycle, so
+// covering one cycle of load latency takes w independent instructions —
+// core.SuperscalarIssueSlots(w) tells the analysis exactly that, and the
+// simulator issues w instructions per cycle.
+//
+// Run with: go run ./examples/superscalar
+package main
+
+import (
+	"fmt"
+
+	"bsched/internal/core"
+	"bsched/internal/experiments"
+	"bsched/internal/machine"
+	"bsched/internal/memlat"
+	"bsched/internal/workload"
+)
+
+func main() {
+	prog := workload.Benchmark("ADM")
+	sys := memlat.NewNormal(3, 5)
+	const optLat = 3
+
+	fmt.Printf("benchmark %s on %s across issue widths\n\n", prog.Name, sys.Name())
+	fmt.Println("  width   traditional    balanced     improvement")
+	for _, w := range []int{1, 2, 4, 8} {
+		runner := experiments.DefaultRunner()
+		runner.BalancedOpts = core.Options{IssueSlots: core.SuperscalarIssueSlots(w)}
+		proc := machine.UNLIMITED().Wide(w)
+		c := runner.Compare(prog, optLat, proc, sys)
+		fmt.Printf("  %5d   %8.0f cyc  %8.0f cyc   %6.1f%%  [%5.1f, %5.1f]\n",
+			w, c.Trad.MeanCycles, c.Bal.MeanCycles, c.Imp.Mean, c.Imp.Lo, c.Imp.Hi)
+	}
+
+	fmt.Println()
+	fmt.Println("Moderate widths amplify the advantage (every stall wastes w issue")
+	fmt.Println("slots), but past the point where the machine issues faster than the")
+	fmt.Println("block's parallelism can cover, the weights shrink toward 1 and the")
+	fmt.Println("advantage fades — latency tolerance must then come from elsewhere.")
+}

@@ -1,0 +1,3 @@
+module bsched
+
+go 1.22

@@ -1,0 +1,31 @@
+package core
+
+import "bsched/internal/deps"
+
+// AverageWeights implements the alternate technique the paper rejects in
+// §3: a single weight per basic block, computed from the average load
+// level parallelism over all loads, assigned uniformly to every load.
+// Because it ignores imbalances — crediting some loads with parallelism
+// they do not have and ignoring parallelism above the average for others —
+// the paper reports it scheduled no faster than the traditional scheduler.
+// It is kept as ablation baseline A1 (experiments.AblationAverageLLP).
+func AverageWeights(g *deps.Graph, opts Options) []float64 {
+	weights := Weights(g, opts)
+	sum, count := 0.0, 0
+	for i, w := range weights {
+		if opts.balanced(g.Instr(i)) {
+			sum += w
+			count++
+		}
+	}
+	if count == 0 {
+		return weights
+	}
+	avg := sum / float64(count)
+	for i := range weights {
+		if opts.balanced(g.Instr(i)) {
+			weights[i] = avg
+		}
+	}
+	return weights
+}

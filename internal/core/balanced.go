@@ -1,0 +1,233 @@
+// Package core implements the paper's primary contribution: balanced
+// scheduling weight computation (Fig. 6).
+//
+// Instead of giving every load a fixed, implementation-defined latency
+// weight, balanced scheduling derives each load's weight from the amount of
+// instruction level parallelism available to it ("load level parallelism").
+// For every instruction i in the code DAG G:
+//
+//  1. G_ind = G − (Pred(i) ∪ Succ(i)) — the instructions that may execute
+//     in parallel with i;
+//  2. for each connected component C of G_ind, Chances = the maximum number
+//     of load instructions on any directed path within C (loads in series
+//     must split i between them; loads in parallel share it);
+//  3. every load in C accumulates IssueSlots(i)/Chances.
+//
+// A load's weight is 1 (its own issue slot) plus its accumulated credit.
+// The weights plug into an otherwise unchanged list scheduler
+// (bsched/internal/sched).
+package core
+
+import (
+	"bsched/internal/bitset"
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+	"bsched/internal/unionfind"
+)
+
+// ChancesMethod selects how the per-component Chances value is computed.
+type ChancesMethod int
+
+const (
+	// ChancesDP computes the exact maximum number of candidate loads on
+	// any directed path in the component (the algorithm as stated in
+	// Fig. 6, line 5).
+	ChancesDP ChancesMethod = iota
+	// ChancesUnionFind reproduces the paper's O(n·α(n)) implementation
+	// sketch: nodes are labelled with levels from the farthest leaf, the
+	// set-union structure tracks min/max levels, and the component's
+	// largest path length (max−min+1) stands in for the load count. It is
+	// an approximation whenever non-load instructions appear on the
+	// longest path; ablation A2 quantifies the difference.
+	ChancesUnionFind
+)
+
+// Options configures the weight computation.
+type Options struct {
+	// IssueSlots returns the number of issue slots instruction i requires.
+	// nil means 1 for every instruction (single-issue pipeline). The §6
+	// superscalar extension passes fractions of a cycle here.
+	IssueSlots func(in *ir.Instr) float64
+
+	// Balanced reports whether an opcode receives a balanced weight.
+	// nil means loads only. The §6 extension for asynchronous floating
+	// point units adds FP opcodes.
+	Balanced func(op ir.Op) bool
+
+	// Chances selects the component-analysis implementation.
+	Chances ChancesMethod
+}
+
+func (o *Options) issueSlots(in *ir.Instr) float64 {
+	if o.IssueSlots == nil {
+		return 1
+	}
+	return o.IssueSlots(in)
+}
+
+func (o *Options) balanced(in *ir.Instr) bool {
+	// Instructions with a statically known latency opt out of balancing
+	// (§6, e.g. the second access to a cache line).
+	if in.KnownLatency > 0 {
+		return false
+	}
+	if o.Balanced == nil {
+		return in.Op.IsLoad()
+	}
+	return o.Balanced(in.Op)
+}
+
+// Weights runs the balanced scheduling algorithm on g and returns a weight
+// for every node. Balanced candidates (by default, loads without a known
+// latency) get 1 plus their accumulated load-level-parallelism credit;
+// instructions with a KnownLatency get that value; everything else gets 1.
+func Weights(g *deps.Graph, opts Options) []float64 {
+	w, _ := run(g, opts, false)
+	return w
+}
+
+// Contributions returns, alongside the weights, the full contribution
+// matrix: contrib[l][i] is the credit instruction i added to candidate l
+// (zero elsewhere). This is the data behind the paper's Table 1.
+func Contributions(g *deps.Graph, opts Options) (weights []float64, contrib [][]float64) {
+	w, c := run(g, opts, true)
+	return w, c
+}
+
+func run(g *deps.Graph, opts Options, wantContrib bool) ([]float64, [][]float64) {
+	n := g.N()
+	weights := make([]float64, n)
+	candidate := make([]bool, n)
+	for i := 0; i < n; i++ {
+		in := g.Instr(i)
+		switch {
+		case opts.balanced(in):
+			candidate[i] = true
+			weights[i] = 1 // Fig. 6, line 1
+		case in.KnownLatency > 0:
+			weights[i] = in.KnownLatency
+		default:
+			weights[i] = 1
+		}
+	}
+
+	var contrib [][]float64
+	if wantContrib {
+		contrib = make([][]float64, n)
+		for i := range contrib {
+			contrib[i] = make([]float64, n)
+		}
+	}
+
+	// dp is shared scratch for the per-component longest-path DP; entries
+	// are only read for nodes of the current component, so no reset is
+	// needed between components.
+	dp := make([]int, n)
+	for i := 0; i < n; i++ { // Fig. 6, line 2
+		ind := g.Independent(i) // line 3
+		if ind.Empty() {
+			continue
+		}
+		slots := opts.issueSlots(g.Instr(i))
+		var levels map[int]int
+		if opts.Chances == ChancesUnionFind {
+			levels = g.LevelsFromLeaves(ind)
+		}
+		for _, comp := range g.Components(ind) { // line 4
+			var chances float64
+			switch opts.Chances {
+			case ChancesUnionFind:
+				chances = float64(chancesUnionFind(g, comp, ind, candidate, levels))
+			default:
+				chances = float64(maxCandidatePath(g, comp, ind, candidate, dp)) // line 5
+			}
+			if chances == 0 {
+				continue // component has no candidate loads
+			}
+			credit := slots / chances
+			for _, l := range comp { // lines 6–7
+				if candidate[l] {
+					weights[l] += credit
+					if wantContrib {
+						contrib[l][i] += credit
+					}
+				}
+			}
+		}
+	}
+	return weights, contrib
+}
+
+// maxCandidatePath returns the maximum number of candidate instructions on
+// any directed path through comp (restricted to include). dp is caller-
+// provided scratch of length g.N(); predecessors within a component are
+// always members of the same component, so stale entries from other
+// components are never read.
+func maxCandidatePath(g *deps.Graph, comp []int, include *bitset.Set, candidate []bool, dp []int) int {
+	best := 0
+	for _, v := range comp { // ascending order = topological
+		c := 0
+		if candidate[v] {
+			c = 1
+		}
+		m := 0
+		for _, e := range g.Preds[v] {
+			if include.Has(e.To) && dp[e.To] > m {
+				m = dp[e.To]
+			}
+		}
+		dp[v] = m + c
+		if dp[v] > best {
+			best = dp[v]
+		}
+	}
+	return best
+}
+
+// chancesUnionFind is the paper's set-union implementation sketch: label
+// nodes with levels from the farthest leaf, union connected nodes while
+// tracking min/max levels, and report max−min+1 as the component's largest
+// path length. Components without candidate loads report 0.
+func chancesUnionFind(g *deps.Graph, comp []int, include *bitset.Set, candidate []bool, levels map[int]int) int {
+	hasCandidate := false
+	for _, v := range comp {
+		if candidate[v] {
+			hasCandidate = true
+			break
+		}
+	}
+	if !hasCandidate {
+		return 0
+	}
+	// Map component nodes to dense indices for the union-find structure.
+	idx := make(map[int]int, len(comp))
+	for k, v := range comp {
+		idx[v] = k
+	}
+	uf := unionfind.New(len(comp))
+	for _, v := range comp {
+		uf.SetLevel(idx[v], levels[v])
+	}
+	for _, v := range comp {
+		for _, e := range g.Succs[v] {
+			if j, ok := idx[e.To]; ok && include.Has(e.To) {
+				uf.Union(idx[v], j)
+			}
+		}
+	}
+	// comp is connected by construction, so any element names the set.
+	return uf.PathLength(idx[comp[0]])
+}
+
+// LoadLevelParallelism is a diagnostic: for each load l it returns the
+// number of instructions that may execute in parallel with l (|G_ind(l)|).
+// Workload tuning and the experiments report aggregate LLP per benchmark.
+func LoadLevelParallelism(g *deps.Graph) map[int]int {
+	out := make(map[int]int)
+	for i := 0; i < g.N(); i++ {
+		if g.IsLoad(i) {
+			out[i] = g.Independent(i).Count()
+		}
+	}
+	return out
+}

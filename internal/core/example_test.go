@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+
+	"bsched/internal/core"
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+)
+
+// The paper's Figure 1 example: two loads in series sharing four
+// independent instructions receive weight 1 + 4/2 = 3 each.
+func ExampleWeights() {
+	block := ir.MustParseBlock(`
+		v0 = load a[0]
+		v1 = load a[v0+0]
+		v10 = addi r0, 1
+		v11 = addi r0, 2
+		v12 = addi r0, 3
+		v13 = addi r0, 4
+		v14 = addi v1, 1
+	`)
+	g := deps.Build(block, deps.BuildOptions{})
+	weights := core.Weights(g, core.Options{})
+	for i, in := range block.Instrs {
+		if in.Op.IsLoad() {
+			fmt.Printf("%s -> weight %g\n", in, weights[i])
+		}
+	}
+	// Output:
+	// v0 = load a[0] -> weight 3
+	// v1 = load a[v0+0] -> weight 3
+}
+
+// Explain exposes the per-component analysis of Fig. 6 for one
+// instruction: here, one of the free instructions credits 1/2 to each of
+// the two serial loads.
+func ExampleExplain() {
+	block := ir.MustParseBlock(`
+		v0 = load a[0]
+		v1 = load a[v0+0]
+		v10 = addi r0, 1
+		v11 = addi r0, 2
+	`)
+	g := deps.Build(block, deps.BuildOptions{})
+	ex := core.Explain(g, 2, core.Options{}) // the first addi
+	for _, c := range ex.Components {
+		fmt.Printf("component: %d nodes, chances %d, credit %.1f\n",
+			len(c.Nodes), c.Chances, c.Credit)
+	}
+	// Output:
+	// component: 2 nodes, chances 2, credit 0.5
+	// component: 1 nodes, chances 0, credit 0.0
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"bsched/internal/deps"
+)
+
+// Component describes one connected component of G_ind(i) during the
+// balanced analysis of instruction i.
+type Component struct {
+	// Nodes are the component's members (original node indices).
+	Nodes []int
+	// Loads are the balanced candidates among them.
+	Loads []int
+	// Chances is the maximum number of candidate loads on any directed
+	// path in the component (0 = no candidates, nothing credited).
+	Chances int
+	// Credit is IssueSlots(i)/Chances, the amount added to each load.
+	Credit float64
+}
+
+// Explanation is the full balanced-analysis record for one instruction.
+type Explanation struct {
+	// Node is the instruction analysed.
+	Node int
+	// Removed is |Pred(i) ∪ Succ(i)|, the nodes excluded from G_ind.
+	Removed int
+	// Components partitions G_ind(i).
+	Components []Component
+}
+
+// Explain reports how instruction i's issue slot is distributed across
+// the loads of the block — the inner loop of Fig. 6 made inspectable.
+// cmd/bsched's -explain flag prints it.
+func Explain(g *deps.Graph, i int, opts Options) Explanation {
+	ind := g.Independent(i)
+	candidate := make([]bool, g.N())
+	for n := 0; n < g.N(); n++ {
+		candidate[n] = opts.balanced(g.Instr(n))
+	}
+	ex := Explanation{
+		Node:    i,
+		Removed: g.N() - ind.Count() - 1,
+	}
+	slots := opts.issueSlots(g.Instr(i))
+	var levels map[int]int
+	if opts.Chances == ChancesUnionFind {
+		levels = g.LevelsFromLeaves(ind)
+	}
+	dp := make([]int, g.N())
+	for _, comp := range g.Components(ind) {
+		c := Component{Nodes: comp}
+		for _, v := range comp {
+			if candidate[v] {
+				c.Loads = append(c.Loads, v)
+			}
+		}
+		switch opts.Chances {
+		case ChancesUnionFind:
+			c.Chances = chancesUnionFind(g, comp, ind, candidate, levels)
+		default:
+			c.Chances = maxCandidatePath(g, comp, ind, candidate, dp)
+		}
+		if c.Chances > 0 {
+			c.Credit = slots / float64(c.Chances)
+		}
+		ex.Components = append(ex.Components, c)
+	}
+	return ex
+}
+
+// Format renders the explanation with the given node namer (nil uses
+// plain indices).
+func (ex Explanation) Format(name func(int) string) string {
+	if name == nil {
+		name = func(i int) string { return fmt.Sprintf("#%d", i) }
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "instruction %s: %d dependent nodes removed, %d component(s)\n",
+		name(ex.Node), ex.Removed, len(ex.Components))
+	for k, c := range ex.Components {
+		fmt.Fprintf(&b, "  component %d: %d nodes, %d loads, chances=%d",
+			k, len(c.Nodes), len(c.Loads), c.Chances)
+		if c.Chances > 0 {
+			fmt.Fprintf(&b, " -> +%.3f to each of", c.Credit)
+			for _, l := range c.Loads {
+				fmt.Fprintf(&b, " %s", name(l))
+			}
+		} else {
+			b.WriteString(" -> no credit (no loads)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

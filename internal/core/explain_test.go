@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bsched/internal/deps"
+	"bsched/internal/paperdag"
+)
+
+// TestExplainFigure7X1 pins the §3 narrative via the Explain API: for
+// i=X1 there are three components with Chances 1, 3 and 0.
+func TestExplainFigure7X1(t *testing.T) {
+	l := paperdag.Figure7()
+	g := deps.Build(l.Block, deps.BuildOptions{})
+	x1 := -1
+	for i, in := range l.Block.Instrs {
+		if l.Name(in) == "X1" {
+			x1 = i
+		}
+	}
+	ex := Explain(g, x1, Options{})
+	if len(ex.Components) != 3 {
+		t.Fatalf("got %d components, want 3", len(ex.Components))
+	}
+	if ex.Removed != 1 { // only L2 is a predecessor; X1 has no successors
+		t.Errorf("Removed = %d, want 1", ex.Removed)
+	}
+	var chances []int
+	for _, c := range ex.Components {
+		chances = append(chances, c.Chances)
+	}
+	counts := map[int]int{}
+	for _, c := range chances {
+		counts[c]++
+	}
+	if counts[1] != 1 || counts[3] != 1 || counts[0] != 1 {
+		t.Errorf("component chances = %v, want one each of 0, 1, 3", chances)
+	}
+	for _, c := range ex.Components {
+		switch c.Chances {
+		case 1:
+			if len(c.Loads) != 1 || c.Credit != 1 {
+				t.Errorf("L1 component wrong: %+v", c)
+			}
+		case 3:
+			if len(c.Loads) != 4 || c.Credit != 1.0/3 {
+				t.Errorf("L3-L6 component wrong: %+v", c)
+			}
+		case 0:
+			if len(c.Loads) != 0 || c.Credit != 0 {
+				t.Errorf("load-free component wrong: %+v", c)
+			}
+		}
+	}
+}
+
+// TestExplainConsistentWithContributions: summing Explain's credits over
+// all instructions reproduces the contribution matrix.
+func TestExplainConsistentWithContributions(t *testing.T) {
+	l := paperdag.Figure7()
+	g := deps.Build(l.Block, deps.BuildOptions{})
+	_, contrib := Contributions(g, Options{})
+	for i := 0; i < g.N(); i++ {
+		ex := Explain(g, i, Options{})
+		got := make([]float64, g.N())
+		for _, c := range ex.Components {
+			for _, load := range c.Loads {
+				got[load] += c.Credit
+			}
+		}
+		for load := 0; load < g.N(); load++ {
+			if diff := got[load] - contrib[load][i]; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("i=%d load=%d: explain %g vs contributions %g", i, load, got[load], contrib[load][i])
+			}
+		}
+	}
+}
+
+func TestExplainFormat(t *testing.T) {
+	l := paperdag.Figure1()
+	g := deps.Build(l.Block, deps.BuildOptions{})
+	out := Explain(g, 1, Options{}).Format(nil) // node 1 is X0
+	for _, want := range []string{"instruction #1", "chances", "component"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}

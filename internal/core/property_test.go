@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+	"bsched/internal/workload"
+)
+
+// TestWeightsWithinBounds: property — on random blocks every balanced
+// weight lies in [1, 1 + n−1] (a load cannot be credited more than one
+// slot per other instruction on a single-issue machine).
+func TestWeightsWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for trial := 0; trial < 40; trial++ {
+		blk := workload.Random(rng, workload.DefaultRandomParams(8+rng.Intn(60)))
+		g := deps.Build(blk, deps.BuildOptions{})
+		n := float64(g.N())
+		for i, w := range Weights(g, Options{}) {
+			if w < 1-1e-9 || w > n+1e-9 {
+				t.Fatalf("trial %d: weight[%d] = %g outside [1, %g]", trial, i, w, n)
+			}
+		}
+	}
+}
+
+// TestWeightsMonotoneUnderAddedParallelism: property — inserting an
+// instruction that is independent of everything (an isolated constant)
+// never decreases any existing load's weight: the new node forms its own
+// singleton component in every G_ind, leaving all existing Chances
+// untouched while adding fresh credit.
+func TestWeightsMonotoneUnderAddedParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(277))
+	for trial := 0; trial < 30; trial++ {
+		blk := workload.Random(rng, workload.DefaultRandomParams(8+rng.Intn(40)))
+		g := deps.Build(blk, deps.BuildOptions{})
+		before := Weights(g, Options{})
+
+		// Insert the independent instruction before the terminator.
+		grown := blk.Clone()
+		freshNum := grown.MaxVirt() + 1
+		extra := &ir.Instr{Op: ir.OpConst, Dst: ir.Virt(freshNum), Imm: 7}
+		last := len(grown.Instrs) - 1
+		grown.Instrs = append(grown.Instrs[:last],
+			append([]*ir.Instr{extra}, grown.Instrs[last:]...)...)
+		ir.Renumber(grown)
+
+		g2 := deps.Build(grown, deps.BuildOptions{})
+		after := Weights(g2, Options{})
+		// Node i of the original maps to node i of the grown block for
+		// i < last, and to i+1 afterwards.
+		for i := 0; i < g.N(); i++ {
+			j := i
+			if i >= last {
+				j = i + 1
+			}
+			if !g.IsLoad(i) {
+				continue
+			}
+			if after[j] < before[i]-1e-9 {
+				t.Fatalf("trial %d: load %d weight decreased %.4f -> %.4f after adding parallelism",
+					trial, i, before[i], after[j])
+			}
+		}
+	}
+}
+
+// TestWeightsIndependentOfBlockFrequency: the analysis is purely
+// structural; profile frequency must not matter.
+func TestWeightsIndependentOfBlockFrequency(t *testing.T) {
+	a := workload.Saxpy("s", 1, 4)
+	b := workload.Saxpy("s", 9999, 4)
+	wa := Weights(deps.Build(a, deps.BuildOptions{}), Options{})
+	wb := Weights(deps.Build(b, deps.BuildOptions{}), Options{})
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("weight[%d] depends on frequency: %g vs %g", i, wa[i], wb[i])
+		}
+	}
+}

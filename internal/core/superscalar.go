@@ -1,0 +1,16 @@
+package core
+
+import "bsched/internal/ir"
+
+// SuperscalarIssueSlots returns the IssueSlots function for a machine that
+// issues `width` instructions per cycle: each instruction occupies 1/width
+// of a cycle, so a load needs `width` independent instructions to cover
+// each cycle of latency. This is the §6 superscalar extension; pass the
+// result in Options.IssueSlots and simulate with machine.Config.Wide.
+func SuperscalarIssueSlots(width int) func(in *ir.Instr) float64 {
+	if width < 1 {
+		width = 1
+	}
+	w := float64(width)
+	return func(*ir.Instr) float64 { return 1 / w }
+}

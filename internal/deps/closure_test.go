@@ -1,0 +1,103 @@
+package deps
+
+import (
+	"math/rand"
+	"testing"
+
+	"bsched/internal/bitset"
+	"bsched/internal/workload"
+)
+
+// bfsReach computes forward reachability from node i by breadth-first
+// search — the reference the bitset closures are checked against.
+func bfsReach(g *Graph, i int, forward bool) *bitset.Set {
+	out := bitset.New(g.N())
+	queue := []int{i}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		edges := g.Succs[v]
+		if !forward {
+			edges = g.Preds[v]
+		}
+		for _, e := range edges {
+			if !out.Has(e.To) {
+				out.Add(e.To)
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// TestClosuresMatchBFS: property — the DP-computed transitive closures
+// equal BFS reachability on random blocks under both alias modes.
+func TestClosuresMatchBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		blk := workload.Random(rng, workload.DefaultRandomParams(10+rng.Intn(50)))
+		mode := AliasDisjoint
+		if trial%2 == 1 {
+			mode = AliasConservative
+		}
+		g := Build(blk, BuildOptions{Alias: mode})
+		for i := 0; i < g.N(); i++ {
+			if !g.SuccClosure(i).Equal(bfsReach(g, i, true)) {
+				t.Fatalf("trial %d: SuccClosure(%d) diverges from BFS", trial, i)
+			}
+			if !g.PredClosure(i).Equal(bfsReach(g, i, false)) {
+				t.Fatalf("trial %d: PredClosure(%d) diverges from BFS", trial, i)
+			}
+		}
+	}
+}
+
+// TestIndependentIsComplement: property — G_ind(i) is exactly the
+// complement of {i} ∪ Pred(i) ∪ Succ(i).
+func TestIndependentIsComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 20; trial++ {
+		blk := workload.Random(rng, workload.DefaultRandomParams(10+rng.Intn(40)))
+		g := Build(blk, BuildOptions{})
+		for i := 0; i < g.N(); i++ {
+			ind := g.Independent(i)
+			for j := 0; j < g.N(); j++ {
+				excluded := j == i || g.PredClosure(i).Has(j) || g.SuccClosure(i).Has(j)
+				if ind.Has(j) == excluded {
+					t.Fatalf("trial %d: Independent(%d) wrong at %d", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestComponentsPartition: property — the components of any include set
+// partition it exactly.
+func TestComponentsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 20; trial++ {
+		blk := workload.Random(rng, workload.DefaultRandomParams(10+rng.Intn(40)))
+		g := Build(blk, BuildOptions{})
+		include := bitset.New(g.N())
+		for j := 0; j < g.N(); j++ {
+			if rng.Intn(3) > 0 {
+				include.Add(j)
+			}
+		}
+		seen := bitset.New(g.N())
+		for _, comp := range g.Components(include) {
+			for _, v := range comp {
+				if !include.Has(v) {
+					t.Fatalf("trial %d: component member %d outside include", trial, v)
+				}
+				if seen.Has(v) {
+					t.Fatalf("trial %d: node %d in two components", trial, v)
+				}
+				seen.Add(v)
+			}
+		}
+		if !seen.Equal(include) {
+			t.Fatalf("trial %d: components do not cover include", trial)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTable2CSV writes an improvement table as CSV (one row per
+// system/latency, one column per benchmark plus the mean and per-cell
+// confidence bounds), for external plotting.
+func WriteTable2CSV(w io.Writer, rows []Table2Row, names []string) error {
+	cw := csv.NewWriter(w)
+	header := []string{"system", "category", "optlat"}
+	for _, n := range names {
+		header = append(header, n, n+"_lo", n+"_hi")
+	}
+	header = append(header, "mean")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, row := range rows {
+		rec := []string{row.System, row.Category, fmt.Sprintf("%g", row.OptLat)}
+		for _, n := range names {
+			ci := row.CI[n]
+			rec = append(rec, f(ci.Mean), f(ci.Lo), f(ci.Hi))
+		}
+		rec = append(rec, f(row.Mean))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure3CSV writes the Figure 3 interlock data as CSV.
+func WriteFigure3CSV(w io.Writer, rows []Figure3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"latency", "greedy", "lazy", "balanced"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.Latency),
+			strconv.Itoa(r.Interlocks["greedy"]),
+			strconv.Itoa(r.Interlocks["lazy"]),
+			strconv.Itoa(r.Interlocks["balanced"]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

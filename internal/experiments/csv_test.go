@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bsched/internal/stats"
+)
+
+func TestWriteTable2CSV(t *testing.T) {
+	rows := []Table2Row{{
+		System:   "N(2,5)",
+		Category: "network",
+		OptLat:   2,
+		ImpPct:   map[string]float64{"X": 10},
+		CI:       map[string]stats.Improvement{"X": {Mean: 10, Lo: 8, Hi: 12}},
+		Mean:     10,
+	}}
+	var b strings.Builder
+	if err := WriteTable2CSV(&b, rows, []string{"X"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"system,category,optlat,X,X_lo,X_hi,mean", `"N(2,5)",network,2,10.000,8.000,12.000,10.000`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFigure3CSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteFigure3CSV(&b, Figure3(3)); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "latency,greedy,lazy,balanced") || !strings.Contains(out, "3,2,2,0") {
+		t.Errorf("figure3 csv wrong:\n%s", out)
+	}
+}
+
+// TestFormatAblationsSmoke runs the whole ablation battery end to end on
+// a small configuration, checking every section renders.
+func TestFormatAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	progs, names := smallProgs()
+	r := &Runner{Trials: 4, Resamples: 10, Seed: 1}
+	out := FormatAblations(r, progs, names)
+	for _, want := range []string{
+		"Ablation A1", "Ablation A2", "Ablation A3", "Extension A4",
+		"Ablation A5", "Ablation A6", "Ablation A9", "Extension A7",
+		"Extension A8", "Extension A11", "Ablation A13", "Extension A12",
+		"Ablation A14", "Validation A10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations missing %q", want)
+		}
+	}
+}

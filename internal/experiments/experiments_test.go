@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bsched/internal/ir"
+	"bsched/internal/machine"
+	"bsched/internal/memlat"
+	"bsched/internal/workload"
+)
+
+// testRunner keeps experiment tests fast but deterministic.
+func testRunner() *Runner {
+	return &Runner{Trials: 8, Resamples: 30, Seed: 1993}
+}
+
+func TestFigure2Output(t *testing.T) {
+	out := Figure2()
+	for _, want := range []string{"Traditional W=5", "Balanced", "L0", "X4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 output missing %q:\n%s", want, out)
+		}
+	}
+	// The W=5 column leads with L0 and the W=1 column puts L1 second —
+	// spot-check one line.
+	if !strings.Contains(out, "L0") {
+		t.Errorf("missing schedule rows")
+	}
+}
+
+func TestFigure3PinsPaperValues(t *testing.T) {
+	rows := Figure3(5)
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Latency 3: greedy 2, lazy 2, balanced 0 (the paper's chart).
+	r := rows[2]
+	if r.Interlocks["greedy"] != 2 || r.Interlocks["lazy"] != 2 || r.Interlocks["balanced"] != 0 {
+		t.Errorf("latency-3 interlocks = %v", r.Interlocks)
+	}
+	// Balanced never worse anywhere in the range.
+	for _, row := range rows {
+		if row.Interlocks["balanced"] > row.Interlocks["greedy"] ||
+			row.Interlocks["balanced"] > row.Interlocks["lazy"] {
+			t.Errorf("balanced worse at latency %d: %v", row.Latency, row.Interlocks)
+		}
+	}
+	if out := FormatFigure3(rows); !strings.Contains(out, "Latency") {
+		t.Errorf("format output broken")
+	}
+}
+
+func TestFigure5Output(t *testing.T) {
+	out := Figure5()
+	if !strings.Contains(out, "weight 6") {
+		t.Errorf("Figure5 must show weight 6 loads:\n%s", out)
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"L1", "11.000", "1/3", "Weight"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	r1, r2 := testRunner(), testRunner()
+	prog := workload.Benchmark("TRACK")
+	sys := memlat.NewNormal(3, 2)
+	a := r1.Compare(prog, 3, machine.UNLIMITED(), sys)
+	b := r2.Compare(prog, 3, machine.UNLIMITED(), sys)
+	if a.Imp.Mean != b.Imp.Mean || a.Imp.Lo != b.Imp.Lo {
+		t.Errorf("same seed, different results: %v vs %v", a.Imp, b.Imp)
+	}
+}
+
+func TestCompileCaching(t *testing.T) {
+	r := testRunner()
+	prog := workload.Benchmark("TRACK")
+	a := r.Compile(prog, r.BalancedSched())
+	b := r.Compile(prog, r.BalancedSched())
+	if a != b {
+		t.Errorf("compile cache miss for identical key")
+	}
+	c := r.Compile(prog, TraditionalSched(2))
+	if a == c {
+		t.Errorf("different schedulers shared a cache entry")
+	}
+}
+
+// TestHeadlineShape pins the reproduction's headline: on a
+// high-uncertainty system, balanced scheduling clearly beats the
+// traditional scheduler on the LLP-rich benchmarks, and the confidence
+// interval excludes zero.
+func TestHeadlineShape(t *testing.T) {
+	r := testRunner()
+	sys := memlat.NewNormal(2, 5)
+	for _, bench := range []string{"ADM", "MG3D", "BDNA"} {
+		c := r.Compare(workload.Benchmark(bench), 2, machine.UNLIMITED(), sys)
+		if c.Imp.Mean < 5 {
+			t.Errorf("%s on N(2,5): improvement %.1f%%, want > 5%%", bench, c.Imp.Mean)
+		}
+		if c.Imp.Lo <= 0 {
+			t.Errorf("%s on N(2,5): CI [%.1f, %.1f] includes zero", bench, c.Imp.Lo, c.Imp.Hi)
+		}
+	}
+}
+
+// TestUncertaintyScaling pins the second headline: improvement grows with
+// latency uncertainty (σ=5 beats σ=2 at the same mean).
+func TestUncertaintyScaling(t *testing.T) {
+	r := testRunner()
+	prog := workload.Benchmark("MG3D")
+	low := r.Compare(prog, 2, machine.UNLIMITED(), memlat.NewNormal(2, 2))
+	high := r.Compare(prog, 2, machine.UNLIMITED(), memlat.NewNormal(2, 5))
+	if high.Imp.Mean <= low.Imp.Mean {
+		t.Errorf("σ=5 improvement %.1f%% not above σ=2 %.1f%%", high.Imp.Mean, low.Imp.Mean)
+	}
+}
+
+// TestInterlockAccounting: balanced interlock percentage is below the
+// traditional one on an uncertain system (Table 3's TI%/BI% relation).
+func TestInterlockAccounting(t *testing.T) {
+	r := testRunner()
+	c := r.Compare(workload.Benchmark("MDG"), 2, machine.UNLIMITED(), memlat.NewNormal(2, 5))
+	if c.Bal.InterlockPct() >= c.Trad.InterlockPct() {
+		t.Errorf("BI%% %.1f not below TI%% %.1f", c.Bal.InterlockPct(), c.Trad.InterlockPct())
+	}
+	if c.Trad.MeanCycles <= 0 || c.Bal.MeanCycles <= 0 {
+		t.Errorf("degenerate cycle counts: %+v", c)
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	r := testRunner()
+	names := []string{"TRACK", "FLO52Q"}
+	progs := map[string]*ir.Program{
+		"TRACK":  workload.Benchmark("TRACK"),
+		"FLO52Q": workload.Benchmark("FLO52Q"),
+	}
+	rows := r.Table2(progs, names)
+	// 4 cache systems × 2 latencies + 7 network × 1 + mixed × 2 = 17.
+	if len(rows) != 17 {
+		t.Fatalf("got %d rows, want 17", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.ImpPct) != len(names) {
+			t.Errorf("row %s@%g has %d entries", row.System, row.OptLat, len(row.ImpPct))
+		}
+		for _, n := range names {
+			ci := row.CI[n]
+			if ci.Lo > ci.Hi {
+				t.Errorf("row %s@%g: inverted CI", row.System, row.OptLat)
+			}
+		}
+	}
+	out := FormatTable2(rows, names, machine.UNLIMITED())
+	for _, want := range []string{"L80(2,5)", "N(30,5)", "L80-N(30,5)", "Mean", "TRACK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+}
+
+func TestTable4SpillsAreScheduleProperties(t *testing.T) {
+	r := testRunner()
+	names := []string{"MDG"}
+	progs := map[string]*ir.Program{"MDG": workload.Benchmark("MDG")}
+	rows := r.Table4(progs, names)
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	row := rows[0]
+	if len(row.Trad) != len(memlat.PaperOptimisticLatencies()) {
+		t.Errorf("missing latencies: %v", row.Trad)
+	}
+	// The hoisting mechanism: spills at optimistic latency 30 must be at
+	// least those at latency 2.
+	if row.Trad[30] < row.Trad[2] {
+		t.Errorf("spill%% decreased with latency: %v", row.Trad)
+	}
+	if out := FormatTable4(rows); !strings.Contains(out, "MDG") {
+		t.Errorf("format broken")
+	}
+}
+
+func TestTable5Structure(t *testing.T) {
+	r := testRunner()
+	names := []string{"TRACK"}
+	progs := map[string]*ir.Program{"TRACK": workload.Benchmark("TRACK")}
+	rows := r.Table5(progs, names)
+	if len(rows) != 1 || len(rows[0].PerProc) != 3 {
+		t.Fatalf("bad structure: %+v", rows)
+	}
+	// N(30,5) is interlock-dominated: TI% must be large.
+	if ti := rows[0].PerProc["UNLIMITED"].TIPct; ti < 40 {
+		t.Errorf("N(30,5) TI%% = %.1f, expected interlock-dominated (>40)", ti)
+	}
+	if out := FormatTable5(rows); !strings.Contains(out, "N(30,5)") {
+		t.Errorf("format broken")
+	}
+}
+
+func TestAblationAverageLLP(t *testing.T) {
+	r := testRunner()
+	names := []string{"MG3D", "ADM"}
+	progs := map[string]*ir.Program{
+		"MG3D": workload.Benchmark("MG3D"),
+		"ADM":  workload.Benchmark("ADM"),
+	}
+	out := AblationAverageLLP(r, progs, names)
+	if !strings.Contains(out, "Average-LLP") {
+		t.Fatalf("missing column:\n%s", out)
+	}
+	// EXPERIMENTS.md documents that the paper's §3 negative result for
+	// the average variant does NOT reproduce on this workload: both
+	// variants beat the traditional scheduler clearly on an uncertain
+	// system. Pin that documented finding.
+	rr := testRunner()
+	trad := TraditionalSched(3)
+	sys := memlat.NewNormal(3, 5)
+	avg := rr.CompareKinds(progs["MG3D"], trad, rr.AverageSched(), machine.UNLIMITED(), sys)
+	bal := rr.CompareKinds(progs["MG3D"], trad, rr.BalancedSched(), machine.UNLIMITED(), sys)
+	if bal.Imp.Mean < 5 || avg.Imp.Mean < 5 {
+		t.Errorf("expected both variants to beat traditional clearly: bal %.1f%%, avg %.1f%%",
+			bal.Imp.Mean, avg.Imp.Mean)
+	}
+}
+
+func TestTable3Structure(t *testing.T) {
+	r := testRunner()
+	rows, bIns := r.Table3(workload.Benchmark("TRACK"))
+	if len(rows) != 17 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if bIns <= 0 {
+		t.Errorf("BIns = %g", bIns)
+	}
+	out := FormatTable3("TRACK", rows, bIns)
+	for _, want := range []string{"UNLIMITED Imp%", "MAX-8 TI%", "LEN-8 BI%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 output missing %q", want)
+		}
+	}
+}

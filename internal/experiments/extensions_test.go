@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bsched/internal/ir"
+	"bsched/internal/machine"
+	"bsched/internal/workload"
+)
+
+func procUnlimited() machine.Config { return machine.UNLIMITED() }
+
+func smallProgs() (map[string]*ir.Program, []string) {
+	names := []string{"TRACK", "FLO52Q"}
+	progs := map[string]*ir.Program{
+		"TRACK":  workload.Benchmark("TRACK"),
+		"FLO52Q": workload.Benchmark("FLO52Q"),
+	}
+	return progs, names
+}
+
+func TestExtensionSuperscalarRuns(t *testing.T) {
+	progs, names := smallProgs()
+	out := ExtensionSuperscalar(testRunner(), progs, names)
+	for _, want := range []string{"Width", "1", "2", "4", "Imp%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtensionEnlargeRuns(t *testing.T) {
+	out := ExtensionEnlarge(testRunner(), nil, nil)
+	if !strings.Contains(out, "separate") || !strings.Contains(out, "fused") {
+		t.Errorf("output incomplete:\n%s", out)
+	}
+}
+
+// TestEnlargeSpeedsBothSchedulers pins A8's documented finding: the
+// fused block runs faster than the separate blocks under BOTH compilers.
+func TestEnlargeSpeedsBothSchedulers(t *testing.T) {
+	r := testRunner()
+	parts := func() []*ir.Block {
+		return []*ir.Block{
+			workload.Recurrence("t_r1", 100, 4),
+			workload.Recurrence("t_r2", 100, 4),
+		}
+	}
+	sep := &ir.Program{Name: "sep", Funcs: []*ir.Func{{Name: "f", Blocks: parts()}}}
+	fused := &ir.Program{Name: "fused", Funcs: []*ir.Func{{
+		Name: "f", Blocks: []*ir.Block{workload.Fuse("t_f", 100, parts()...)},
+	}}}
+	sys := ablationSystems()[1].Model
+	cSep := r.Compare(sep, 3, procUnlimited(), sys)
+	rr := testRunner()
+	cFused := rr.Compare(fused, 3, procUnlimited(), sys)
+	if cFused.Trad.MeanCycles >= cSep.Trad.MeanCycles {
+		t.Errorf("fusion did not speed the traditional schedule: %.0f vs %.0f",
+			cFused.Trad.MeanCycles, cSep.Trad.MeanCycles)
+	}
+	if cFused.Bal.MeanCycles >= cSep.Bal.MeanCycles {
+		t.Errorf("fusion did not speed the balanced schedule: %.0f vs %.0f",
+			cFused.Bal.MeanCycles, cSep.Bal.MeanCycles)
+	}
+	// Balanced on the fused block is the fastest of the four.
+	for _, other := range []float64{cSep.Trad.MeanCycles, cSep.Bal.MeanCycles, cFused.Trad.MeanCycles} {
+		if cFused.Bal.MeanCycles > other {
+			t.Errorf("balanced+fused %.0f not fastest (vs %.0f)", cFused.Bal.MeanCycles, other)
+		}
+	}
+}
+
+func TestAblationReuseOrderRuns(t *testing.T) {
+	progs, names := smallProgs()
+	out := AblationReuseOrder(testRunner(), progs, names)
+	if !strings.Contains(out, "FIFO-over-LIFO") {
+		t.Errorf("output incomplete:\n%s", out)
+	}
+}
+
+func TestExtensionUnrollRuns(t *testing.T) {
+	out := ExtensionUnroll(testRunner(), nil, nil)
+	for _, want := range []string{"Factor", "16", "spill"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestUnrollGrowsAdvantage pins A11's shape: unrolling 8x beats no
+// unrolling for the balanced scheduler's relative advantage.
+func TestUnrollGrowsAdvantage(t *testing.T) {
+	r := testRunner()
+	sys := ablationSystems()[1].Model
+	imp := func(factor int) float64 {
+		blk := workload.Gather("tu", 100, factor)
+		prog := &ir.Program{Name: "tu", Funcs: []*ir.Func{{Name: "f", Blocks: []*ir.Block{blk}}}}
+		rr := testRunner()
+		_ = r
+		return rr.Compare(prog, 3, procUnlimited(), sys).Imp.Mean
+	}
+	if imp(8) <= imp(1) {
+		t.Errorf("unrolling did not grow the advantage: x8 %.1f vs x1 %.1f", imp(8), imp(1))
+	}
+}
+
+// TestAblationPass2 pins A15: skipping the second scheduling pass under
+// register pressure costs the balanced compiler cycles.
+func TestAblationPass2(t *testing.T) {
+	progs, names := smallProgs()
+	out := AblationPass2(testRunner(), progs, names)
+	if !strings.Contains(out, "both passes") || !strings.Contains(out, "pass 1 only") {
+		t.Fatalf("output incomplete:\n%s", out)
+	}
+	// Quantitative: balanced cycles must grow when pass 2 is skipped on a
+	// pressure-heavy benchmark.
+	prog := workload.Benchmark("QCD2")
+	full := testRunner()
+	skip := testRunner()
+	skip.SkipPass2 = true
+	sys := ablationSystems()[1].Model
+	cf := full.Compare(prog, 3, procUnlimited(), sys)
+	cs := skip.Compare(prog, 3, procUnlimited(), sys)
+	if cs.Bal.MeanCycles <= cf.Bal.MeanCycles {
+		t.Errorf("skipping pass 2 did not slow the balanced schedule: %.0f vs %.0f",
+			cs.Bal.MeanCycles, cf.Bal.MeanCycles)
+	}
+}
+
+// TestSuperscalarKeepsAdvantage pins A7's headline: the balanced
+// advantage survives on a 4-wide machine.
+func TestSuperscalarKeepsAdvantage(t *testing.T) {
+	r := testRunner()
+	prog := workload.Benchmark("MG3D")
+	c := r.Compare(prog, 3, procUnlimited().Wide(4), ablationSystems()[1].Model)
+	if c.Imp.Mean < 3 {
+		t.Errorf("4-wide improvement %.1f%%, want > 3%%", c.Imp.Mean)
+	}
+}
+
+func TestExtensionKnownLatencyRuns(t *testing.T) {
+	out := ExtensionKnownLatency(testRunner(), nil, nil)
+	for _, want := range []string{"unmarked", "marked", "Marked loads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0/0") {
+		t.Errorf("no loads in the A16 program:\n%s", out)
+	}
+}
+
+// TestHistoricalOOO pins A17's headline shape: the balanced advantage at
+// window 1 (in-order) disappears under a wide out-of-order window.
+func TestHistoricalOOO(t *testing.T) {
+	progs, names := smallProgs()
+	out := HistoricalOOO(testRunner(), progs, names)
+	for _, want := range []string{"in-order", "16", "64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

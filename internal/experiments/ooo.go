@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bsched/internal/ir"
+	"bsched/internal/memlat"
+	"bsched/internal/ooo"
+	"bsched/internal/pipeline"
+	"bsched/internal/stats"
+)
+
+// HistoricalOOO (A17) answers the question the reproduction bands raise:
+// why did out-of-order hardware make balanced scheduling less relevant?
+// The same compiled programs run on an idealized out-of-order core
+// (perfect renaming, instruction window W, 4-wide issue). At W=1 the core
+// is the paper's in-order pipeline and the balanced advantage is intact;
+// as the window grows the hardware discovers the same load level
+// parallelism dynamically and the advantage collapses toward zero.
+func HistoricalOOO(r *Runner, progs map[string]*ir.Program, names []string) string {
+	mem := memlat.NewNormal(3, 5)
+	const opt = 3.0
+	t := newTable("Historical A17: idealized out-of-order core, 4-wide (N(3,5))",
+		"Window", "Mean Imp%", "Trad cycles", "Bal cycles")
+	for _, window := range []int{1, 4, 16, 64} {
+		cfg := ooo.Config{Window: window, Width: 4}
+		if window == 1 {
+			cfg.Width = 1 // W=1 is the paper's in-order single-issue machine
+		}
+		sumImp, sumT, sumB := 0.0, 0.0, 0.0
+		for _, n := range names {
+			rr := derive(r, nil)
+			trad := rr.measureOOO(rr.Compile(progs[n], TraditionalSched(opt)), "traditional", cfg, mem)
+			bal := rr.measureOOO(rr.Compile(progs[n], rr.BalancedSched()), "balanced", cfg, mem)
+			imp := stats.PairedImprovement(trad.Runtimes, bal.Runtimes)
+			sumImp += imp.Mean
+			sumT += trad.MeanCycles
+			sumB += bal.MeanCycles
+		}
+		k := float64(len(names))
+		name := fmt.Sprintf("%d", window)
+		if window == 1 {
+			name = "1 (in-order)"
+		}
+		t.add(name, pct(sumImp/k), mins(sumT/k), mins(sumB/k))
+	}
+	return t.String()
+}
+
+// measureOOO mirrors Runner.Measure on the out-of-order core.
+func (r *Runner) measureOOO(compiled *pipeline.ProgramResult, kindName string, cfg ooo.Config, mem memlat.Model) Measurement {
+	m := Measurement{Runtimes: make([]float64, r.Resamples)}
+	for _, br := range compiled.Blocks {
+		blk := br.Block
+		rng := r.rng(kindName, blk.Label, fmt.Sprintf("ooo%d.%d", cfg.Window, cfg.Width), mem.Name())
+		runtimes := ooo.Trials(blk.Instrs, cfg, memlat.ForStream(mem), rng, r.Trials)
+		means := stats.BootstrapMeans(runtimes, r.Resamples, rng)
+		stats.AddInto(m.Runtimes, stats.Scale(means, blk.Freq))
+		m.MeanCycles += stats.Mean(runtimes) * blk.Freq
+	}
+	return m
+}

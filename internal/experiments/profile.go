@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"bsched/internal/core"
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+)
+
+// BlockProfile summarizes the scheduling-relevant character of a block.
+type BlockProfile struct {
+	Label       string
+	Instrs      int
+	Loads       int
+	Freq        float64
+	MeanLLP     float64 // mean load level parallelism across loads
+	MeanWeight  float64 // mean balanced weight across loads
+	CritPathLen int     // longest dependence chain, in instructions
+	Edges       int
+}
+
+// ProfileBlock computes a block's profile.
+func ProfileBlock(b *ir.Block, alias deps.AliasMode) BlockProfile {
+	g := deps.Build(b, deps.BuildOptions{Alias: alias})
+	p := BlockProfile{
+		Label:       b.Label,
+		Instrs:      len(b.Instrs),
+		Loads:       b.NumLoads(),
+		Freq:        b.Freq,
+		CritPathLen: g.CriticalPathLen(),
+		Edges:       g.NumEdges(),
+	}
+	llp := core.LoadLevelParallelism(g)
+	weights := core.Weights(g, core.Options{})
+	for node, v := range llp {
+		p.MeanLLP += float64(v)
+		p.MeanWeight += weights[node]
+	}
+	if len(llp) > 0 {
+		p.MeanLLP /= float64(len(llp))
+		p.MeanWeight /= float64(len(llp))
+	}
+	return p
+}
+
+// WorkloadProfile renders the per-block profile of every benchmark — the
+// diagnostic table used when tuning the Perfect Club analogues (DESIGN.md
+// §2) and a sanity check that each program carries the LLP character it
+// claims.
+func WorkloadProfile(progs map[string]*ir.Program, names []string, alias deps.AliasMode) string {
+	t := newTable("Workload profile (per block): load level parallelism and balanced weights",
+		"Block", "Instrs", "Loads", "Freq", "MeanLLP", "MeanW", "CritPath", "Deps")
+	for _, n := range names {
+		blocks := progs[n].Blocks()
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].Label < blocks[j].Label })
+		for _, b := range blocks {
+			p := ProfileBlock(b, alias)
+			t.add(p.Label,
+				fmt.Sprintf("%d", p.Instrs), fmt.Sprintf("%d", p.Loads),
+				fmt.Sprintf("%.0f", p.Freq),
+				fmt.Sprintf("%.1f", p.MeanLLP), fmt.Sprintf("%.1f", p.MeanWeight),
+				fmt.Sprintf("%d", p.CritPathLen), fmt.Sprintf("%d", p.Edges))
+		}
+		t.sep()
+	}
+	return t.String()
+}
+
+// FormatTable2CI renders Table 2 with 95% confidence intervals, the §4.3
+// statistic the paper computes but does not print.
+func FormatTable2CI(rows []Table2Row, names []string) string {
+	header := append([]string{"System", "OptLat"}, names...)
+	t := newTable("Table 2 with 95% confidence intervals", header...)
+	lastCat := ""
+	for _, row := range rows {
+		if row.Category != lastCat {
+			if lastCat != "" {
+				t.sep()
+			}
+			lastCat = row.Category
+		}
+		cells := []string{row.System, fmt.Sprintf("%g", row.OptLat)}
+		for _, n := range names {
+			ci := row.CI[n]
+			cells = append(cells, fmt.Sprintf("%.1f [%.1f,%.1f]", ci.Mean, ci.Lo, ci.Hi))
+		}
+		t.add(cells...)
+	}
+	return t.String()
+}

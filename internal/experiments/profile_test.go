@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+	"bsched/internal/machine"
+	"bsched/internal/stats"
+	"bsched/internal/workload"
+)
+
+func TestProfileBlock(t *testing.T) {
+	p := ProfileBlock(workload.Saxpy("s", 7, 4), deps.AliasDisjoint)
+	if p.Label != "s" || p.Freq != 7 {
+		t.Errorf("metadata wrong: %+v", p)
+	}
+	if p.Loads != 8 || p.Instrs == 0 || p.Edges == 0 {
+		t.Errorf("counts wrong: %+v", p)
+	}
+	if p.MeanLLP <= 0 || p.MeanWeight < 1 {
+		t.Errorf("LLP stats wrong: %+v", p)
+	}
+	if p.CritPathLen < 3 {
+		t.Errorf("critical path %d too small", p.CritPathLen)
+	}
+}
+
+func TestWorkloadProfileOutput(t *testing.T) {
+	progs := map[string]*ir.Program{"TRACK": workload.Benchmark("TRACK")}
+	out := WorkloadProfile(progs, []string{"TRACK"}, deps.AliasDisjoint)
+	for _, want := range []string{"TRACK_b0", "MeanLLP", "CritPath"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	rows := []Table2Row{
+		{System: "a", Mean: 3},
+		{System: "b", Mean: 18},
+		{System: "c", Mean: 9},
+	}
+	min, max, mean := Headline(rows)
+	if min != 3 || max != 18 || mean != 10 {
+		t.Errorf("Headline = %g, %g, %g", min, max, mean)
+	}
+	if min, max, mean := Headline(nil); min != 0 || max != 0 || mean != 0 {
+		t.Errorf("empty Headline nonzero")
+	}
+	out := FormatHeadline(rows, machine.UNLIMITED())
+	if !strings.Contains(out, "3.0% to 18.0%") {
+		t.Errorf("FormatHeadline = %q", out)
+	}
+}
+
+func TestFormatTable2CI(t *testing.T) {
+	rows := []Table2Row{{
+		System:   "N(2,5)",
+		Category: "network",
+		OptLat:   2,
+		ImpPct:   map[string]float64{"X": 10},
+		CI:       map[string]stats.Improvement{"X": {Mean: 10, Lo: 8, Hi: 12}},
+		Mean:     10,
+	}}
+	out := FormatTable2CI(rows, []string{"X"})
+	if !strings.Contains(out, "10.0 [8.0,12.0]") {
+		t.Errorf("CI rendering wrong:\n%s", out)
+	}
+}

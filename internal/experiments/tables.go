@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bsched/internal/ir"
+	"bsched/internal/machine"
+	"bsched/internal/memlat"
+	"bsched/internal/stats"
+)
+
+// Table2Row is one system/optimistic-latency row of Table 2: the
+// percentage improvement of balanced over traditional scheduling per
+// benchmark, on the UNLIMITED processor.
+type Table2Row struct {
+	System   string
+	Category string
+	OptLat   float64
+	// ImpPct maps benchmark name to percentage improvement.
+	ImpPct map[string]float64
+	// CI maps benchmark name to the 95% confidence interval.
+	CI map[string]stats.Improvement
+	// Mean is the row mean over all benchmarks.
+	Mean float64
+}
+
+// Table2 reproduces Table 2: percent improvement in execution time for
+// every benchmark on the UNLIMITED processor, across the twelve memory
+// systems and their optimistic latencies.
+func (r *Runner) Table2(progs map[string]*ir.Program, names []string) []Table2Row {
+	return r.improvementTable(progs, names, machine.UNLIMITED())
+}
+
+// ImprovementTable computes Table 2's structure for an arbitrary
+// processor model (the paper summarizes MAX-8 and LEN-8 results in §5).
+func (r *Runner) ImprovementTable(progs map[string]*ir.Program, names []string, proc machine.Config) []Table2Row {
+	return r.improvementTable(progs, names, proc)
+}
+
+func (r *Runner) improvementTable(progs map[string]*ir.Program, names []string, proc machine.Config) []Table2Row {
+	var rows []Table2Row
+	for _, sys := range memlat.PaperSystems() {
+		for _, opt := range sys.OptLats {
+			row := Table2Row{
+				System:   sys.Model.Name(),
+				Category: sys.Category,
+				OptLat:   opt,
+				ImpPct:   make(map[string]float64, len(names)),
+				CI:       make(map[string]stats.Improvement, len(names)),
+			}
+			sum := 0.0
+			for _, name := range names {
+				c := r.Compare(progs[name], opt, proc, sys.Model)
+				row.ImpPct[name] = c.Imp.Mean
+				row.CI[name] = c.Imp
+				sum += c.Imp.Mean
+			}
+			if len(names) > 0 {
+				row.Mean = sum / float64(len(names))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// FormatTable2 renders Table 2 in the paper's layout.
+func FormatTable2(rows []Table2Row, names []string, proc machine.Config) string {
+	t := newTable(
+		fmt.Sprintf("Table 2: %% improvement from balanced scheduling (processor %s)", proc.Name()),
+		append(append([]string{"System", "OptLat"}, names...), "Mean")...)
+	lastCat := ""
+	for _, row := range rows {
+		if row.Category != lastCat {
+			if lastCat != "" {
+				t.sep()
+			}
+			lastCat = row.Category
+		}
+		cells := []string{row.System, fmt.Sprintf("%g", row.OptLat)}
+		for _, n := range names {
+			cells = append(cells, pct(row.ImpPct[n]))
+		}
+		cells = append(cells, pct(row.Mean))
+		t.add(cells...)
+	}
+	return t.String()
+}
+
+// Headline summarizes an improvement table the way the paper's abstract
+// does ("averaging between 3% and 18%"): the minimum, maximum and mean of
+// the per-system row means.
+func Headline(rows []Table2Row) (min, max, mean float64) {
+	if len(rows) == 0 {
+		return 0, 0, 0
+	}
+	min, max = rows[0].Mean, rows[0].Mean
+	sum := 0.0
+	for _, r := range rows {
+		if r.Mean < min {
+			min = r.Mean
+		}
+		if r.Mean > max {
+			max = r.Mean
+		}
+		sum += r.Mean
+	}
+	return min, max, sum / float64(len(rows))
+}
+
+// FormatHeadline renders the Headline of an improvement table.
+func FormatHeadline(rows []Table2Row, proc machine.Config) string {
+	min, max, mean := Headline(rows)
+	return fmt.Sprintf("%s: per-system means range %.1f%% to %.1f%%, overall mean %.1f%% (paper: 3%% to 18%%, mean 9.9%% on UNLIMITED)",
+		proc.Name(), min, max, mean)
+}
+
+// Table3Row is one system row of Table 3: the detailed interlock analysis
+// of a single benchmark across the three processor models.
+type Table3Row struct {
+	System string
+	OptLat float64
+	TIns   float64 // traditional instructions executed (millions)
+	// PerProc maps processor name to (Imp%, TI%, BI%).
+	PerProc map[string]ProcDetail
+}
+
+// ProcDetail is the per-processor triple of Table 3.
+type ProcDetail struct {
+	ImpPct float64
+	TIPct  float64 // traditional interlock percentage
+	BIPct  float64 // balanced interlock percentage
+}
+
+// Table3 reproduces Table 3's detailed analysis for one benchmark
+// (the paper uses MDG). It returns the rows plus the balanced instruction
+// count (constant across rows).
+func (r *Runner) Table3(prog *ir.Program) (rows []Table3Row, bIns float64) {
+	procs := machine.PaperModels()
+	for _, sys := range memlat.PaperSystems() {
+		for _, opt := range sys.OptLats {
+			row := Table3Row{
+				System:  sys.Model.Name(),
+				OptLat:  opt,
+				PerProc: make(map[string]ProcDetail, len(procs)),
+			}
+			for _, proc := range procs {
+				c := r.Compare(prog, opt, proc, sys.Model)
+				row.TIns = c.Trad.MIns
+				bIns = c.Bal.MIns
+				row.PerProc[proc.Name()] = ProcDetail{
+					ImpPct: c.Imp.Mean,
+					TIPct:  c.Trad.InterlockPct(),
+					BIPct:  c.Bal.InterlockPct(),
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, bIns
+}
+
+// FormatTable3 renders Table 3 in the paper's layout.
+func FormatTable3(benchName string, rows []Table3Row, bIns float64) string {
+	header := []string{"System", "OptLat", "TIns"}
+	for _, p := range machine.PaperModels() {
+		n := p.Name()
+		header = append(header, n+" Imp%", n+" TI%", n+" BI%")
+	}
+	t := newTable(fmt.Sprintf("Table 3: detailed analysis of %s (BIns = %s million)", benchName, mins(bIns)), header...)
+	for _, row := range rows {
+		cells := []string{row.System, fmt.Sprintf("%g", row.OptLat), mins(row.TIns)}
+		for _, p := range machine.PaperModels() {
+			d := row.PerProc[p.Name()]
+			cells = append(cells, pct(d.ImpPct), pct(d.TIPct), pct(d.BIPct))
+		}
+		t.add(cells...)
+	}
+	return t.String()
+}
+
+// Table4Row is one benchmark row of Table 4: spill-instruction
+// percentages for the balanced scheduler and for the traditional
+// scheduler at each optimistic latency.
+type Table4Row struct {
+	Bench    string
+	BIns     float64 // balanced instructions executed (millions)
+	Balanced float64 // balanced spill %
+	// Trad maps optimistic latency to traditional spill %.
+	Trad map[float64]float64
+}
+
+// Table4 reproduces Table 4: the percentage of executed instructions that
+// is spill code. Spill percentages are schedule properties and need no
+// simulation.
+func (r *Runner) Table4(progs map[string]*ir.Program, names []string) []Table4Row {
+	lats := memlat.PaperOptimisticLatencies()
+	var rows []Table4Row
+	for _, name := range names {
+		prog := progs[name]
+		bal := r.Compile(prog, r.BalancedSched())
+		row := Table4Row{
+			Bench:    name,
+			BIns:     bal.WeightedInstrs(),
+			Balanced: bal.SpillPct(),
+			Trad:     make(map[float64]float64, len(lats)),
+		}
+		for _, lat := range lats {
+			row.Trad[lat] = r.Compile(prog, TraditionalSched(lat)).SpillPct()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable4 renders Table 4 in the paper's layout.
+func FormatTable4(rows []Table4Row) string {
+	lats := memlat.PaperOptimisticLatencies()
+	header := []string{"Program", "BIns", "Balanced"}
+	for _, l := range lats {
+		header = append(header, fmt.Sprintf("T@%g", l))
+	}
+	t := newTable("Table 4: spill instructions as % of executed instructions", header...)
+	for _, row := range rows {
+		cells := []string{row.Bench, mins(row.BIns), fmt.Sprintf("%.2f", row.Balanced)}
+		for _, l := range lats {
+			cells = append(cells, fmt.Sprintf("%.2f", row.Trad[l]))
+		}
+		t.add(cells...)
+	}
+	return t.String()
+}
+
+// Table5Row is one benchmark row of Table 5: the N(30,5) system where
+// load latency exceeds available LLP.
+type Table5Row struct {
+	Bench   string
+	TIns    float64
+	BIns    float64
+	PerProc map[string]ProcDetail
+}
+
+// Table5 reproduces Table 5: every benchmark on the N(30,5) system (the
+// optimistic latency is the mean, 30) for all three processor models.
+func (r *Runner) Table5(progs map[string]*ir.Program, names []string) []Table5Row {
+	mem := memlat.NewNormal(30, 5)
+	const optLat = 30
+	var rows []Table5Row
+	for _, name := range names {
+		row := Table5Row{Bench: name, PerProc: make(map[string]ProcDetail)}
+		for _, proc := range machine.PaperModels() {
+			c := r.Compare(progs[name], optLat, proc, mem)
+			row.TIns = c.Trad.MIns
+			row.BIns = c.Bal.MIns
+			row.PerProc[proc.Name()] = ProcDetail{
+				ImpPct: c.Imp.Mean,
+				TIPct:  c.Trad.InterlockPct(),
+				BIPct:  c.Bal.InterlockPct(),
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable5 renders Table 5 in the paper's layout.
+func FormatTable5(rows []Table5Row) string {
+	header := []string{"Program", "TIns", "BIns"}
+	for _, p := range machine.PaperModels() {
+		n := p.Name()
+		header = append(header, n+" Imp%", n+" TI%", n+" BI%")
+	}
+	t := newTable("Table 5: analysis of N(30,5) results — the effect of spill code", header...)
+	for _, row := range rows {
+		cells := []string{row.Bench, mins(row.TIns), mins(row.BIns)}
+		for _, p := range machine.PaperModels() {
+			d := row.PerProc[p.Name()]
+			cells = append(cells, pct(d.ImpPct), pct(d.TIPct), pct(d.BIPct))
+		}
+		t.add(cells...)
+	}
+	return t.String()
+}

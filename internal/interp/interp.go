@@ -1,0 +1,213 @@
+// Package interp is a reference interpreter for straight-line IR blocks.
+//
+// It exists to validate the compiler passes: a scheduled and
+// register-allocated block must compute exactly the same memory state as
+// the original (spill slots aside). Arithmetic is performed on int64
+// regardless of the nominal FP-ness of an opcode — the experiments never
+// inspect values, only cycle counts, so all the interpreter must provide
+// is a deterministic, dependence-sensitive semantics.
+//
+// Uninitialized memory reads return a deterministic hash of (symbol,
+// address), so every load carries data that distinguishes reorderings
+// which violate memory dependences.
+package interp
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"bsched/internal/ir"
+)
+
+// State is the machine state after executing a block.
+type State struct {
+	// Regs holds the final register values.
+	Regs map[ir.Reg]int64
+	// Mem maps symbol → address → value for every written location.
+	Mem map[string]map[int64]int64
+}
+
+// NewState returns an empty machine state.
+func NewState() *State {
+	return &State{
+		Regs: make(map[ir.Reg]int64),
+		Mem:  make(map[string]map[int64]int64),
+	}
+}
+
+// fresh returns the deterministic initial content of an unwritten memory
+// location.
+func fresh(sym string, addr int64) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s@%d", sym, addr)
+	return int64(h.Sum64() >> 1) // keep it positive for easier debugging
+}
+
+func (s *State) loadMem(sym string, addr int64) int64 {
+	if m, ok := s.Mem[sym]; ok {
+		if v, ok := m[addr]; ok {
+			return v
+		}
+	}
+	return fresh(sym, addr)
+}
+
+func (s *State) storeMem(sym string, addr, val int64) {
+	m, ok := s.Mem[sym]
+	if !ok {
+		m = make(map[int64]int64)
+		s.Mem[sym] = m
+	}
+	m[addr] = val
+}
+
+// Run executes the instructions in order, updating and returning the
+// state. Branches, jumps, calls and returns are treated as no-ops (block-
+// level execution). It returns an error on a structurally impossible
+// instruction (e.g. division is defined: x/0 = 0).
+func Run(instrs []*ir.Instr, s *State) (*State, error) {
+	if s == nil {
+		s = NewState()
+	}
+	get := func(r ir.Reg) int64 { return s.Regs[r] }
+	for idx, in := range instrs {
+		switch {
+		case in.Op == ir.OpConst:
+			s.Regs[in.Dst] = in.Imm
+		case in.Op == ir.OpMove:
+			s.Regs[in.Dst] = get(in.Srcs[0])
+		case in.Op == ir.OpLoad:
+			addr := in.Off
+			if in.Base != ir.NoReg {
+				addr += get(in.Base)
+			}
+			s.Regs[in.Dst] = s.loadMem(in.Sym, addr)
+		case in.Op == ir.OpStore:
+			addr := in.Off
+			if in.Base != ir.NoReg {
+				addr += get(in.Base)
+			}
+			s.storeMem(in.Sym, addr, get(in.Srcs[0]))
+		case in.Op == ir.OpBr || in.Op == ir.OpJmp || in.Op == ir.OpCall ||
+			in.Op == ir.OpRet || in.Op == ir.OpNop || in.Op == ir.OpVNop:
+			// Block-level no-ops.
+		case in.Op.HasDst():
+			v, err := eval(in, get)
+			if err != nil {
+				return s, fmt.Errorf("interp: instr %d (%s): %w", idx, in, err)
+			}
+			s.Regs[in.Dst] = v
+		default:
+			return s, fmt.Errorf("interp: instr %d: unhandled op %v", idx, in.Op)
+		}
+	}
+	return s, nil
+}
+
+func eval(in *ir.Instr, get func(ir.Reg) int64) (int64, error) {
+	bin := func(f func(a, b int64) int64) (int64, error) {
+		return f(get(in.Srcs[0]), get(in.Srcs[1])), nil
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpFAdd:
+		return bin(func(a, b int64) int64 { return a + b })
+	case ir.OpSub, ir.OpFSub:
+		return bin(func(a, b int64) int64 { return a - b })
+	case ir.OpMul, ir.OpFMul:
+		return bin(func(a, b int64) int64 { return a * b })
+	case ir.OpDiv, ir.OpFDiv:
+		return bin(div)
+	case ir.OpRem:
+		return bin(func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a % b
+		})
+	case ir.OpAnd:
+		return bin(func(a, b int64) int64 { return a & b })
+	case ir.OpOr:
+		return bin(func(a, b int64) int64 { return a | b })
+	case ir.OpXor:
+		return bin(func(a, b int64) int64 { return a ^ b })
+	case ir.OpShl:
+		return bin(func(a, b int64) int64 { return a << uint(b&63) })
+	case ir.OpShr:
+		return bin(func(a, b int64) int64 { return int64(uint64(a) >> uint(b&63)) })
+	case ir.OpSlt:
+		return bin(func(a, b int64) int64 {
+			if a < b {
+				return 1
+			}
+			return 0
+		})
+	case ir.OpAddI:
+		return get(in.Srcs[0]) + in.Imm, nil
+	case ir.OpSubI:
+		return get(in.Srcs[0]) - in.Imm, nil
+	case ir.OpMulI:
+		return get(in.Srcs[0]) * in.Imm, nil
+	case ir.OpAndI:
+		return get(in.Srcs[0]) & in.Imm, nil
+	case ir.OpOrI:
+		return get(in.Srcs[0]) | in.Imm, nil
+	case ir.OpShlI:
+		return get(in.Srcs[0]) << uint(in.Imm&63), nil
+	case ir.OpShrI:
+		return int64(uint64(get(in.Srcs[0])) >> uint(in.Imm&63)), nil
+	case ir.OpSltI:
+		if get(in.Srcs[0]) < in.Imm {
+			return 1, nil
+		}
+		return 0, nil
+	case ir.OpFNeg:
+		return -get(in.Srcs[0]), nil
+	case ir.OpFMA:
+		return get(in.Srcs[0])*get(in.Srcs[1]) + get(in.Srcs[2]), nil
+	default:
+		return 0, fmt.Errorf("unhandled op %v", in.Op)
+	}
+}
+
+func div(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// MemEqual compares the memory state of two runs, ignoring the symbols in
+// skip (e.g. the register allocator's spill area). Both directions are
+// checked, treating unwritten locations as their deterministic fresh
+// values.
+func MemEqual(a, b *State, skip ...string) bool {
+	sk := make(map[string]bool, len(skip))
+	for _, s := range skip {
+		sk[s] = true
+	}
+	covered := func(x, y *State) bool {
+		for sym, m := range x.Mem {
+			if sk[sym] {
+				continue
+			}
+			for addr, v := range m {
+				if y.loadMem(sym, addr) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return covered(a, b) && covered(b, a)
+}
+
+// RegsEqualOn reports whether the two states agree on every listed
+// register.
+func RegsEqualOn(a, b *State, regs []ir.Reg) bool {
+	for _, r := range regs {
+		if a.Regs[r] != b.Regs[r] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package interp
+
+import (
+	"testing"
+
+	"bsched/internal/ir"
+)
+
+func run(t *testing.T, src string) *State {
+	t.Helper()
+	b, err := ir.ParseBlock(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, err := Run(b.Instrs, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return s
+}
+
+func TestArithmetic(t *testing.T) {
+	s := run(t, `
+		v0 = const 6
+		v1 = const 7
+		v2 = mul v0, v1
+		v3 = addi v2, 8
+		v4 = sub v3, v0
+		v5 = slt v0, v1
+		v6 = shli v1, 2
+		v7 = fma v0, v1, v3
+	`)
+	wants := map[int]int64{2: 42, 3: 50, 4: 44, 5: 1, 6: 28, 7: 92}
+	for n, want := range wants {
+		if got := s.Regs[ir.Virt(n)]; got != want {
+			t.Errorf("v%d = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDivByZeroDefined(t *testing.T) {
+	s := run(t, `
+		v0 = const 5
+		v1 = const 0
+		v2 = div v0, v1
+		v3 = rem v0, v1
+	`)
+	if s.Regs[ir.Virt(2)] != 0 || s.Regs[ir.Virt(3)] != 0 {
+		t.Errorf("x/0 must be 0")
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	s := run(t, `
+		v0 = const 8
+		v1 = const 99
+		store a[v0+0], v1
+		v2 = load a[8]
+		store out[0], v2
+	`)
+	if s.Mem["out"][0] != 99 {
+		t.Errorf("store/load round trip failed: %v", s.Mem)
+	}
+}
+
+func TestFreshMemoryDeterministic(t *testing.T) {
+	a := run(t, "v0 = load arr[16]\nstore out[0], v0")
+	b := run(t, "v0 = load arr[16]\nstore out[0], v0")
+	if a.Mem["out"][0] != b.Mem["out"][0] {
+		t.Errorf("fresh memory not deterministic")
+	}
+	c := run(t, "v0 = load arr[24]\nstore out[0], v0")
+	if a.Mem["out"][0] == c.Mem["out"][0] {
+		t.Errorf("different addresses should (almost surely) differ")
+	}
+}
+
+func TestMemEqual(t *testing.T) {
+	a := run(t, "v0 = const 1\nstore x[0], v0")
+	b := run(t, "v0 = const 1\nstore x[0], v0\nstore $stack[8], v0")
+	if !MemEqual(a, b, "$stack") {
+		t.Errorf("spill area must be ignored")
+	}
+	if MemEqual(a, b) {
+		t.Errorf("without skip the states differ")
+	}
+	c := run(t, "v0 = const 2\nstore x[0], v0")
+	if MemEqual(a, c) {
+		t.Errorf("different values compare equal")
+	}
+}
+
+// TestMemEqualSeesFreshOverwrites: writing the fresh value back leaves the
+// state equivalent to not writing at all.
+func TestMemEqualSeesFreshOverwrites(t *testing.T) {
+	a := run(t, "v0 = load x[0]\nstore x[0], v0")
+	b := NewState()
+	if !MemEqual(a, b) {
+		t.Errorf("identity write should be invisible")
+	}
+}
+
+func TestRegsEqualOn(t *testing.T) {
+	a := run(t, "v0 = const 1\nv1 = const 2")
+	b := run(t, "v0 = const 1\nv1 = const 3")
+	if !RegsEqualOn(a, b, []ir.Reg{ir.Virt(0)}) {
+		t.Errorf("v0 should agree")
+	}
+	if RegsEqualOn(a, b, []ir.Reg{ir.Virt(1)}) {
+		t.Errorf("v1 should differ")
+	}
+}
+
+func TestControlOpsAreNoOps(t *testing.T) {
+	s := run(t, `
+		block b freq=1
+		v0 = const 1
+		nop
+		call foo
+		br v0, b
+		end
+	`)
+	if s.Regs[ir.Virt(0)] != 1 {
+		t.Errorf("state corrupted by control ops")
+	}
+}
+
+// TestAllOpcodesEvaluate exercises every ALU opcode through the
+// interpreter for coverage and sanity.
+func TestAllOpcodesEvaluate(t *testing.T) {
+	s := run(t, `
+		v0 = const 12
+		v1 = const 5
+		v2 = add v0, v1
+		v3 = sub v0, v1
+		v4 = mul v0, v1
+		v5 = div v0, v1
+		v6 = rem v0, v1
+		v7 = and v0, v1
+		v8 = or v0, v1
+		v9 = xor v0, v1
+		v10 = shl v1, v1
+		v11 = shr v0, v1
+		v12 = slt v1, v0
+		v13 = subi v0, 2
+		v14 = muli v0, 3
+		v15 = andi v0, 4
+		v16 = ori v0, 1
+		v17 = shri v0, 1
+		v18 = slti v0, 100
+		v19 = fneg v0
+		v20 = move v0
+		v21 = fadd v0, v1
+		v22 = fsub v0, v1
+		v23 = fmul v0, v1
+		v24 = fdiv v0, v1
+	`)
+	wants := map[int]int64{
+		2: 17, 3: 7, 4: 60, 5: 2, 6: 2, 7: 4, 8: 13, 9: 9,
+		10: 160, 11: 0, 12: 1, 13: 10, 14: 36, 15: 4, 16: 13,
+		17: 6, 18: 1, 19: -12, 20: 12, 21: 17, 22: 7, 23: 60, 24: 2,
+	}
+	for n, want := range wants {
+		if got := s.Regs[ir.Virt(n)]; got != want {
+			t.Errorf("v%d = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestShiftMasking: shift amounts are masked to 6 bits like hardware.
+func TestShiftMasking(t *testing.T) {
+	s := run(t, `
+		v0 = const 1
+		v1 = const 65
+		v2 = shl v0, v1
+		v3 = shli v0, 65
+	`)
+	if s.Regs[ir.Virt(2)] != 2 || s.Regs[ir.Virt(3)] != 2 {
+		t.Errorf("shift masking wrong: %d %d", s.Regs[ir.Virt(2)], s.Regs[ir.Virt(3)])
+	}
+}

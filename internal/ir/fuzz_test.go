@@ -1,0 +1,56 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts survives a print/reparse round trip. Run the corpus as part of
+// the normal test suite; extend it with `go test -fuzz=FuzzParse`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"func f\nblock b freq=1\nv0 = const 1\nend",
+		"func f\nblock b freq=2.5\nliveout v1\nv0 = const 4\nv1 = load a[v0+8]\nstore b[16], v1 !spill\nbr v1, b\nend",
+		"func f\nblock b freq=1\nv0 = load ?[0] !lat=2\nret\nend",
+		"# comment\nfunc g\nblock x freq=0.5\nv0 = const 1\nv1 = fma v0, v0, v0\nend",
+		"func f\nblock b\nend",
+		"garbage in, garbage out",
+		"func f\nblock b freq=1\nv0 = add v1\nend",
+		"func f\nblock b freq=1e309\nend",
+		"func f\nblock b freq=1\nv99999999999 = const 1\nend",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := prog.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted input failed to reparse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if again.String() != printed {
+			t.Fatalf("round trip unstable for accepted input %q", src)
+		}
+	})
+}
+
+// TestParseDoesNotPanicOnNoise complements the fuzz corpus with quick
+// deterministic noise.
+func TestParseDoesNotPanicOnNoise(t *testing.T) {
+	noise := []string{
+		"", "\n\n\n", "func", "block", "end", "= = =",
+		"func f\nblock b freq=1\nv0 = load [\nend",
+		"func f\nblock b freq=1\nv0 = load a[v0+\nend",
+		"func f\nblock b freq=1\nstore a[0]\nend",
+		strings.Repeat("func f\n", 100),
+		"func f\nblock b freq=1\n" + strings.Repeat("v0 = const 1\n", 1000) + "end",
+	}
+	for _, src := range noise {
+		_, _ = Parse(src) // must not panic
+	}
+}

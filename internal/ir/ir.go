@@ -1,0 +1,330 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg names a register. NoReg means "no register". Values in
+// [1, virtBase) are physical registers; values >= virtBase are virtual
+// registers assigned before register allocation.
+type Reg int32
+
+// NoReg is the absent register (e.g. the base of an absolute address).
+const NoReg Reg = 0
+
+const virtBase Reg = 1 << 20
+
+// MaxVirtNum is the largest valid virtual register number.
+const MaxVirtNum = int(1<<31-1) - int(virtBase)
+
+// Phys returns the n-th physical register (n >= 0).
+func Phys(n int) Reg {
+	if n < 0 || Reg(n) >= virtBase-1 {
+		panic(fmt.Sprintf("ir: bad physical register number %d", n))
+	}
+	return Reg(n) + 1
+}
+
+// Virt returns the n-th virtual register (n >= 0).
+func Virt(n int) Reg {
+	if n < 0 || n > MaxVirtNum {
+		panic(fmt.Sprintf("ir: bad virtual register number %d", n))
+	}
+	return virtBase + Reg(n)
+}
+
+// IsPhys reports whether r is a physical register.
+func (r Reg) IsPhys() bool { return r > NoReg && r < virtBase }
+
+// IsVirt reports whether r is a virtual register.
+func (r Reg) IsVirt() bool { return r >= virtBase }
+
+// Num returns the register number within its class (physical or virtual).
+func (r Reg) Num() int {
+	switch {
+	case r.IsPhys():
+		return int(r - 1)
+	case r.IsVirt():
+		return int(r - virtBase)
+	default:
+		return -1
+	}
+}
+
+// String renders "r3" for physical, "v7" for virtual, "-" for NoReg.
+func (r Reg) String() string {
+	switch {
+	case r.IsPhys():
+		return fmt.Sprintf("r%d", r.Num())
+	case r.IsVirt():
+		return fmt.Sprintf("v%d", r.Num())
+	default:
+		return "-"
+	}
+}
+
+// Instr is a single instruction. Instructions are mutated in place by the
+// register allocator and reordered (as pointers) by the schedulers.
+type Instr struct {
+	Op   Op
+	Dst  Reg   // destination, or NoReg
+	Srcs []Reg // register sources (not the address base)
+	Imm  int64 // immediate for OpConst / *I forms
+
+	// Memory operands (loads and stores).
+	Sym  string // alias class: array/symbol name; "" = may alias anything
+	Base Reg    // address base register, or NoReg
+	Off  int64  // constant address offset
+
+	Target string // branch/jump/call target label
+
+	// Seq is the generation order of the instruction within its block,
+	// used by the scheduler's final tie-break heuristic ("generated the
+	// earliest", §4.1). The builder and parser assign it.
+	Seq int
+
+	// IsSpill marks instructions inserted by the register allocator.
+	// Table 4 reports the fraction of executed instructions so marked.
+	IsSpill bool
+
+	// KnownLatency, if > 0, declares the latency of this instruction to be
+	// statically known (§6: "disabling balanced scheduling when the latency
+	// is known"). The balanced weighter then uses this fixed weight instead
+	// of a load-level-parallelism weight.
+	KnownLatency float64
+}
+
+// Uses returns every register read by the instruction, including the
+// address base register of a memory operation.
+func (in *Instr) Uses() []Reg {
+	out := make([]Reg, 0, len(in.Srcs)+1)
+	for _, s := range in.Srcs {
+		if s != NoReg {
+			out = append(out, s)
+		}
+	}
+	if in.Op.IsMem() && in.Base != NoReg {
+		out = append(out, in.Base)
+	}
+	return out
+}
+
+// Def returns the register written by the instruction, or NoReg.
+func (in *Instr) Def() Reg {
+	if in.Op.HasDst() {
+		return in.Dst
+	}
+	return NoReg
+}
+
+// Clone returns a deep copy of the instruction.
+func (in *Instr) Clone() *Instr {
+	c := *in
+	c.Srcs = append([]Reg(nil), in.Srcs...)
+	return &c
+}
+
+// String renders the instruction in the textual assembly syntax.
+func (in *Instr) String() string {
+	var b strings.Builder
+	switch {
+	case in.Op == OpConst:
+		fmt.Fprintf(&b, "%s = const %d", in.Dst, in.Imm)
+	case in.Op.IsLoad():
+		fmt.Fprintf(&b, "%s = load %s", in.Dst, memOperand(in))
+	case in.Op.IsStore():
+		fmt.Fprintf(&b, "store %s, %s", memOperand(in), in.Srcs[0])
+	case in.Op == OpBr:
+		fmt.Fprintf(&b, "br %s, %s", in.Srcs[0], in.Target)
+	case in.Op == OpJmp:
+		fmt.Fprintf(&b, "jmp %s", in.Target)
+	case in.Op == OpCall:
+		fmt.Fprintf(&b, "call %s", in.Target)
+	case in.Op == OpRet:
+		b.WriteString("ret")
+	case in.Op == OpNop || in.Op == OpVNop:
+		b.WriteString(in.Op.String())
+	case in.Op.HasDst():
+		fmt.Fprintf(&b, "%s = %s ", in.Dst, in.Op)
+		for i, s := range in.Srcs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.String())
+		}
+		if in.Op.HasImm() {
+			if len(in.Srcs) > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", in.Imm)
+		}
+	default:
+		fmt.Fprintf(&b, "%s", in.Op)
+	}
+	if in.IsSpill {
+		b.WriteString(" !spill")
+	}
+	if in.KnownLatency > 0 {
+		fmt.Fprintf(&b, " !lat=%g", in.KnownLatency)
+	}
+	return b.String()
+}
+
+func memOperand(in *Instr) string {
+	sym := in.Sym
+	if sym == "" {
+		sym = "?"
+	}
+	if in.Base == NoReg {
+		return fmt.Sprintf("%s[%d]", sym, in.Off)
+	}
+	return fmt.Sprintf("%s[%s+%d]", sym, in.Base, in.Off)
+}
+
+// Block is a basic block: a label, a straight-line instruction sequence and
+// a profiled execution frequency used to weight simulated runtimes (§4.3).
+type Block struct {
+	Label  string
+	Instrs []*Instr
+	Freq   float64
+
+	// LiveOut lists registers whose values are needed after the block.
+	// The register allocator keeps them in registers (or reloads them)
+	// through the end of the block, and the dependence builder treats the
+	// last definition of each as un-killable.
+	LiveOut []Reg
+}
+
+// Clone returns a deep copy of the block.
+func (b *Block) Clone() *Block {
+	c := &Block{
+		Label:   b.Label,
+		Freq:    b.Freq,
+		Instrs:  make([]*Instr, len(b.Instrs)),
+		LiveOut: append([]Reg(nil), b.LiveOut...),
+	}
+	for i, in := range b.Instrs {
+		c.Instrs[i] = in.Clone()
+	}
+	return c
+}
+
+// NumLoads returns the number of load instructions in the block.
+func (b *Block) NumLoads() int {
+	n := 0
+	for _, in := range b.Instrs {
+		if in.Op.IsLoad() {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxVirt returns the largest virtual register number used in the block,
+// or -1 if none are used.
+func (b *Block) MaxVirt() int {
+	max := -1
+	for _, in := range b.Instrs {
+		for _, r := range append(in.Uses(), in.Def()) {
+			if r.IsVirt() && r.Num() > max {
+				max = r.Num()
+			}
+		}
+	}
+	for _, r := range b.LiveOut {
+		if r.IsVirt() && r.Num() > max {
+			max = r.Num()
+		}
+	}
+	return max
+}
+
+// String renders the block in the textual assembly syntax.
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "block %s freq=%g\n", b.Label, b.Freq)
+	if len(b.LiveOut) > 0 {
+		sb.WriteString("  liveout")
+		for i, r := range b.LiveOut {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(r.String())
+		}
+		sb.WriteByte('\n')
+	}
+	for _, in := range b.Instrs {
+		sb.WriteString("  ")
+		sb.WriteString(in.String())
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("end\n")
+	return sb.String()
+}
+
+// Func is a named collection of basic blocks.
+type Func struct {
+	Name   string
+	Blocks []*Block
+}
+
+// Clone returns a deep copy of the function.
+func (f *Func) Clone() *Func {
+	c := &Func{Name: f.Name, Blocks: make([]*Block, len(f.Blocks))}
+	for i, b := range f.Blocks {
+		c.Blocks[i] = b.Clone()
+	}
+	return c
+}
+
+// String renders the function in the textual assembly syntax.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s\n", f.Name)
+	for _, b := range f.Blocks {
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}
+
+// Program is a named collection of functions; the unit the pipeline
+// compiles and the simulator executes.
+type Program struct {
+	Name  string
+	Funcs []*Func
+}
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	c := &Program{Name: p.Name, Funcs: make([]*Func, len(p.Funcs))}
+	for i, f := range p.Funcs {
+		c.Funcs[i] = f.Clone()
+	}
+	return c
+}
+
+// Blocks returns every block of every function, in order.
+func (p *Program) Blocks() []*Block {
+	var out []*Block
+	for _, f := range p.Funcs {
+		out = append(out, f.Blocks...)
+	}
+	return out
+}
+
+// String renders the program in the textual assembly syntax.
+func (p *Program) String() string {
+	var sb strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&sb, "# program %s\n", p.Name)
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,360 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program in the textual assembly syntax produced by
+// Program.String. The grammar, one construct per line:
+//
+//	# comment                       (also trailing after any line)
+//	func NAME
+//	block LABEL freq=FLOAT
+//	liveout REG, REG, ...
+//	DST = const IMM
+//	DST = OP SRC, SRC[, IMM]
+//	DST = load SYM[BASE+OFF]        (or SYM[OFF] without a base)
+//	store SYM[BASE+OFF], SRC
+//	br SRC, LABEL
+//	jmp LABEL / call NAME / ret / nop
+//	end                             (closes a block)
+//
+// Any instruction may end with !spill and/or !lat=FLOAT attributes.
+// Registers are rN (physical) or vN (virtual).
+func Parse(src string) (*Program, error) {
+	p := &parser{prog: &Program{}}
+	for i, line := range strings.Split(src, "\n") {
+		if err := p.line(strings.TrimSpace(stripComment(line))); err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	if p.block != nil {
+		return nil, fmt.Errorf("unterminated block %q", p.block.Label)
+	}
+	if err := Validate(p.prog); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// statically-known example programs.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseBlock parses a single block (the "block ... end" form, or bare
+// instruction lines) and returns it.
+func ParseBlock(src string) (*Block, error) {
+	trimmed := strings.TrimSpace(src)
+	if !strings.HasPrefix(trimmed, "block") {
+		src = "block b0 freq=1\n" + src + "\nend"
+	}
+	prog, err := Parse("func f\n" + src)
+	if err != nil {
+		return nil, err
+	}
+	blocks := prog.Blocks()
+	if len(blocks) != 1 {
+		return nil, fmt.Errorf("expected exactly one block, found %d", len(blocks))
+	}
+	return blocks[0], nil
+}
+
+// MustParseBlock is ParseBlock that panics on error.
+func MustParseBlock(src string) *Block {
+	b, err := ParseBlock(src)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+type parser struct {
+	prog  *Program
+	fn    *Func
+	block *Block
+}
+
+func (p *parser) line(s string) error {
+	if s == "" {
+		return nil
+	}
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case "func":
+		if p.block != nil {
+			return fmt.Errorf("func inside block")
+		}
+		if len(fields) != 2 {
+			return fmt.Errorf("func wants a name")
+		}
+		p.fn = &Func{Name: fields[1]}
+		p.prog.Funcs = append(p.prog.Funcs, p.fn)
+		return nil
+	case "block":
+		if p.fn == nil {
+			return fmt.Errorf("block outside func")
+		}
+		if p.block != nil {
+			return fmt.Errorf("nested block")
+		}
+		if len(fields) < 2 {
+			return fmt.Errorf("block wants a label")
+		}
+		b := &Block{Label: fields[1], Freq: 1}
+		for _, f := range fields[2:] {
+			val, ok := strings.CutPrefix(f, "freq=")
+			if !ok {
+				return fmt.Errorf("unknown block attribute %q", f)
+			}
+			freq, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("bad freq %q", val)
+			}
+			b.Freq = freq
+		}
+		p.block = b
+		return nil
+	case "end":
+		if p.block == nil {
+			return fmt.Errorf("end outside block")
+		}
+		p.fn.Blocks = append(p.fn.Blocks, p.block)
+		p.block = nil
+		return nil
+	case "liveout":
+		if p.block == nil {
+			return fmt.Errorf("liveout outside block")
+		}
+		for _, tok := range splitOperands(s[len("liveout"):]) {
+			r, err := parseReg(tok)
+			if err != nil {
+				return err
+			}
+			p.block.LiveOut = append(p.block.LiveOut, r)
+		}
+		return nil
+	}
+	if p.block == nil {
+		return fmt.Errorf("instruction outside block: %q", s)
+	}
+	in, err := parseInstr(s)
+	if err != nil {
+		return err
+	}
+	in.Seq = len(p.block.Instrs)
+	p.block.Instrs = append(p.block.Instrs, in)
+	return nil
+}
+
+func parseInstr(s string) (*Instr, error) {
+	in := &Instr{}
+	// Peel trailing !attributes.
+	for {
+		i := strings.LastIndexByte(s, '!')
+		if i < 0 {
+			break
+		}
+		attr := strings.TrimSpace(s[i+1:])
+		switch {
+		case attr == "spill":
+			in.IsSpill = true
+		case strings.HasPrefix(attr, "lat="):
+			lat, err := strconv.ParseFloat(attr[len("lat="):], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad latency attribute %q", attr)
+			}
+			in.KnownLatency = lat
+		default:
+			return nil, fmt.Errorf("unknown attribute %q", attr)
+		}
+		s = strings.TrimSpace(s[:i])
+	}
+
+	if dst, rest, ok := strings.Cut(s, "="); ok {
+		d := strings.TrimSpace(dst)
+		if !looksLikeReg(d) {
+			return nil, fmt.Errorf("bad destination %q", d)
+		}
+		r, err := parseReg(d)
+		if err != nil {
+			return nil, err
+		}
+		in.Dst = r
+		s = strings.TrimSpace(rest)
+	}
+
+	mnemonic, rest, _ := strings.Cut(s, " ")
+	op := OpByName(mnemonic)
+	if op == OpInvalid {
+		return nil, fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	in.Op = op
+	rest = strings.TrimSpace(rest)
+	operands := splitOperands(rest)
+
+	switch {
+	case op == OpConst:
+		if len(operands) != 1 {
+			return nil, fmt.Errorf("const wants one immediate")
+		}
+		imm, err := strconv.ParseInt(operands[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad immediate %q", operands[0])
+		}
+		in.Imm = imm
+	case op.IsLoad():
+		if len(operands) != 1 {
+			return nil, fmt.Errorf("load wants one memory operand")
+		}
+		if err := parseMem(in, operands[0]); err != nil {
+			return nil, err
+		}
+	case op.IsStore():
+		if len(operands) != 2 {
+			return nil, fmt.Errorf("store wants a memory operand and a source")
+		}
+		if err := parseMem(in, operands[0]); err != nil {
+			return nil, err
+		}
+		r, err := parseReg(operands[1])
+		if err != nil {
+			return nil, err
+		}
+		in.Srcs = []Reg{r}
+	case op == OpBr:
+		if len(operands) != 2 {
+			return nil, fmt.Errorf("br wants a condition and a target")
+		}
+		r, err := parseReg(operands[0])
+		if err != nil {
+			return nil, err
+		}
+		in.Srcs = []Reg{r}
+		in.Target = operands[1]
+	case op == OpJmp || op == OpCall:
+		if len(operands) != 1 {
+			return nil, fmt.Errorf("%v wants a target", op)
+		}
+		in.Target = operands[0]
+	case op == OpRet || op == OpNop || op == OpVNop:
+		if len(operands) != 0 {
+			return nil, fmt.Errorf("%v wants no operands", op)
+		}
+	default:
+		want := op.NumSrcs()
+		if op.HasImm() {
+			want++
+		}
+		if len(operands) != want {
+			return nil, fmt.Errorf("%v wants %d operands, got %d", op, want, len(operands))
+		}
+		for i := 0; i < op.NumSrcs(); i++ {
+			r, err := parseReg(operands[i])
+			if err != nil {
+				return nil, err
+			}
+			in.Srcs = append(in.Srcs, r)
+		}
+		if op.HasImm() {
+			imm, err := strconv.ParseInt(operands[len(operands)-1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad immediate %q", operands[len(operands)-1])
+			}
+			in.Imm = imm
+		}
+	}
+	return in, nil
+}
+
+// parseMem parses "sym[base+off]", "sym[off]" or "sym[base]".
+func parseMem(in *Instr, s string) error {
+	open := strings.IndexByte(s, '[')
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return fmt.Errorf("bad memory operand %q", s)
+	}
+	in.Sym = s[:open]
+	if in.Sym == "?" {
+		in.Sym = "" // explicit "may alias anything"
+	}
+	inner := s[open+1 : len(s)-1]
+	base, off, hasOff := strings.Cut(inner, "+")
+	if !hasOff {
+		// Either a bare offset or a bare base register.
+		if looksLikeReg(inner) {
+			r, err := parseReg(inner)
+			if err != nil {
+				return err
+			}
+			in.Base = r
+			return nil
+		}
+		v, err := strconv.ParseInt(inner, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad memory offset %q", inner)
+		}
+		in.Off = v
+		return nil
+	}
+	r, err := parseReg(strings.TrimSpace(base))
+	if err != nil {
+		return err
+	}
+	in.Base = r
+	v, err := strconv.ParseInt(strings.TrimSpace(off), 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad memory offset %q", off)
+	}
+	in.Off = v
+	return nil
+}
+
+func looksLikeReg(s string) bool {
+	return len(s) >= 2 && (s[0] == 'r' || s[0] == 'v') && s[1] >= '0' && s[1] <= '9'
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if !looksLikeReg(s) {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return NoReg, fmt.Errorf("bad register %q", s)
+	}
+	if s[0] == 'r' {
+		if Reg(n) >= virtBase-1 {
+			return NoReg, fmt.Errorf("physical register number out of range in %q", s)
+		}
+		return Phys(n), nil
+	}
+	if n > MaxVirtNum {
+		return NoReg, fmt.Errorf("virtual register number out of range in %q", s)
+	}
+	return Virt(n), nil
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

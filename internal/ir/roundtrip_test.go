@@ -1,0 +1,91 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomInstr generates structurally valid instructions over a small
+// register universe directly (without the workload generator, which
+// depends on this package).
+func randomInstr(rng *rand.Rand) *Instr {
+	reg := func() Reg { return Virt(rng.Intn(12)) }
+	switch rng.Intn(7) {
+	case 0:
+		return &Instr{Op: OpConst, Dst: reg(), Imm: rng.Int63n(1 << 20)}
+	case 1:
+		return &Instr{Op: OpAdd, Dst: reg(), Srcs: []Reg{reg(), reg()}}
+	case 2:
+		return &Instr{Op: OpAddI, Dst: reg(), Srcs: []Reg{reg()}, Imm: int64(rng.Intn(512)) - 256}
+	case 3:
+		in := &Instr{Op: OpLoad, Dst: reg(), Sym: "arr", Off: int64(rng.Intn(64)) * 8}
+		if rng.Intn(2) == 0 {
+			in.Base = reg()
+		}
+		if rng.Intn(4) == 0 {
+			in.KnownLatency = float64(1 + rng.Intn(5))
+		}
+		if rng.Intn(4) == 0 {
+			in.IsSpill = true
+		}
+		return in
+	case 4:
+		in := &Instr{Op: OpStore, Srcs: []Reg{reg()}, Sym: "out", Off: int64(rng.Intn(64)) * 8}
+		if rng.Intn(2) == 0 {
+			in.Base = reg()
+		}
+		return in
+	case 5:
+		return &Instr{Op: OpFMA, Dst: reg(), Srcs: []Reg{reg(), reg(), reg()}}
+	default:
+		return &Instr{Op: OpFDiv, Dst: reg(), Srcs: []Reg{reg(), reg()}}
+	}
+}
+
+// TestRandomRoundTrip: property — for random valid blocks,
+// Parse(String(b)) reproduces b exactly (String is a faithful, parseable
+// serialization).
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	for trial := 0; trial < 200; trial++ {
+		b := &Block{Label: "rt", Freq: float64(rng.Intn(1000)) / 4}
+		n := 1 + rng.Intn(30)
+		for k := 0; k < n; k++ {
+			b.Instrs = append(b.Instrs, randomInstr(rng))
+		}
+		if rng.Intn(2) == 0 {
+			b.LiveOut = append(b.LiveOut, Virt(rng.Intn(12)))
+		}
+		Renumber(b)
+
+		text := b.String()
+		prog, err := Parse("func f\n" + text)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, text)
+		}
+		got := prog.Blocks()[0]
+		if got.String() != text {
+			t.Fatalf("trial %d: round trip unstable:\n--- printed\n%s\n--- reparsed\n%s",
+				trial, text, got.String())
+		}
+		if got.Freq != b.Freq || got.Label != b.Label {
+			t.Fatalf("trial %d: metadata changed", trial)
+		}
+		if len(got.Instrs) != len(b.Instrs) {
+			t.Fatalf("trial %d: instruction count changed", trial)
+		}
+		for i := range b.Instrs {
+			a, c := b.Instrs[i], got.Instrs[i]
+			if a.Op != c.Op || a.Dst != c.Dst || a.Imm != c.Imm ||
+				a.Sym != c.Sym || a.Base != c.Base || a.Off != c.Off ||
+				a.IsSpill != c.IsSpill || a.KnownLatency != c.KnownLatency {
+				t.Fatalf("trial %d instr %d: %v != %v", trial, i, a, c)
+			}
+			for k := range a.Srcs {
+				if a.Srcs[k] != c.Srcs[k] {
+					t.Fatalf("trial %d instr %d: source %d differs", trial, i, k)
+				}
+			}
+		}
+	}
+}

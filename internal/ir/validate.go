@@ -1,0 +1,91 @@
+package ir
+
+import "fmt"
+
+// Validate checks structural well-formedness of a program: defined opcodes,
+// correct operand arity, terminators only at block ends, branch targets
+// that exist, and non-negative frequencies.
+func Validate(p *Program) error {
+	labels := make(map[string]bool)
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if labels[b.Label] {
+				return fmt.Errorf("ir: duplicate block label %q", b.Label)
+			}
+			labels[b.Label] = true
+		}
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if err := validateBlock(b, labels); err != nil {
+				return fmt.Errorf("ir: func %s: %w", f.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateBlock checks a single block outside any program context; branch
+// targets are not resolved.
+func ValidateBlock(b *Block) error { return validateBlock(b, nil) }
+
+func validateBlock(b *Block, labels map[string]bool) error {
+	if b.Freq < 0 {
+		return fmt.Errorf("block %s: negative frequency %g", b.Label, b.Freq)
+	}
+	for idx, in := range b.Instrs {
+		if err := validateInstr(in); err != nil {
+			return fmt.Errorf("block %s instr %d (%s): %w", b.Label, idx, in, err)
+		}
+		if in.Op.IsTerminator() && idx != len(b.Instrs)-1 {
+			return fmt.Errorf("block %s instr %d: terminator %v not at block end", b.Label, idx, in.Op)
+		}
+		if labels != nil && (in.Op == OpBr || in.Op == OpJmp) && !labels[in.Target] {
+			return fmt.Errorf("block %s instr %d: unknown target %q", b.Label, idx, in.Target)
+		}
+	}
+	for _, r := range b.LiveOut {
+		if r == NoReg {
+			return fmt.Errorf("block %s: NoReg in liveout", b.Label)
+		}
+	}
+	return nil
+}
+
+func validateInstr(in *Instr) error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("invalid opcode")
+	}
+	if got, want := len(in.Srcs), in.Op.NumSrcs(); got != want {
+		return fmt.Errorf("%v wants %d sources, has %d", in.Op, want, got)
+	}
+	for i, s := range in.Srcs {
+		if s == NoReg {
+			return fmt.Errorf("%v source %d is NoReg", in.Op, i)
+		}
+	}
+	if in.Op.HasDst() && in.Dst == NoReg {
+		return fmt.Errorf("%v has no destination register", in.Op)
+	}
+	if !in.Op.HasDst() && in.Dst != NoReg {
+		return fmt.Errorf("%v must not have a destination", in.Op)
+	}
+	if !in.Op.IsMem() && (in.Sym != "" || in.Base != NoReg) {
+		return fmt.Errorf("%v carries memory operands", in.Op)
+	}
+	if (in.Op == OpBr || in.Op == OpJmp || in.Op == OpCall) && in.Target == "" {
+		return fmt.Errorf("%v without target", in.Op)
+	}
+	if in.KnownLatency < 0 {
+		return fmt.Errorf("negative KnownLatency %g", in.KnownLatency)
+	}
+	return nil
+}
+
+// Renumber rewrites Seq fields to the current instruction order of each
+// block. The pipeline calls this after passes that insert instructions.
+func Renumber(b *Block) {
+	for i, in := range b.Instrs {
+		in.Seq = i
+	}
+}

@@ -1,0 +1,108 @@
+package lineopt
+
+import (
+	"testing"
+
+	"bsched/internal/ir"
+	"bsched/internal/workload"
+)
+
+func TestMarksSameLineLoads(t *testing.T) {
+	b := ir.MustParseBlock(`
+		v0 = const 0
+		v1 = load x[v0+0]
+		v2 = load x[v0+8]
+		v3 = load x[v0+32]
+		v4 = load y[v0+8]
+	`)
+	n := MarkKnownHits(b, Config{LineSize: 32, HitLatency: 2})
+	if n != 1 {
+		t.Fatalf("marked %d, want 1", n)
+	}
+	// x[8] shares x[0]'s line; x[32] is the next line; y[8] is another
+	// symbol.
+	if b.Instrs[2].KnownLatency != 2 {
+		t.Errorf("x[8] not marked")
+	}
+	for _, idx := range []int{1, 3, 4} {
+		if b.Instrs[idx].KnownLatency != 0 {
+			t.Errorf("instr %d wrongly marked", idx)
+		}
+	}
+}
+
+func TestStoresSeedLines(t *testing.T) {
+	b := ir.MustParseBlock(`
+		v0 = const 7
+		store x[0], v0
+		v1 = load x[8]
+	`)
+	if n := MarkKnownHits(b, DefaultConfig()); n != 1 {
+		t.Errorf("store did not seed the line (marked %d)", n)
+	}
+}
+
+func TestBaseRedefinitionInvalidates(t *testing.T) {
+	b := ir.MustParseBlock(`
+		v0 = const 0
+		v1 = load x[v0+0]
+		v0 = const 64
+		v2 = load x[v0+8]
+	`)
+	if n := MarkKnownHits(b, DefaultConfig()); n != 0 {
+		t.Errorf("marked %d across a base redefinition, want 0", n)
+	}
+}
+
+func TestNegativeOffsetsLine(t *testing.T) {
+	// x[-8] and x[-32] are on the previous line; x[-8] vs x[0] differ.
+	b := ir.MustParseBlock(`
+		v0 = const 0
+		v1 = load x[v0+-8]
+		v2 = load x[v0+-32]
+		v3 = load x[v0+0]
+	`)
+	if n := MarkKnownHits(b, Config{LineSize: 32, HitLatency: 2}); n != 1 {
+		t.Errorf("marked %d, want 1 (x[-32] shares x[-8]'s line)", n)
+	}
+	if b.Instrs[3].KnownLatency != 0 {
+		t.Errorf("x[0] wrongly marked (line 0 vs line -1)")
+	}
+}
+
+func TestUnknownSymbolSkipped(t *testing.T) {
+	b := ir.MustParseBlock(`
+		v0 = load ?[0]
+		v1 = load ?[8]
+	`)
+	if n := MarkKnownHits(b, DefaultConfig()); n != 0 {
+		t.Errorf("unknown symbols marked: %d", n)
+	}
+}
+
+func TestExistingKnownLatencyPreserved(t *testing.T) {
+	b := ir.MustParseBlock(`
+		v0 = load x[0] !lat=5
+		v1 = load x[8]
+	`)
+	MarkKnownHits(b, DefaultConfig())
+	if b.Instrs[0].KnownLatency != 5 {
+		t.Errorf("existing latency overwritten")
+	}
+	if b.Instrs[1].KnownLatency != 2 {
+		t.Errorf("follower not marked from a pre-marked seed")
+	}
+}
+
+func TestMarkProgramStencil(t *testing.T) {
+	// A 3-point stencil reuses lines heavily: with 32-byte lines and
+	// 8-byte elements, most of its loads are known hits.
+	prog := &ir.Program{Funcs: []*ir.Func{{Name: "f", Blocks: []*ir.Block{
+		workload.Stencil3("s", 1, 8),
+	}}}}
+	total := MarkProgram(prog, DefaultConfig())
+	loads := prog.Blocks()[0].NumLoads()
+	if total < loads/2 {
+		t.Errorf("marked %d of %d stencil loads, expected at least half", total, loads)
+	}
+}

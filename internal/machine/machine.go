@@ -1,0 +1,97 @@
+// Package machine defines the processor-level models of §4.4: how a
+// non-blocking-load processor exploits load level parallelism.
+//
+// All models issue one instruction per cycle in order, execute non-load
+// instructions in a single cycle, maintain store/load consistency, and
+// differ only in how many loads may be outstanding and for how long.
+package machine
+
+import "fmt"
+
+// Kind selects the processor model family.
+type Kind uint8
+
+const (
+	// Unlimited dispatches non-blocking loads with no limit on the number
+	// outstanding — the unrealistically aggressive best-case reference,
+	// similar to a theoretical dataflow machine.
+	Unlimited Kind = iota
+	// MaxOutstanding allows at most Limit loads to be simultaneously
+	// executing; issuing one more blocks until a load completes (MAX-8).
+	MaxOutstanding
+	// MaxAge blocks the processor when a load has been outstanding for
+	// Limit cycles, until its data returns (LEN-8, as in the Tera).
+	MaxAge
+)
+
+// Config is a concrete processor model.
+type Config struct {
+	Kind  Kind
+	Limit int // used by MaxOutstanding and MaxAge
+	// Width is the issue width (instructions per cycle); 0 means 1.
+	// The paper's evaluation is single-issue; the §6 superscalar
+	// extension experiments widen it.
+	Width int
+}
+
+// IssueWidth returns the effective issue width (at least 1).
+func (c Config) IssueWidth() int {
+	if c.Width < 1 {
+		return 1
+	}
+	return c.Width
+}
+
+// Wide returns a copy of the model with the given issue width.
+func (c Config) Wide(width int) Config {
+	if width < 1 {
+		panic(fmt.Sprintf("machine: Wide(%d)", width))
+	}
+	c.Width = width
+	return c
+}
+
+// UNLIMITED is the no-limit processor model.
+func UNLIMITED() Config { return Config{Kind: Unlimited} }
+
+// MAX returns a processor allowing k simultaneously outstanding loads.
+func MAX(k int) Config {
+	if k < 1 {
+		panic(fmt.Sprintf("machine: MAX(%d)", k))
+	}
+	return Config{Kind: MaxOutstanding, Limit: k}
+}
+
+// LEN returns a processor that blocks once a load has been outstanding for
+// k cycles.
+func LEN(k int) Config {
+	if k < 1 {
+		panic(fmt.Sprintf("machine: LEN(%d)", k))
+	}
+	return Config{Kind: MaxAge, Limit: k}
+}
+
+// Name returns the paper's name for the model ("UNLIMITED", "MAX-8",
+// "LEN-8"), with an issue-width suffix when superscalar ("UNLIMITEDx4").
+func (c Config) Name() string {
+	base := ""
+	switch c.Kind {
+	case Unlimited:
+		base = "UNLIMITED"
+	case MaxOutstanding:
+		base = fmt.Sprintf("MAX-%d", c.Limit)
+	case MaxAge:
+		base = fmt.Sprintf("LEN-%d", c.Limit)
+	default:
+		base = fmt.Sprintf("machine(%d)", c.Kind)
+	}
+	if w := c.IssueWidth(); w > 1 {
+		return fmt.Sprintf("%sx%d", base, w)
+	}
+	return base
+}
+
+// PaperModels returns the three processor models evaluated in the paper.
+func PaperModels() []Config {
+	return []Config{UNLIMITED(), MAX(8), LEN(8)}
+}

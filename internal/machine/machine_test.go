@@ -1,0 +1,63 @@
+package machine
+
+import "testing"
+
+func TestNames(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{UNLIMITED(), "UNLIMITED"},
+		{MAX(8), "MAX-8"},
+		{LEN(8), "LEN-8"},
+		{MAX(2), "MAX-2"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPaperModels(t *testing.T) {
+	ms := PaperModels()
+	if len(ms) != 3 {
+		t.Fatalf("got %d models", len(ms))
+	}
+	if ms[0].Kind != Unlimited || ms[1].Kind != MaxOutstanding || ms[2].Kind != MaxAge {
+		t.Errorf("model kinds wrong: %+v", ms)
+	}
+	if ms[1].Limit != 8 || ms[2].Limit != 8 {
+		t.Errorf("limits wrong: %+v", ms)
+	}
+}
+
+func TestInvalidLimitsPanic(t *testing.T) {
+	for _, f := range []func(){func() { MAX(0) }, func() { LEN(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for invalid limit")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWide(t *testing.T) {
+	c := UNLIMITED()
+	if c.IssueWidth() != 1 {
+		t.Errorf("default width = %d", c.IssueWidth())
+	}
+	w := c.Wide(4)
+	if w.IssueWidth() != 4 || c.IssueWidth() != 1 {
+		t.Errorf("Wide mutated receiver or failed: %d %d", w.IssueWidth(), c.IssueWidth())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Wide(0) did not panic")
+		}
+	}()
+	c.Wide(0)
+}

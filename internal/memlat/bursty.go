@@ -1,0 +1,81 @@
+package memlat
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Bursty models time-correlated interconnect congestion, the §1
+// motivation the paper's i.i.d. normal model cannot express: the network
+// alternates between a calm and a congested state following a two-state
+// Markov chain, and each state draws latencies from its own zero-based
+// normal distribution. Consecutive loads therefore see correlated
+// latencies — congestion arrives in bursts.
+//
+// The notation is B(calm;congested;p,q) where p is the per-sample
+// probability of entering congestion from calm and q the probability of
+// leaving it.
+type Bursty struct {
+	Calm      *Normal
+	Congested *Normal
+	// PEnter and PLeave are the per-sample state transition
+	// probabilities.
+	PEnter, PLeave float64
+
+	congested bool
+}
+
+// NewBursty builds a bursty model from the two state distributions.
+func NewBursty(calmMu, calmSigma, congMu, congSigma, pEnter, pLeave float64) *Bursty {
+	if pEnter <= 0 || pEnter >= 1 || pLeave <= 0 || pLeave >= 1 {
+		panic(fmt.Sprintf("memlat: NewBursty transition probabilities %g, %g", pEnter, pLeave))
+	}
+	return &Bursty{
+		Calm:      NewNormal(calmMu, calmSigma),
+		Congested: NewNormal(congMu, congSigma),
+		PEnter:    pEnter,
+		PLeave:    pLeave,
+	}
+}
+
+// Sample implements Model. The chain state advances once per sample, so
+// the expected burst length is 1/PLeave samples.
+func (b *Bursty) Sample(rng *rand.Rand) int {
+	if b.congested {
+		if rng.Float64() < b.PLeave {
+			b.congested = false
+		}
+	} else if rng.Float64() < b.PEnter {
+		b.congested = true
+	}
+	if b.congested {
+		return b.Congested.Sample(rng)
+	}
+	return b.Calm.Sample(rng)
+}
+
+// Mean implements Model: the stationary-distribution mean.
+func (b *Bursty) Mean() float64 {
+	// Stationary probability of congestion: p/(p+q).
+	pc := b.PEnter / (b.PEnter + b.PLeave)
+	return (1-pc)*b.Calm.Mean() + pc*b.Congested.Mean()
+}
+
+// Name implements Model.
+func (b *Bursty) Name() string {
+	return fmt.Sprintf("B(%g,%g;%g,%g;%g,%g)",
+		b.Calm.Mu, b.Calm.Sigma, b.Congested.Mu, b.Congested.Sigma, b.PEnter, b.PLeave)
+}
+
+// Reset returns the chain to the calm state (used between simulation
+// trials for reproducibility; Sample sequences remain deterministic for
+// a fixed rng either way).
+func (b *Bursty) Reset() { b.congested = false }
+
+// Fork implements Stateful: the copy shares the immutable distributions
+// but starts its own chain in the calm state.
+func (b *Bursty) Fork() Model {
+	c := *b
+	c.congested = false
+	return &c
+}

@@ -1,0 +1,79 @@
+package memlat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBurstyMean(t *testing.T) {
+	b := NewBursty(2, 1, 20, 5, 0.1, 0.3)
+	pc := 0.1 / 0.4
+	want := (1-pc)*b.Calm.Mean() + pc*b.Congested.Mean()
+	if math.Abs(b.Mean()-want) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", b.Mean(), want)
+	}
+	// Long-run sample mean approaches the stationary mean.
+	rng := rand.New(rand.NewSource(3))
+	sum := 0.0
+	const n = 400000
+	for i := 0; i < n; i++ {
+		sum += float64(b.Sample(rng))
+	}
+	if got := sum / n; math.Abs(got-b.Mean()) > 0.2 {
+		t.Errorf("sample mean %g far from stationary %g", got, b.Mean())
+	}
+}
+
+// TestBurstyCorrelation: consecutive samples are positively correlated —
+// the property that distinguishes the bursty model from i.i.d. draws.
+func TestBurstyCorrelation(t *testing.T) {
+	b := NewBursty(2, 1, 30, 3, 0.05, 0.1)
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(b.Sample(rng))
+	}
+	mean, varsum, cov := 0.0, 0.0, 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	for i := 0; i < n-1; i++ {
+		varsum += (xs[i] - mean) * (xs[i] - mean)
+		cov += (xs[i] - mean) * (xs[i+1] - mean)
+	}
+	rho := cov / varsum
+	if rho < 0.3 {
+		t.Errorf("lag-1 autocorrelation %g, want strongly positive", rho)
+	}
+}
+
+func TestBurstyName(t *testing.T) {
+	b := NewBursty(2, 1, 20, 5, 0.1, 0.3)
+	if b.Name() != "B(2,1;20,5;0.1,0.3)" {
+		t.Errorf("Name = %q", b.Name())
+	}
+}
+
+func TestBurstyReset(t *testing.T) {
+	b := NewBursty(2, 1, 30, 3, 0.9, 0.1)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		b.Sample(rng)
+	}
+	b.Reset()
+	if b.congested {
+		t.Errorf("Reset did not return to calm")
+	}
+}
+
+func TestBurstyBadProbabilitiesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic for bad probabilities")
+		}
+	}()
+	NewBursty(2, 1, 20, 5, 0, 0.5)
+}

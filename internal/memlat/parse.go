@@ -1,0 +1,115 @@
+package memlat
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseModel parses a memory system specification in the paper's
+// notation:
+//
+//	fixed(4)        deterministic latency
+//	L80(2,5)        cache, 80% hit rate, hit 2, miss 5
+//	L80:95(2,8,40)  two-level hierarchy: L1 80%@2, L2 95%@8, memory 40
+//	N(3,5)          network, normal latency μ=3 σ=5
+//	L80-N(30,5)     cache (hit 2) in front of an N(30,5) network
+//
+// The mixed form optionally takes an explicit hit latency:
+// L80(2)-N(30,5).
+func ParseModel(s string) (Model, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "fixed(") || strings.HasPrefix(s, "Fixed("):
+		args, err := parseArgs(s[strings.Index(s, "("):], 1)
+		if err != nil {
+			return nil, fmt.Errorf("memlat: %q: %w", s, err)
+		}
+		return Fixed{Latency: int(args[0])}, nil
+
+	case strings.HasPrefix(s, "N("):
+		args, err := parseArgs(s[1:], 2)
+		if err != nil {
+			return nil, fmt.Errorf("memlat: %q: %w", s, err)
+		}
+		return NewNormal(args[0], args[1]), nil
+
+	case strings.HasPrefix(s, "L"):
+		if dash := strings.Index(s, "-N("); dash >= 0 {
+			return parseMixed(s, dash)
+		}
+		if strings.Contains(s, ":") {
+			return parseTwoLevel(s)
+		}
+		return parseCache(s)
+	}
+	return nil, fmt.Errorf("memlat: unrecognized model %q", s)
+}
+
+// MustParseModel is ParseModel that panics on error.
+func MustParseModel(s string) Model {
+	m, err := ParseModel(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func parseCache(s string) (Model, error) {
+	open := strings.Index(s, "(")
+	if open < 0 {
+		return nil, fmt.Errorf("memlat: bad cache spec %q", s)
+	}
+	hr, err := strconv.ParseFloat(s[1:open], 64)
+	if err != nil || hr <= 0 || hr > 100 {
+		return nil, fmt.Errorf("memlat: bad hit rate in %q", s)
+	}
+	args, err := parseArgs(s[open:], 2)
+	if err != nil {
+		return nil, fmt.Errorf("memlat: %q: %w", s, err)
+	}
+	return Cache{HitRate: hr / 100, HitLat: int(args[0]), MissLat: int(args[1])}, nil
+}
+
+func parseMixed(s string, dash int) (Model, error) {
+	head := s[:dash]
+	hitLat := 2.0
+	hrStr := head[1:]
+	if open := strings.Index(head, "("); open >= 0 {
+		hrStr = head[1:open]
+		args, err := parseArgs(head[open:], 1)
+		if err != nil {
+			return nil, fmt.Errorf("memlat: %q: %w", s, err)
+		}
+		hitLat = args[0]
+	}
+	hr, err := strconv.ParseFloat(hrStr, 64)
+	if err != nil || hr <= 0 || hr > 100 {
+		return nil, fmt.Errorf("memlat: bad hit rate in %q", s)
+	}
+	args, err := parseArgs(s[dash+2:], 2)
+	if err != nil {
+		return nil, fmt.Errorf("memlat: %q: %w", s, err)
+	}
+	return NewMixed(hr/100, int(hitLat), args[0], args[1]), nil
+}
+
+// parseArgs parses "(a,b,...)" expecting exactly n numbers.
+func parseArgs(s string, n int) ([]float64, error) {
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("expected (…), got %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("expected %d arguments, got %d", n, len(parts))
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package memlat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseModel(t *testing.T) {
+	cases := []struct {
+		in, wantName string
+	}{
+		{"fixed(4)", "Fixed(4)"},
+		{"Fixed(10)", "Fixed(10)"},
+		{"L80(2,5)", "L80(2,5)"},
+		{"L95(2,10)", "L95(2,10)"},
+		{"N(3,5)", "N(3,5)"},
+		{"N(30,5)", "N(30,5)"},
+		{"L80-N(30,5)", "L80-N(30,5)"},
+		{"L80(3)-N(30,5)", "L80-N(30,5)"},
+		{"  N(2,2) ", "N(2,2)"},
+	}
+	for _, c := range cases {
+		m, err := ParseModel(c.in)
+		if err != nil {
+			t.Errorf("ParseModel(%q): %v", c.in, err)
+			continue
+		}
+		if m.Name() != c.wantName {
+			t.Errorf("ParseModel(%q).Name() = %q, want %q", c.in, m.Name(), c.wantName)
+		}
+	}
+}
+
+func TestParseModelHitLatency(t *testing.T) {
+	m := MustParseModel("L80(3)-N(30,5)").(*Mixed)
+	if m.HitLat != 3 {
+		t.Errorf("HitLat = %d, want 3", m.HitLat)
+	}
+	d := MustParseModel("L80-N(30,5)").(*Mixed)
+	if d.HitLat != 2 {
+		t.Errorf("default HitLat = %d, want 2", d.HitLat)
+	}
+}
+
+func TestParseModelErrors(t *testing.T) {
+	cases := []struct{ in, wantErr string }{
+		{"bogus", "unrecognized"},
+		{"N(3)", "expected 2 arguments"},
+		{"L80(2)", "expected 2 arguments"},
+		{"L0(2,5)", "bad hit rate"},
+		{"L200(2,5)", "bad hit rate"},
+		{"fixed(x)", "bad number"},
+		{"N(a,b)", "bad number"},
+	}
+	for _, c := range cases {
+		_, err := ParseModel(c.in)
+		if err == nil {
+			t.Errorf("ParseModel(%q): no error", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ParseModel(%q) error %q missing %q", c.in, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseRoundTripsPaperSystems(t *testing.T) {
+	for _, sys := range PaperSystems() {
+		name := sys.Model.Name()
+		m, err := ParseModel(name)
+		if err != nil {
+			t.Errorf("cannot parse own name %q: %v", name, err)
+			continue
+		}
+		if m.Name() != name {
+			t.Errorf("round trip %q -> %q", name, m.Name())
+		}
+	}
+}

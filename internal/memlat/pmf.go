@@ -1,0 +1,94 @@
+package memlat
+
+// Distribution is implemented by models that can expose their latency
+// probability mass function explicitly: pmf[k] = P(latency = k). The
+// analytic stall model (bsched/internal/analytic) uses it to compute
+// expected interlocks without simulation.
+type Distribution interface {
+	Model
+	// PMF returns the latency probabilities for 0..len-1 cycles, summing
+	// to 1.
+	PMF() []float64
+}
+
+// PMF implements Distribution.
+func (f Fixed) PMF() []float64 {
+	pmf := make([]float64, f.Latency+1)
+	pmf[f.Latency] = 1
+	return pmf
+}
+
+// PMF implements Distribution.
+func (c Cache) PMF() []float64 {
+	max := c.HitLat
+	if c.MissLat > max {
+		max = c.MissLat
+	}
+	pmf := make([]float64, max+1)
+	pmf[c.HitLat] += c.HitRate
+	pmf[c.MissLat] += 1 - c.HitRate
+	return pmf
+}
+
+// PMF implements Distribution.
+func (n *Normal) PMF() []float64 {
+	pmf := make([]float64, len(n.cum))
+	prev := 0.0
+	for k, c := range n.cum {
+		pmf[k] = c - prev
+		prev = c
+	}
+	return pmf
+}
+
+// PMF implements Distribution.
+func (m *Mixed) PMF() []float64 {
+	miss := m.Miss.PMF()
+	size := len(miss)
+	if m.HitLat+1 > size {
+		size = m.HitLat + 1
+	}
+	pmf := make([]float64, size)
+	for k, p := range miss {
+		pmf[k] = (1 - m.HitRate) * p
+	}
+	pmf[m.HitLat] += m.HitRate
+	return pmf
+}
+
+// PMF implements Distribution.
+func (c TwoLevelCache) PMF() []float64 {
+	max := c.L1Lat
+	for _, v := range []int{c.L2Lat, c.MemLat} {
+		if v > max {
+			max = v
+		}
+	}
+	pmf := make([]float64, max+1)
+	miss1 := 1 - c.L1Rate
+	pmf[c.L1Lat] += c.L1Rate
+	pmf[c.L2Lat] += miss1 * c.L2Rate
+	pmf[c.MemLat] += miss1 * (1 - c.L2Rate)
+	return pmf
+}
+
+// PMF implements Distribution: the stationary mixture of the two states
+// (per-sample correlation is not representable in a marginal pmf).
+func (b *Bursty) PMF() []float64 {
+	pc := b.PEnter / (b.PEnter + b.PLeave)
+	calm, cong := b.Calm.PMF(), b.Congested.PMF()
+	size := len(calm)
+	if len(cong) > size {
+		size = len(cong)
+	}
+	pmf := make([]float64, size)
+	for k := range pmf {
+		if k < len(calm) {
+			pmf[k] += (1 - pc) * calm[k]
+		}
+		if k < len(cong) {
+			pmf[k] += pc * cong[k]
+		}
+	}
+	return pmf
+}

@@ -1,0 +1,68 @@
+package memlat
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// TwoLevelCache models the cache hierarchies the paper's introduction
+// names as a source of latency variance: a load hits L1 with probability
+// L1Rate (latency L1Lat), otherwise hits L2 with probability L2Rate
+// (latency L2Lat), otherwise goes to memory (MemLat). The notation is
+// L<r1>:<r2>(l1,l2,mem), e.g. L80:95(2,8,40).
+type TwoLevelCache struct {
+	L1Rate float64
+	L1Lat  int
+	L2Rate float64
+	L2Lat  int
+	MemLat int
+}
+
+// Sample implements Model.
+func (c TwoLevelCache) Sample(rng *rand.Rand) int {
+	if rng.Float64() < c.L1Rate {
+		return c.L1Lat
+	}
+	if rng.Float64() < c.L2Rate {
+		return c.L2Lat
+	}
+	return c.MemLat
+}
+
+// Mean implements Model.
+func (c TwoLevelCache) Mean() float64 {
+	miss1 := 1 - c.L1Rate
+	return c.L1Rate*float64(c.L1Lat) +
+		miss1*c.L2Rate*float64(c.L2Lat) +
+		miss1*(1-c.L2Rate)*float64(c.MemLat)
+}
+
+// Name implements Model.
+func (c TwoLevelCache) Name() string {
+	return fmt.Sprintf("L%.0f:%.0f(%d,%d,%d)", c.L1Rate*100, c.L2Rate*100, c.L1Lat, c.L2Lat, c.MemLat)
+}
+
+// parseTwoLevel parses "L80:95(2,8,40)". Called from ParseModel.
+func parseTwoLevel(s string) (Model, error) {
+	colon := strings.IndexByte(s, ':')
+	open := strings.IndexByte(s, '(')
+	if colon < 0 || open < colon {
+		return nil, fmt.Errorf("memlat: bad two-level spec %q", s)
+	}
+	r1, err1 := strconv.ParseFloat(s[1:colon], 64)
+	r2, err2 := strconv.ParseFloat(s[colon+1:open], 64)
+	if err1 != nil || err2 != nil || r1 <= 0 || r1 > 100 || r2 <= 0 || r2 > 100 {
+		return nil, fmt.Errorf("memlat: bad hit rates in %q", s)
+	}
+	args, err := parseArgs(s[open:], 3)
+	if err != nil {
+		return nil, fmt.Errorf("memlat: %q: %w", s, err)
+	}
+	return TwoLevelCache{
+		L1Rate: r1 / 100, L1Lat: int(args[0]),
+		L2Rate: r2 / 100, L2Lat: int(args[1]),
+		MemLat: int(args[2]),
+	}, nil
+}

@@ -1,0 +1,61 @@
+package memlat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTwoLevelMeanAndName(t *testing.T) {
+	c := TwoLevelCache{L1Rate: 0.80, L1Lat: 2, L2Rate: 0.95, L2Lat: 8, MemLat: 40}
+	if c.Name() != "L80:95(2,8,40)" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	want := 0.8*2 + 0.2*0.95*8 + 0.2*0.05*40
+	if math.Abs(c.Mean()-want) > 1e-12 {
+		t.Errorf("Mean = %g, want %g", c.Mean(), want)
+	}
+}
+
+func TestTwoLevelSamples(t *testing.T) {
+	c := TwoLevelCache{L1Rate: 0.80, L1Lat: 2, L2Rate: 0.95, L2Lat: 8, MemLat: 40}
+	rng := rand.New(rand.NewSource(9))
+	counts := map[int]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		lat := c.Sample(rng)
+		counts[lat]++
+		if lat != 2 && lat != 8 && lat != 40 {
+			t.Fatalf("impossible latency %d", lat)
+		}
+	}
+	if frac := float64(counts[2]) / n; math.Abs(frac-0.8) > 0.01 {
+		t.Errorf("L1 fraction %g", frac)
+	}
+	if frac := float64(counts[40]) / n; math.Abs(frac-0.01) > 0.005 {
+		t.Errorf("memory fraction %g", frac)
+	}
+	// Sample mean near the analytic mean.
+	sum := 0.0
+	for lat, k := range counts {
+		sum += float64(lat) * float64(k)
+	}
+	if got := sum / n; math.Abs(got-c.Mean()) > 0.05 {
+		t.Errorf("sample mean %g vs %g", got, c.Mean())
+	}
+}
+
+func TestTwoLevelParse(t *testing.T) {
+	m, err := ParseModel("L80:95(2,8,40)")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if m.Name() != "L80:95(2,8,40)" {
+		t.Errorf("round trip = %q", m.Name())
+	}
+	for _, bad := range []string{"L80:(2,8,40)", "L:95(2,8,40)", "L80:95(2,8)", "L80:950(2,8,40)"} {
+		if _, err := ParseModel(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package ooo simulates an idealized out-of-order core — the hardware
+// that historically displaced balanced scheduling (experiment A17).
+//
+// The model is deliberately idealized in the directions that matter for
+// the question "does the static schedule still matter?":
+//
+//   - perfect register renaming: only true data dependences and memory
+//     ordering constrain issue (anti/output dependences vanish, as they
+//     do in a renamed machine);
+//   - an instruction window of W entries filled in program (schedule)
+//     order: any ready instruction among the oldest W unissued ones may
+//     issue, up to `width` per cycle;
+//   - non-blocking loads drawing latencies from the same memory models as
+//     the in-order simulator.
+//
+// With W = 1 the machine degenerates to the paper's in-order pipeline;
+// as W grows the hardware discovers the same load level parallelism the
+// balanced scheduler placed statically, and the scheduling advantage
+// should collapse — the quantitative version of why out-of-order
+// execution retired the technique.
+package ooo
+
+import (
+	"math/rand"
+
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+	"bsched/internal/memlat"
+)
+
+// Stats is the outcome of one out-of-order execution.
+type Stats struct {
+	// Cycles is the issue cycle of the last instruction plus one.
+	Cycles int
+	// Instrs is the number of instructions issued.
+	Instrs int
+}
+
+// Config shapes the core.
+type Config struct {
+	// Window is the number of oldest unissued instructions eligible for
+	// issue each cycle (ROB-like). Must be >= 1.
+	Window int
+	// Width is the maximum issues per cycle. 0 means 1.
+	Width int
+	// OpLatency is the latency of non-load operations; nil means 1 cycle.
+	OpLatency func(op ir.Op) int
+}
+
+func (c Config) width() int {
+	if c.Width < 1 {
+		return 1
+	}
+	return c.Width
+}
+
+func (c Config) opLatency(op ir.Op) int {
+	if c.OpLatency == nil {
+		return 1
+	}
+	if l := c.OpLatency(op); l > 0 {
+		return l
+	}
+	return 1
+}
+
+// Run executes the instruction sequence on the out-of-order core. The
+// sequence's own order only matters through the window: dependences are
+// recovered from the code DAG (true register flow and memory ordering).
+func Run(instrs []*ir.Instr, cfg Config, mem memlat.Model, rng *rand.Rand) Stats {
+	if cfg.Window < 1 {
+		panic("ooo: window must be >= 1")
+	}
+	blk := &ir.Block{Label: "ooo", Instrs: instrs}
+	g := deps.Build(blk, deps.BuildOptions{})
+	n := g.N()
+	st := Stats{}
+	if n == 0 {
+		return st
+	}
+
+	// Keep only the dependences a renamed machine must respect.
+	preds := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, e := range g.Succs[i] {
+			if e.Kind == deps.True || e.Kind == deps.Mem {
+				preds[e.To] = append(preds[e.To], i)
+			}
+		}
+	}
+
+	complete := make([]int, n) // completion cycle of each issued instruction
+	issued := make([]bool, n)
+	oldest := 0 // first unissued instruction (window base)
+	cycle := 0
+	remaining := n
+	for remaining > 0 {
+		used := 0
+		// Issue any ready instructions among the oldest Window unissued.
+		scanned := 0
+		for i := oldest; i < n && scanned < cfg.Window && used < cfg.width(); i++ {
+			if issued[i] {
+				continue
+			}
+			scanned++
+			ready := true
+			for _, p := range preds[i] {
+				if !issued[p] || complete[p] > cycle {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			in := g.Instr(i)
+			lat := cfg.opLatency(in.Op)
+			if in.Op.IsLoad() {
+				if in.KnownLatency > 0 {
+					lat = int(in.KnownLatency)
+				} else {
+					lat = mem.Sample(rng)
+				}
+			}
+			issued[i] = true
+			complete[i] = cycle + lat
+			st.Instrs++
+			remaining--
+			used++
+		}
+		for oldest < n && issued[oldest] {
+			oldest++
+		}
+		cycle++
+	}
+	st.Cycles = cycle
+	return st
+}
+
+// Trials runs the sequence `trials` times, returning runtimes for the
+// bootstrap machinery.
+func Trials(instrs []*ir.Instr, cfg Config, mem memlat.Model, rng *rand.Rand, trials int) []float64 {
+	out := make([]float64, trials)
+	for i := range out {
+		mem := memlat.ForStream(mem)
+		out[i] = float64(Run(instrs, cfg, mem, rng).Cycles)
+	}
+	return out
+}

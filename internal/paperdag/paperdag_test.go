@@ -1,0 +1,112 @@
+package paperdag
+
+import (
+	"testing"
+
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+)
+
+func TestFiguresAreValidBlocks(t *testing.T) {
+	for _, l := range []*Labeled{Figure1(), Figure4(), Figure7()} {
+		if err := ir.ValidateBlock(l.Block); err != nil {
+			t.Errorf("%s: %v", l.Block.Label, err)
+		}
+		if len(l.Names) != len(l.Block.Instrs) {
+			t.Errorf("%s: %d names for %d instrs", l.Block.Label, len(l.Names), len(l.Block.Instrs))
+		}
+		for i, in := range l.Block.Instrs {
+			if in.Seq != i {
+				t.Errorf("%s: Seq not set at %d", l.Block.Label, i)
+			}
+		}
+	}
+}
+
+func TestFigure1Structure(t *testing.T) {
+	l := Figure1()
+	g := deps.Build(l.Block, deps.BuildOptions{})
+	idx := index(l)
+	// L0 -> L1 -> X4 chain; X0..X3 isolated.
+	if !g.SuccClosure(idx["L0"]).Has(idx["L1"]) {
+		t.Errorf("L1 must depend on L0")
+	}
+	if !g.SuccClosure(idx["L1"]).Has(idx["X4"]) {
+		t.Errorf("X4 must depend on L1")
+	}
+	for _, x := range []string{"X0", "X1", "X2", "X3"} {
+		if g.SuccClosure(idx[x]).Count() != 0 || g.PredClosure(idx[x]).Count() != 0 {
+			t.Errorf("%s must be independent", x)
+		}
+	}
+}
+
+func TestFigure4Structure(t *testing.T) {
+	l := Figure4()
+	g := deps.Build(l.Block, deps.BuildOptions{})
+	idx := index(l)
+	if g.SuccClosure(idx["L0"]).Has(idx["L1"]) || g.SuccClosure(idx["L1"]).Has(idx["L0"]) {
+		t.Errorf("L0 and L1 must be independent")
+	}
+	for _, ld := range []string{"L0", "L1"} {
+		if !g.SuccClosure(idx[ld]).Has(idx["X4"]) {
+			t.Errorf("X4 must consume %s", ld)
+		}
+	}
+}
+
+func TestFigure7Structure(t *testing.T) {
+	l := Figure7()
+	g := deps.Build(l.Block, deps.BuildOptions{})
+	idx := index(l)
+	// The documented reconstruction properties for i = X1.
+	ind := g.Independent(idx["X1"])
+	if ind.Has(idx["L2"]) {
+		t.Errorf("L2 is X1's predecessor and must not be in G_ind(X1)")
+	}
+	comps := g.Components(ind)
+	if len(comps) != 3 {
+		t.Fatalf("G_ind(X1) has %d components, want 3", len(comps))
+	}
+	// Classify components by their load content.
+	var sizes []int
+	for _, comp := range comps {
+		loads := g.Loads(comp)
+		switch {
+		case len(loads) == 1 && comp[0] == idx["L1"]:
+			if got := g.MaxLoadPath(comp, ind); got != 1 {
+				t.Errorf("L1 component Chances = %d, want 1", got)
+			}
+		case len(loads) == 4:
+			if got := g.MaxLoadPath(comp, ind); got != 3 {
+				t.Errorf("L3-L6 component Chances = %d, want 3", got)
+			}
+		case len(loads) == 0:
+			// the load-free chain
+		default:
+			t.Errorf("unexpected component with %d loads", len(loads))
+		}
+		sizes = append(sizes, len(comp))
+	}
+	_ = sizes
+}
+
+func TestNameFallback(t *testing.T) {
+	l := Figure1()
+	foreign := &ir.Instr{Op: ir.OpNop}
+	if got := l.Name(foreign); got != "nop" {
+		t.Errorf("fallback name = %q", got)
+	}
+	seq := l.Sequence(l.Block.Instrs)
+	if seq[0] != "L0" || seq[len(seq)-1] != "X4" {
+		t.Errorf("sequence = %v", seq)
+	}
+}
+
+func index(l *Labeled) map[string]int {
+	out := make(map[string]int)
+	for i, in := range l.Block.Instrs {
+		out[l.Name(in)] = i
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+// Package sched implements the list scheduler shared by the traditional
+// and balanced schedulers (§4.1 of the paper).
+//
+// Both schedulers are the same list scheduler; they differ only in the
+// Weighter that assigns latency weights to instructions. The scheduler:
+//
+//   - defers adding an instruction to the ready list until each
+//     predecessor has exhausted its expected latency (latency-deferred
+//     insertion), inserting virtual no-ops on starvation — the no-ops are
+//     stripped before code generation because the simulated processors use
+//     hardware interlocks;
+//   - selects by priority = weight + maximum priority among DAG
+//     successors (the weighted critical path to a leaf), breaking ties by
+//     (1) largest consumed−defined register difference (controls register
+//     pressure), (2) most successors exposed for scheduling, and
+//     (3) earliest generation order.
+//
+// The paper describes its generator as emitting the schedule in reverse
+// ("bottom-up"); operationally, the deferred-ready selection below
+// reproduces the paper's published schedules exactly (Figures 2a, 2b, 2c
+// and 5 — pinned by tests), which a literal emit-from-the-leaves generator
+// does not: filling reverse slots greedily pushes the padding instructions
+// to the bottom of the block and turns the W=5 schedule of Fig. 2a into a
+// lazy one. See the package tests for the derivations.
+package sched
+
+import (
+	"fmt"
+
+	"bsched/internal/core"
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+)
+
+// Weighter assigns a latency weight to every node of a code DAG. A
+// consumer of node i's value must be scheduled at least weights[i] issue
+// slots after i.
+type Weighter func(g *deps.Graph) []float64
+
+// Fixed returns a Weighter that assigns latencyOf(instr) to every
+// instruction, honouring per-instruction KnownLatency overrides.
+func Fixed(latencyOf func(in *ir.Instr) float64) Weighter {
+	return func(g *deps.Graph) []float64 {
+		w := make([]float64, g.N())
+		for i := range w {
+			in := g.Instr(i)
+			if in.KnownLatency > 0 {
+				w[i] = in.KnownLatency
+			} else {
+				w[i] = latencyOf(in)
+			}
+		}
+		return w
+	}
+}
+
+// Traditional returns the traditional scheduler's Weighter: one constant,
+// implementation-defined latency for every load (e.g. the cache hit time),
+// weight 1 for everything else (§2). Fractional latencies such as 2.6 (an
+// effective access time) are allowed.
+func Traditional(loadLatency float64) Weighter {
+	if loadLatency < 1 {
+		panic(fmt.Sprintf("sched: load latency %g < 1", loadLatency))
+	}
+	return Fixed(func(in *ir.Instr) float64 {
+		if in.Op.IsLoad() {
+			return loadLatency
+		}
+		return 1
+	})
+}
+
+// Balanced returns the balanced scheduler's Weighter (the paper's
+// contribution; see bsched/internal/core).
+func Balanced(opts core.Options) Weighter {
+	return func(g *deps.Graph) []float64 { return core.Weights(g, opts) }
+}
+
+// Average returns the §3 "average load level parallelism" ablation
+// Weighter.
+func Average(opts core.Options) Weighter {
+	return func(g *deps.Graph) []float64 { return core.AverageWeights(g, opts) }
+}
+
+// Result is a produced schedule.
+type Result struct {
+	// Order is the scheduled instruction sequence (virtual no-ops already
+	// stripped). The instructions are the same pointers as in the source
+	// block, reordered.
+	Order []*ir.Instr
+	// Perm maps schedule position to original node index: Order[k] was
+	// node Perm[k] of the DAG.
+	Perm []int
+	// VNops is the number of virtual no-op slots the scheduler inserted
+	// for starvation; a diagnostic for how latency-bound the block is.
+	VNops int
+	// Weights are the latency weights used, indexed by original node.
+	Weights []float64
+	// Priorities are the computed list priorities, indexed by node.
+	Priorities []float64
+}
+
+const eps = 1e-9
+
+// Heuristics toggles the §4.1 tie-break heuristics; the ablation A9
+// measures their contribution. The zero value enables everything.
+type Heuristics struct {
+	// NoPressureTie disables the consumed−defined register difference
+	// tie-break that controls register pressure.
+	NoPressureTie bool
+	// NoExposeTie disables the exposed-successors tie-break.
+	NoExposeTie bool
+}
+
+// Schedule list-schedules the code DAG g using the given Weighter with
+// all heuristics enabled.
+func Schedule(g *deps.Graph, weigh Weighter) *Result {
+	return ScheduleWith(g, weigh, Heuristics{})
+}
+
+// ScheduleWith list-schedules with explicit heuristic toggles.
+func ScheduleWith(g *deps.Graph, weigh Weighter, h Heuristics) *Result {
+	n := g.N()
+	weights := weigh(g)
+	if len(weights) != n {
+		panic("sched: weighter returned wrong length")
+	}
+	prio := priorities(g, weights)
+
+	res := &Result{
+		Order:      make([]*ir.Instr, 0, n),
+		Perm:       make([]int, 0, n),
+		Weights:    weights,
+		Priorities: prio,
+	}
+	if n == 0 {
+		return res
+	}
+
+	slotOf := make([]int, n) // issue slot of each placed node, or -1
+	for i := range slotOf {
+		slotOf[i] = -1
+	}
+	// unplacedPreds[i] counts predecessors not yet placed; when it reaches
+	// 0 the instruction is enabled and readyAt[i] is valid: the slot at
+	// which every predecessor's expected latency is exhausted.
+	unplacedPreds := make([]int, n)
+	readyAt := make([]float64, n)
+	var enabledList []int
+	for i := 0; i < n; i++ {
+		unplacedPreds[i] = len(g.Preds[i])
+		if unplacedPreds[i] == 0 {
+			enabledList = append(enabledList, i)
+		}
+	}
+
+	placed := 0
+	slot := 0 // current issue slot (counts virtual no-ops too)
+	for placed < n {
+		best := -1
+		for _, i := range enabledList {
+			if slotOf[i] >= 0 || readyAt[i] > float64(slot)+eps {
+				continue
+			}
+			if best < 0 || better(g, prio, i, best, unplacedPreds, h) {
+				best = i
+			}
+		}
+		if best < 0 {
+			// Starvation: every enabled instruction is still inside some
+			// predecessor's latency window. Insert a virtual no-op slot.
+			res.VNops++
+			slot++
+			continue
+		}
+		slotOf[best] = slot
+		res.Order = append(res.Order, g.Instr(best))
+		res.Perm = append(res.Perm, best)
+		placed++
+		slot++
+		// Placing best enables successors and fixes their ready times.
+		for _, e := range g.Succs[best] {
+			s := e.To
+			unplacedPreds[s]--
+			if unplacedPreds[s] == 0 {
+				enabledList = append(enabledList, s)
+				readyAt[s] = earliestSlot(g, weights, slotOf, s)
+			}
+		}
+		if len(enabledList) > 2*n {
+			enabledList = compact(enabledList, slotOf)
+		}
+	}
+	return res
+}
+
+// earliestSlot computes the earliest slot at which node s may issue given
+// its placed predecessors: a True edge from p demands a gap of weights[p]
+// slots; every other dependence demands one slot.
+func earliestSlot(g *deps.Graph, weights []float64, slotOf []int, s int) float64 {
+	ready := 0.0
+	for _, e := range g.Preds[s] {
+		p := e.To
+		if slotOf[p] < 0 {
+			panic("sched: predecessor not placed")
+		}
+		gap := 1.0
+		if e.Kind == deps.True {
+			gap = weights[p]
+		}
+		if want := float64(slotOf[p]) + gap; want > ready {
+			ready = want
+		}
+	}
+	return ready
+}
+
+// better reports whether candidate a should be picked over b.
+func better(g *deps.Graph, prio []float64, a, b int, unplacedPreds []int, h Heuristics) bool {
+	// 1. Highest priority (weight + max successor priority).
+	if d := prio[a] - prio[b]; d > eps {
+		return true
+	} else if d < -eps {
+		return false
+	}
+	// 2. Largest consumed−defined register difference: prefer killing
+	// more values than are created, controlling register pressure.
+	if !h.NoPressureTie {
+		if d := pressureDelta(g.Instr(a)) - pressureDelta(g.Instr(b)); d != 0 {
+			return d > 0
+		}
+	}
+	// 3. Most successors exposed for scheduling, giving the list
+	// scheduler more instructions to select from.
+	if !h.NoExposeTie {
+		if d := exposes(g, a, unplacedPreds) - exposes(g, b, unplacedPreds); d != 0 {
+			return d > 0
+		}
+	}
+	// 4. Generated the earliest.
+	return g.Instr(a).Seq < g.Instr(b).Seq
+}
+
+func pressureDelta(in *ir.Instr) int {
+	defs := 0
+	if in.Def() != ir.NoReg {
+		defs = 1
+	}
+	return len(in.Uses()) - defs
+}
+
+func exposes(g *deps.Graph, i int, unplacedPreds []int) int {
+	n := 0
+	for _, e := range g.Succs[i] {
+		if unplacedPreds[e.To] == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func compact(list []int, slotOf []int) []int {
+	out := list[:0]
+	for _, i := range list {
+		if slotOf[i] < 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// priorities computes, for every node, weight + the maximum priority among
+// its DAG successors (leaves: their own weight) — the weighted critical
+// path from the node to a leaf.
+func priorities(g *deps.Graph, weights []float64) []float64 {
+	n := g.N()
+	prio := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		m := 0.0
+		for _, e := range g.Succs[i] {
+			if prio[e.To] > m {
+				m = prio[e.To]
+			}
+		}
+		prio[i] = weights[i] + m
+	}
+	return prio
+}
+
+// ScheduleBlock builds the DAG for b, schedules it with the Weighter and
+// returns a new block (sharing instruction pointers) in scheduled order,
+// along with the scheduling result.
+func ScheduleBlock(b *ir.Block, opts deps.BuildOptions, weigh Weighter) (*ir.Block, *Result) {
+	return ScheduleBlockWith(b, opts, weigh, Heuristics{})
+}
+
+// ScheduleBlockWith is ScheduleBlock with explicit heuristic toggles.
+func ScheduleBlockWith(b *ir.Block, opts deps.BuildOptions, weigh Weighter, h Heuristics) (*ir.Block, *Result) {
+	g := deps.Build(b, opts)
+	res := ScheduleWith(g, weigh, h)
+	nb := &ir.Block{
+		Label:   b.Label,
+		Freq:    b.Freq,
+		Instrs:  res.Order,
+		LiveOut: b.LiveOut,
+	}
+	return nb, res
+}
+
+// CriticalPath returns the schedule-independent lower bound on block
+// runtime implied by the weights: the longest weighted path through the
+// DAG, counting one slot for the final instruction. Diagnostics and tests
+// use it.
+func CriticalPath(g *deps.Graph, weights []float64) float64 {
+	n := g.N()
+	dist := make([]float64, n)
+	best := 0.0
+	for i := n - 1; i >= 0; i-- {
+		m := 0.0
+		for _, e := range g.Succs[i] {
+			gap := 1.0
+			if e.Kind == deps.True {
+				gap = weights[i]
+			}
+			if d := gap + dist[e.To]; d > m {
+				m = d
+			}
+		}
+		dist[i] = m
+		if d := dist[i] + 1; d > best {
+			best = d
+		}
+	}
+	return best
+}

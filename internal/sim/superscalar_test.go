@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"bsched/internal/ir"
+	"bsched/internal/machine"
+	"bsched/internal/memlat"
+)
+
+// TestDualIssueIndependent: four independent instructions on a 2-wide
+// machine take two cycles.
+func TestDualIssueIndependent(t *testing.T) {
+	b := ir.MustParseBlock(`
+		v0 = const 1
+		v1 = const 2
+		v2 = const 3
+		v3 = const 4
+	`)
+	st := RunBlock(b.Instrs, machine.UNLIMITED().Wide(2), memlat.Fixed{Latency: 1},
+		rand.New(rand.NewSource(1)), Options{})
+	if st.Cycles != 2 || st.Interlocks != 0 || st.Instrs != 4 {
+		t.Errorf("got %+v, want 2 cycles / 0 interlocks / 4 instrs", st)
+	}
+}
+
+// TestDualIssueDependenceChain: a serial chain gains nothing from width.
+func TestDualIssueDependenceChain(t *testing.T) {
+	b := ir.MustParseBlock(`
+		v0 = const 1
+		v1 = addi v0, 1
+		v2 = addi v1, 1
+		v3 = addi v2, 1
+	`)
+	for _, w := range []int{1, 2, 4} {
+		st := RunBlock(b.Instrs, machine.UNLIMITED().Wide(w), memlat.Fixed{Latency: 1},
+			rand.New(rand.NewSource(1)), Options{})
+		if st.Cycles != 4 {
+			t.Errorf("width %d: %d cycles, want 4", w, st.Cycles)
+		}
+	}
+}
+
+// TestWideInterlockCounting: only issue-less cycles count as interlocks.
+func TestWideInterlockCounting(t *testing.T) {
+	b := ir.MustParseBlock(`
+		v0 = load a[0]
+		v1 = const 1
+		v2 = addi v0, 1
+	`)
+	// Width 2: load+const issue at cycle 0; the consumer needs v0 at
+	// cycle 4 -> cycles 1-3 are interlocks, issue at 4, Cycles=5.
+	st := RunBlock(b.Instrs, machine.UNLIMITED().Wide(2), memlat.Fixed{Latency: 4},
+		rand.New(rand.NewSource(1)), Options{})
+	if st.Cycles != 5 || st.Interlocks != 3 {
+		t.Errorf("got %+v, want 5 cycles / 3 interlocks", st)
+	}
+}
+
+// TestWidthMatchesSingleIssueSemantics: width 1 must be identical to the
+// legacy single-issue accounting on an arbitrary block.
+func TestWidthMatchesSingleIssueSemantics(t *testing.T) {
+	b := ir.MustParseBlock(`
+		v0 = load a[0]
+		v1 = load a[8]
+		v2 = add v0, v1
+		v3 = const 2
+		store out[0], v2
+	`)
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(3)) }
+	plain := RunBlock(b.Instrs, machine.UNLIMITED(), memlat.Fixed{Latency: 3}, rng(), Options{})
+	wide1 := RunBlock(b.Instrs, machine.UNLIMITED().Wide(1), memlat.Fixed{Latency: 3}, rng(), Options{})
+	if plain != wide1 {
+		t.Errorf("width-1 diverged: %+v vs %+v", plain, wide1)
+	}
+	if plain.Interlocks != plain.Cycles-plain.Instrs {
+		t.Errorf("single-issue identity broken: %+v", plain)
+	}
+}
+
+// TestWideNeverSlower: widening the machine can only reduce cycles.
+func TestWideNeverSlower(t *testing.T) {
+	b := ir.MustParseBlock(`
+		v0 = load a[0]
+		v1 = load a[8]
+		v2 = load a[16]
+		v3 = add v0, v1
+		v4 = add v3, v2
+		v5 = const 9
+		v6 = addi v5, 1
+		store out[0], v4
+	`)
+	prev := 1 << 30
+	for _, w := range []int{1, 2, 4, 8} {
+		st := RunBlock(b.Instrs, machine.UNLIMITED().Wide(w), memlat.Fixed{Latency: 2},
+			rand.New(rand.NewSource(5)), Options{})
+		if st.Cycles > prev {
+			t.Errorf("width %d slower: %d > %d", w, st.Cycles, prev)
+		}
+		prev = st.Cycles
+	}
+}
+
+// TestWideName: the width shows up in the model name.
+func TestWideName(t *testing.T) {
+	if got := machine.MAX(8).Wide(4).Name(); got != "MAX-8x4" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := machine.UNLIMITED().Name(); got != "UNLIMITED" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bsched/internal/ir"
+	"bsched/internal/machine"
+	"bsched/internal/memlat"
+)
+
+// Timeline runs the block once and renders a cycle-accurate ASCII
+// timeline: one row per instruction, columns are cycles, 'I' marks the
+// issue cycle, '=' the cycles a load is outstanding, and '.' the stall
+// cycles an instruction spent waiting. Useful for eyeballing why one
+// schedule beats another; cmd/bsim exposes it through -trace.
+func Timeline(instrs []*ir.Instr, proc machine.Config, mem memlat.Model, rng *rand.Rand, opts Options, maxWidth int) string {
+	var entries []TraceEntry
+	prev := opts.Trace
+	opts.Trace = func(e TraceEntry) {
+		entries = append(entries, e)
+		if prev != nil {
+			prev(e)
+		}
+	}
+	st := RunBlock(instrs, proc, mem, rng, opts)
+	if maxWidth < 16 {
+		maxWidth = 16
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d instrs, %d cycles, %d interlocks (%s, %s)\n",
+		st.Instrs, st.Cycles, st.Interlocks, proc.Name(), mem.Name())
+	if st.Cycles > maxWidth {
+		fmt.Fprintf(&b, "(first %d of %d cycles shown)\n", maxWidth, st.Cycles)
+	}
+	for _, e := range entries {
+		if e.Cycle >= maxWidth {
+			break
+		}
+		row := make([]byte, min(st.Cycles, maxWidth))
+		for i := range row {
+			row[i] = ' '
+		}
+		for c := e.Cycle - e.Stall; c < e.Cycle && c < len(row); c++ {
+			if c >= 0 {
+				row[c] = '.'
+			}
+		}
+		row[e.Cycle] = 'I'
+		if e.Instr.Op.IsLoad() {
+			for c := e.Cycle + 1; c < e.Cycle+e.Latency && c < len(row); c++ {
+				row[c] = '='
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s\n", row, e.Instr)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,37 @@
+package stats
+
+import "math"
+
+// JackknifeMeans returns the n leave-one-out sample means of xs — the
+// jackknife of Efron's monograph (the paper's resampling citation; the
+// paper itself uses the bootstrap, the jackknife is provided as the
+// deterministic cross-check used by tests and diagnostics).
+func JackknifeMeans(xs []float64) []float64 {
+	n := len(xs)
+	if n < 2 {
+		panic("stats: jackknife needs at least 2 samples")
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	out := make([]float64, n)
+	for i, x := range xs {
+		out[i] = (total - x) / float64(n-1)
+	}
+	return out
+}
+
+// JackknifeStdErr returns the jackknife estimate of the standard error of
+// the mean of xs.
+func JackknifeStdErr(xs []float64) float64 {
+	means := JackknifeMeans(xs)
+	grand := Mean(means)
+	s := 0.0
+	for _, m := range means {
+		d := m - grand
+		s += d * d
+	}
+	n := float64(len(xs))
+	return math.Sqrt(s * (n - 1) / n)
+}

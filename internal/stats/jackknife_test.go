@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJackknifeMeans(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	means := JackknifeMeans(xs)
+	want := []float64{3, 8.0 / 3, 7.0 / 3, 2}
+	for i := range want {
+		if math.Abs(means[i]-want[i]) > 1e-12 {
+			t.Errorf("means[%d] = %g, want %g", i, means[i], want[i])
+		}
+	}
+}
+
+// TestJackknifeGrandMean: property — the mean of jackknife means equals
+// the sample mean exactly.
+func TestJackknifeGrandMean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		return math.Abs(Mean(JackknifeMeans(xs))-Mean(xs)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJackknifeStdErrMatchesClassic: for the mean, the jackknife standard
+// error equals s/√n exactly.
+func TestJackknifeStdErrMatchesClassic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	xs := make([]float64, 30)
+	for i := range xs {
+		xs[i] = 50 + rng.NormFloat64()*7
+	}
+	classic := StdDev(xs) / math.Sqrt(float64(len(xs)))
+	jack := JackknifeStdErr(xs)
+	if math.Abs(classic-jack) > 1e-9 {
+		t.Errorf("jackknife %g vs classic %g", jack, classic)
+	}
+}
+
+func TestJackknifeConstantSample(t *testing.T) {
+	if got := JackknifeStdErr([]float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("constant sample stderr = %g", got)
+	}
+}
+
+func TestJackknifePanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic for 1-sample jackknife")
+		}
+	}()
+	JackknifeMeans([]float64{1})
+}

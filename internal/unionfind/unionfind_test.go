@@ -1,0 +1,92 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSingletons(t *testing.T) {
+	u := New(5)
+	if u.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", u.Sets())
+	}
+	for i := 0; i < 5; i++ {
+		if u.Find(i) != i || u.Size(i) != 1 {
+			t.Errorf("element %d not a singleton", i)
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := New(6)
+	if !u.Union(0, 1) || !u.Union(1, 2) {
+		t.Fatalf("unions reported no-op")
+	}
+	if u.Union(0, 2) {
+		t.Errorf("union of same set reported a merge")
+	}
+	if !u.Same(0, 2) || u.Same(0, 3) {
+		t.Errorf("connectivity wrong")
+	}
+	if u.Sets() != 4 || u.Size(1) != 3 {
+		t.Errorf("Sets=%d Size=%d", u.Sets(), u.Size(1))
+	}
+}
+
+func TestLevelTracking(t *testing.T) {
+	u := New(4)
+	levels := []int{3, 0, 2, 7}
+	for i, l := range levels {
+		u.SetLevel(i, l)
+	}
+	u.Union(0, 1) // levels 3, 0
+	u.Union(1, 2) // adds 2
+	min, max := u.LevelRange(2)
+	if min != 0 || max != 3 {
+		t.Errorf("LevelRange = [%d,%d], want [0,3]", min, max)
+	}
+	if u.PathLength(0) != 4 {
+		t.Errorf("PathLength = %d, want 4", u.PathLength(0))
+	}
+	if u.PathLength(3) != 1 {
+		t.Errorf("singleton PathLength = %d, want 1", u.PathLength(3))
+	}
+}
+
+// TestRandomAgainstNaive cross-checks connectivity against a naive
+// labelling for random union sequences.
+func TestRandomAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 64
+	for trial := 0; trial < 20; trial++ {
+		u := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for k := 0; k < 80; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			u.Union(a, b)
+			relabel(label[a], label[b])
+		}
+		sets := map[int]bool{}
+		for i := 0; i < n; i++ {
+			sets[label[i]] = true
+			for j := 0; j < n; j++ {
+				if u.Same(i, j) != (label[i] == label[j]) {
+					t.Fatalf("trial %d: Same(%d,%d) mismatch", trial, i, j)
+				}
+			}
+		}
+		if u.Sets() != len(sets) {
+			t.Fatalf("trial %d: Sets=%d naive=%d", trial, u.Sets(), len(sets))
+		}
+	}
+}

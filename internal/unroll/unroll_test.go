@@ -1,0 +1,152 @@
+package unroll
+
+import (
+	"testing"
+
+	"bsched/internal/core"
+	"bsched/internal/deps"
+	"bsched/internal/interp"
+	"bsched/internal/ir"
+	"bsched/internal/workload"
+)
+
+func TestRecognizeKernels(t *testing.T) {
+	for name, build := range workload.Kernels() {
+		if name == "chase" {
+			continue // chase ends with ret, not the canonical tail
+		}
+		blk := build("k", 1, 2)
+		info, ok := Recognize(blk)
+		if !ok {
+			t.Errorf("%s: not recognized", name)
+			continue
+		}
+		if info.Step <= 0 {
+			t.Errorf("%s: step %d", name, info.Step)
+		}
+		if info.BodyLen != len(blk.Instrs)-3 {
+			t.Errorf("%s: body length %d", name, info.BodyLen)
+		}
+	}
+}
+
+func TestRecognizeRejects(t *testing.T) {
+	cases := []string{
+		// Wrong terminator.
+		"v0 = const 1\nret",
+		// Branch to another label.
+		"block b0 freq=1\nv0 = const 0\nv1 = addi v0, 8\nv2 = slt v1, v0\nbr v2, elsewhere\nend\nblock elsewhere freq=1\nend",
+	}
+	for i, src := range cases {
+		prog := ir.MustParse("func f\n" + wrap(src))
+		if _, ok := Recognize(prog.Blocks()[0]); ok {
+			t.Errorf("case %d recognized", i)
+		}
+	}
+}
+
+func wrap(src string) string {
+	if len(src) > 5 && src[:5] == "block" {
+		return src
+	}
+	return "block b0 freq=1\n" + src + "\nend"
+}
+
+// TestUnrollMatchesHandUnrolledStreaming: for streaming kernels (no
+// loop-carried values), Unroll(kernel(1), k) writes exactly the memory a
+// hand-unrolled kernel(k) writes.
+func TestUnrollMatchesHandUnrolledStreaming(t *testing.T) {
+	for _, name := range []string{"saxpy", "copy", "stencil3"} {
+		build := workload.Kernels()[name]
+		base := build("k", 1, 1)
+		unrolled := MustUnroll(base, 4)
+		hand := build("k", 1, 4)
+
+		su, err := interp.Run(unrolled.Instrs, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sh, err := interp.Run(hand.Instrs, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !interp.MemEqual(su, sh) {
+			t.Errorf("%s: unrolled memory differs from hand-unrolled", name)
+		}
+	}
+}
+
+func TestUnrollScalesLoadsAndLLP(t *testing.T) {
+	base := workload.Gather("g", 1, 1)
+	u4 := MustUnroll(base, 4)
+	if got, want := u4.NumLoads(), 4*base.NumLoads(); got != want {
+		t.Errorf("loads = %d, want %d", got, want)
+	}
+	// Unrolling is the LLP amplifier the paper relies on: mean LLP must
+	// grow with the factor.
+	mean := func(b *ir.Block) float64 {
+		g := deps.Build(b, deps.BuildOptions{})
+		llp := core.LoadLevelParallelism(g)
+		s := 0.0
+		for _, v := range llp {
+			s += float64(v)
+		}
+		return s / float64(len(llp))
+	}
+	if mean(u4) <= mean(base) {
+		t.Errorf("LLP did not grow: %.1f vs %.1f", mean(u4), mean(base))
+	}
+}
+
+func TestUnrollFactorOne(t *testing.T) {
+	base := workload.Saxpy("s", 2, 1)
+	u1 := MustUnroll(base, 1)
+	if len(u1.Instrs) != len(base.Instrs) {
+		t.Errorf("factor 1 changed size: %d vs %d", len(u1.Instrs), len(base.Instrs))
+	}
+	if u1.Freq != 2 || u1.Label != "s" {
+		t.Errorf("metadata lost")
+	}
+}
+
+func TestUnrollKeepsTailShape(t *testing.T) {
+	u := MustUnroll(workload.Saxpy("s", 1, 1), 3)
+	info, ok := Recognize(u)
+	if !ok {
+		t.Fatalf("unrolled block lost the canonical shape")
+	}
+	if info.Step != 3*workload.Word {
+		t.Errorf("combined step = %d, want %d", info.Step, 3*workload.Word)
+	}
+	// And it can be unrolled again.
+	uu := MustUnroll(u, 2)
+	if uu.NumLoads() != 6*workload.Saxpy("s", 1, 1).NumLoads() {
+		t.Errorf("re-unroll load count wrong")
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	if _, err := Unroll(workload.Chase("c", 1, 3), 2); err == nil {
+		t.Errorf("chase accepted")
+	}
+	if _, err := Unroll(workload.Saxpy("s", 1, 1), 0); err == nil {
+		t.Errorf("factor 0 accepted")
+	}
+}
+
+// TestUnrollInductionNotRedefined: a loop whose body clobbers the
+// induction register is rejected.
+func TestUnrollInductionNotRedefined(t *testing.T) {
+	b := ir.MustParseBlock(`
+		block l freq=1
+		v0 = const 0
+		v0 = addi v0, 1
+		v1 = addi v0, 8
+		v2 = slt v1, v0
+		br v2, l
+		end
+	`)
+	if _, ok := Recognize(b); ok {
+		t.Errorf("redefined induction register accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+
+	"bsched/internal/ir"
+)
+
+// Fuse concatenates several self-contained blocks into one larger basic
+// block, renaming virtual registers so the parts stay independent. It
+// models the §6 block-enlarging techniques (trace scheduling, software
+// pipelining): the balanced scheduler sees the union of the parts' load
+// level parallelism, so loads from one part can hide their latency behind
+// another part's instructions.
+//
+// Every part's terminator is dropped; the fused block ends with a single
+// return. Live-out registers of the parts remain live-out (renamed).
+func Fuse(label string, freq float64, parts ...*ir.Block) *ir.Block {
+	if len(parts) == 0 {
+		panic("workload: Fuse of nothing")
+	}
+	out := &ir.Block{Label: label, Freq: freq}
+	offset := 0
+	for pi, part := range parts {
+		remap := func(r ir.Reg) ir.Reg {
+			if !r.IsVirt() {
+				return r
+			}
+			return ir.Virt(r.Num() + offset)
+		}
+		maxSeen := -1
+		note := func(r ir.Reg) {
+			if r.IsVirt() && r.Num() > maxSeen {
+				maxSeen = r.Num()
+			}
+		}
+		for _, in := range part.Instrs {
+			if in.Op.IsTerminator() {
+				continue
+			}
+			c := in.Clone()
+			for k, s := range c.Srcs {
+				note(s)
+				c.Srcs[k] = remap(s)
+			}
+			if c.Base != ir.NoReg {
+				note(c.Base)
+				c.Base = remap(c.Base)
+			}
+			if c.Dst != ir.NoReg {
+				note(c.Dst)
+				c.Dst = remap(c.Dst)
+			}
+			out.Instrs = append(out.Instrs, c)
+		}
+		for _, r := range part.LiveOut {
+			note(r)
+			out.LiveOut = append(out.LiveOut, remap(r))
+		}
+		offset += maxSeen + 1
+		_ = pi
+	}
+	out.Instrs = append(out.Instrs, &ir.Instr{Op: ir.OpRet})
+	ir.Renumber(out)
+	if err := ir.ValidateBlock(out); err != nil {
+		panic(fmt.Sprintf("workload: Fuse: %v", err))
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"bsched/internal/ir"
+)
+
+// Integer/pointer kernels. The paper evaluates Fortran-only (§4.2); these
+// SPECint-flavoured kernels extend the A10 cross-validation to the other
+// side of the 1990s workload split, where serial address arithmetic and
+// short dependence chains leave less load level parallelism to balance.
+
+// HashProbe models an open-addressing hash lookup: hash arithmetic, a
+// bucket load, a key compare, and a second probe — per query, two loads
+// in series behind integer arithmetic.
+func HashProbe(label string, freq float64, queries int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	mask := b.Const(1023)
+	acc := b.Const(0)
+	for q := 0; q < queries; q++ {
+		off := int64(q * Word)
+		key := b.Load("keys", i, off)
+		h1 := b.Op2(ir.OpMul, key, mask)
+		h2 := b.OpImm(ir.OpShrI, h1, 7)
+		h3 := b.Op2(ir.OpAnd, h2, mask)
+		slot := b.OpImm(ir.OpShlI, h3, 3)
+		bucket := b.Load("table", slot, 0)
+		miss := b.Op2(ir.OpXor, bucket, key)
+		probe2 := b.OpImm(ir.OpAddI, slot, Word)
+		bucket2 := b.Load("table", probe2, 0)
+		pick := b.Op2(ir.OpOr, miss, bucket2)
+		acc = b.Op2(ir.OpAdd, acc, pick)
+	}
+	b.MarkLiveOut(acc)
+	finishLoop(b, i, queries, label)
+	return b.Block()
+}
+
+// ListSum walks a linked list of nodes summing a payload field: the next
+// pointer chase is strictly serial, the payload loads hang off it.
+func ListSum(label string, freq float64, depth int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	p := b.Const(0)
+	acc := b.Const(0)
+	node := p
+	for d := 0; d < depth; d++ {
+		payload := b.Load("heap", node, Word)
+		acc = b.Op2(ir.OpAdd, acc, payload)
+		node = b.Load("heap", node, 0) // next pointer
+	}
+	b.MarkLiveOut(acc)
+	b.Store("sum", ir.NoReg, 0, acc)
+	finishLoop(b, p, depth, label)
+	return b.Block()
+}
+
+// Histogram counts values into buckets: a data load, index arithmetic,
+// a bucket load, increment, bucket store — read-modify-write traffic with
+// potential (conservatively assumed) bucket conflicts.
+func Histogram(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	mask := b.Const(255)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		v := b.Load("data", i, off)
+		idx := b.Op2(ir.OpAnd, v, mask)
+		slot := b.OpImm(ir.OpShlI, idx, 3)
+		count := b.Load("hist", slot, 0)
+		inc := b.OpImm(ir.OpAddI, count, 1)
+		b.Store("hist", slot, 0, inc)
+	}
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// Checksum is a rolling integer checksum over a buffer: one load per
+// element feeding a serial rotate-xor chain.
+func Checksum(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	sum := b.Const(0x9e37)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		v := b.Load("buf", i, off)
+		rot := b.OpImm(ir.OpShlI, sum, 5)
+		mix := b.Op2(ir.OpXor, rot, v)
+		sum = b.Op2(ir.OpAdd, mix, sum)
+	}
+	b.MarkLiveOut(sum)
+	b.Store("out", ir.NoReg, 0, sum)
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// IntKernels returns the integer kernels keyed by name.
+func IntKernels() map[string]func(label string, freq float64, param int) *ir.Block {
+	return map[string]func(string, float64, int) *ir.Block{
+		"hashprobe": HashProbe,
+		"listsum":   ListSum,
+		"histogram": Histogram,
+		"checksum":  Checksum,
+	}
+}
+
+// IntMix assembles the integer kernels into one program with equal
+// shares, the integer-side counterpart of Livermore() in the A10
+// cross-validation.
+func IntMix() *ir.Program {
+	order := []string{"hashprobe", "listsum", "histogram", "checksum"}
+	params := map[string]int{"hashprobe": 4, "listsum": 5, "histogram": 4, "checksum": 6}
+	kernels := IntKernels()
+	const targetMIns = 500.0
+	share := targetMIns / float64(len(order))
+	fn := &ir.Func{Name: "intmix"}
+	for _, name := range order {
+		label := "int_" + name
+		probe := kernels[name](label, 1, params[name])
+		freq := share / float64(len(probe.Instrs))
+		fn.Blocks = append(fn.Blocks, check(kernels[name](label, freq, params[name])))
+	}
+	prog := &ir.Program{Name: "INTMIX", Funcs: []*ir.Func{fn}}
+	if err := ir.Validate(prog); err != nil {
+		panic(fmt.Sprintf("workload: intmix: %v", err))
+	}
+	return prog
+}

@@ -1,0 +1,316 @@
+// Package workload provides the benchmark programs the experiments run:
+// a library of scientific loop-body kernels (expressed directly in the
+// IR, as if produced by the paper's modified GCC after unrolling), eight
+// Perfect Club benchmark analogues assembled from them, and a seeded
+// random block generator for property tests.
+//
+// The paper's workload is the Perfect Club suite compiled from Fortran via
+// f2c (§4.2). The sources are not available here, so each benchmark is
+// replaced by a synthetic analogue whose basic blocks exhibit the load
+// level parallelism profile that drives the paper's results for that
+// program: QCD2's large bushy blocks with abundant independent loads,
+// TRACK's small serial blocks, MDG's arithmetic-heavy molecular dynamics
+// interactions, and so on. DESIGN.md §2 documents the substitution.
+package workload
+
+import (
+	"fmt"
+
+	"bsched/internal/ir"
+)
+
+// Word is the element size in bytes used for array indexing.
+const Word = 8
+
+// Saxpy builds an unrolled y[i] = a*x[i] + y[i] loop body: two parallel
+// loads per iteration, independent across iterations — plentiful LLP.
+func Saxpy(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	a := b.Const(3)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		x := b.Load("x", i, off)
+		y := b.Load("y", i, off)
+		t := b.Op2(ir.OpFMul, x, a)
+		s := b.Op2(ir.OpFAdd, t, y)
+		b.Store("y", i, off, s)
+	}
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// Dot builds an unrolled dot-product body: parallel loads feeding a serial
+// accumulation chain.
+func Dot(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	acc := b.Const(0)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		x := b.Load("x", i, off)
+		y := b.Load("y", i, off)
+		p := b.Op2(ir.OpFMul, x, y)
+		acc = b.Op2(ir.OpFAdd, acc, p)
+	}
+	b.MarkLiveOut(acc)
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// Stencil3 builds an unrolled three-point stencil:
+// y[i] = w0*x[i-1] + w1*x[i] + w2*x[i+1].
+func Stencil3(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(Word)
+	w0 := b.Const(1)
+	w1 := b.Const(2)
+	w2 := b.Const(1)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		l := b.Load("x", i, off-Word)
+		c := b.Load("x", i, off)
+		r := b.Load("x", i, off+Word)
+		t0 := b.Op2(ir.OpFMul, l, w0)
+		t1 := b.Op2(ir.OpFMul, c, w1)
+		t2 := b.Op2(ir.OpFMul, r, w2)
+		s := b.Op2(ir.OpFAdd, b.Op2(ir.OpFAdd, t0, t1), t2)
+		b.Store("yout", i, off, s)
+	}
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// Jacobi5 builds an unrolled 2D five-point relaxation sweep over a grid
+// with the given row stride (in elements).
+func Jacobi5(label string, freq float64, unroll, stride int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(int64(stride * Word))
+	quarter := b.Const(4)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		n := b.Load("grid", i, off-int64(stride*Word))
+		s := b.Load("grid", i, off+int64(stride*Word))
+		w := b.Load("grid", i, off-Word)
+		e := b.Load("grid", i, off+Word)
+		sum := b.Op2(ir.OpFAdd, b.Op2(ir.OpFAdd, n, s), b.Op2(ir.OpFAdd, w, e))
+		avg := b.Op2(ir.OpFDiv, sum, quarter)
+		b.Store("gout", i, off, avg)
+	}
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// MDForce builds a molecular-dynamics pairwise force kernel over `pairs`
+// interactions: six coordinate loads feed a deep arithmetic expression
+// (distance, inverse square, force components) per pair, with force
+// accumulators forming serial chains — high compute per load.
+func MDForce(label string, freq float64, pairs int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	p := b.Const(0)
+	one := b.Const(1)
+	cutoff := b.Const(9)
+	ax := b.Const(0)
+	ay := b.Const(0)
+	az := b.Const(0)
+	for u := 0; u < pairs; u++ {
+		off := int64(u * Word)
+		xi := b.Load("posxi", p, off)
+		yi := b.Load("posyi", p, off)
+		zi := b.Load("poszi", p, off)
+		xj := b.Load("posxj", p, off)
+		yj := b.Load("posyj", p, off)
+		zj := b.Load("poszj", p, off)
+		dx := b.Op2(ir.OpFSub, xi, xj)
+		dy := b.Op2(ir.OpFSub, yi, yj)
+		dz := b.Op2(ir.OpFSub, zi, zj)
+		r2 := b.Op2(ir.OpFAdd,
+			b.Op2(ir.OpFAdd, b.Op2(ir.OpFMul, dx, dx), b.Op2(ir.OpFMul, dy, dy)),
+			b.Op2(ir.OpFMul, dz, dz))
+		inv := b.Op2(ir.OpFDiv, one, r2)
+		f := b.Op2(ir.OpFMul, inv, cutoff)
+		ax = b.Op2(ir.OpFAdd, ax, b.Op2(ir.OpFMul, f, dx))
+		ay = b.Op2(ir.OpFAdd, ay, b.Op2(ir.OpFMul, f, dy))
+		az = b.Op2(ir.OpFAdd, az, b.Op2(ir.OpFMul, f, dz))
+	}
+	b.Store("force", p, 0, ax)
+	b.Store("force", p, Word, ay)
+	b.Store("force", p, 2*Word, az)
+	finishLoop(b, p, pairs, label)
+	return b.Block()
+}
+
+// FFT builds unrolled radix-2 butterflies: four loads, a complex
+// multiply-add lattice, four stores per butterfly — wide and bushy.
+func FFT(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	wr := b.Const(7)
+	wi := b.Const(5)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		ar := b.Load("re", i, off)
+		ai := b.Load("im", i, off)
+		br := b.Load("re", i, off+1024)
+		bi := b.Load("im", i, off+1024)
+		tr := b.Op2(ir.OpFSub, b.Op2(ir.OpFMul, br, wr), b.Op2(ir.OpFMul, bi, wi))
+		ti := b.Op2(ir.OpFAdd, b.Op2(ir.OpFMul, br, wi), b.Op2(ir.OpFMul, bi, wr))
+		b.Store("re", i, off, b.Op2(ir.OpFAdd, ar, tr))
+		b.Store("im", i, off, b.Op2(ir.OpFAdd, ai, ti))
+		b.Store("re", i, off+1024, b.Op2(ir.OpFSub, ar, tr))
+		b.Store("im", i, off+1024, b.Op2(ir.OpFSub, ai, ti))
+	}
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// Gather builds an unrolled indirect-access reduction: an index load feeds
+// a data load (two loads in series per element), with pairs independent
+// across elements.
+func Gather(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	acc := b.Const(0)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		idx := b.Load("index", i, off)
+		addr := b.OpImm(ir.OpShlI, idx, 3)
+		val := b.Load("table", addr, 0)
+		acc = b.Op2(ir.OpFAdd, acc, val)
+	}
+	b.MarkLiveOut(acc)
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// Chase builds a strictly serial pointer chase of the given depth: each
+// load's address depends on the previous load — zero load level
+// parallelism, the worst case for any latency-hiding scheduler.
+func Chase(label string, freq float64, depth int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	v := b.Const(0)
+	for u := 0; u < depth; u++ {
+		v = b.Load("list", v, 0)
+	}
+	b.MarkLiveOut(v)
+	b.Store("head", ir.NoReg, 0, v)
+	b.Ret()
+	return b.Block()
+}
+
+// Recurrence builds an unrolled first-order linear recurrence
+// x = a[i]*x + c[i]: the loads of each iteration are parallel but the
+// multiply-accumulate chain is serial.
+func Recurrence(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	x := b.Const(1)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		a := b.Load("acoef", i, off)
+		c := b.Load("ccoef", i, off)
+		x = b.Op2(ir.OpFAdd, b.Op2(ir.OpFMul, a, x), c)
+	}
+	b.MarkLiveOut(x)
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// Copy builds an unrolled memory copy b[i] = a[i]: pure memory traffic.
+func Copy(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		v := b.Load("src", i, off)
+		b.Store("dst", i, off, v)
+	}
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// ReduceTree builds a width-element load fan followed by a balanced
+// addition tree: maximal load level parallelism.
+func ReduceTree(label string, freq float64, width int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	vals := make([]ir.Reg, width)
+	for u := 0; u < width; u++ {
+		vals[u] = b.Load("x", i, int64(u*Word))
+	}
+	for len(vals) > 1 {
+		var next []ir.Reg
+		for k := 0; k+1 < len(vals); k += 2 {
+			next = append(next, b.Op2(ir.OpFAdd, vals[k], vals[k+1]))
+		}
+		if len(vals)%2 == 1 {
+			next = append(next, vals[len(vals)-1])
+		}
+		vals = next
+	}
+	b.Store("sum", ir.NoReg, 0, vals[0])
+	finishLoop(b, i, width, label)
+	return b.Block()
+}
+
+// MatMul builds an unrolled matrix-multiply inner loop with two
+// accumulators: c0 += a[k]*b0[k], c1 += a[k]*b1[k].
+func MatMul(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	k := b.Const(0)
+	c0 := b.Const(0)
+	c1 := b.Const(0)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		a := b.Load("amat", k, off)
+		b0 := b.Load("bmat0", k, off)
+		b1 := b.Load("bmat1", k, off)
+		c0 = b.Op2(ir.OpFAdd, c0, b.Op2(ir.OpFMul, a, b0))
+		c1 = b.Op2(ir.OpFAdd, c1, b.Op2(ir.OpFMul, a, b1))
+	}
+	b.Store("cmat", ir.NoReg, 0, c0)
+	b.Store("cmat", ir.NoReg, Word, c1)
+	finishLoop(b, k, unroll, label)
+	return b.Block()
+}
+
+// finishLoop appends the induction-variable update and backward branch
+// that close an unrolled loop body.
+func finishLoop(b *ir.Builder, i ir.Reg, unroll int, label string) {
+	n := b.Const(1 << 20)
+	ni := b.OpImm(ir.OpAddI, i, int64(unroll*Word))
+	b.MarkLiveOut(ni)
+	cond := b.Op2(ir.OpSlt, ni, n)
+	b.Br(cond, label)
+}
+
+// Kernels returns every kernel builder keyed by name, each instantiated
+// with a default unroll parameter — used by cmd tools and tests that want
+// to enumerate the library.
+func Kernels() map[string]func(label string, freq float64, param int) *ir.Block {
+	return map[string]func(string, float64, int) *ir.Block{
+		"saxpy":         Saxpy,
+		"dot":           Dot,
+		"stencil3":      Stencil3,
+		"jacobi5":       func(l string, f float64, p int) *ir.Block { return Jacobi5(l, f, p, 64) },
+		"mdforce":       MDForce,
+		"fft":           FFT,
+		"gather":        Gather,
+		"chase":         Chase,
+		"recurrence":    Recurrence,
+		"copy":          Copy,
+		"reducetree":    ReduceTree,
+		"matmul":        MatMul,
+		"gatherstencil": GatherStencil,
+		"chasesaxpy":    ChaseSaxpy,
+	}
+}
+
+// check panics if the produced block is structurally invalid; kernel
+// builders call it in tests.
+func check(b *ir.Block) *ir.Block {
+	if err := ir.ValidateBlock(b); err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
+	}
+	return b
+}

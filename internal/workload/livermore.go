@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+
+	"bsched/internal/ir"
+)
+
+// The Livermore Fortran kernels (McMahon's LFK suite) are the other
+// canonical scientific workload of the paper's era. A selection is
+// implemented here as a second, independently-constructed workload used
+// to cross-validate the headline results (experiment A10): if balanced
+// scheduling's advantage were an artifact of the Perfect-analogue tuning,
+// it would not reappear on these kernels.
+
+// LL1 is kernel 1, the hydro fragment:
+// x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+func LL1(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	k := b.Const(0)
+	q := b.Const(2)
+	r := b.Const(3)
+	tt := b.Const(5)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		y := b.Load("y", k, off)
+		z10 := b.Load("z", k, off+10*Word)
+		z11 := b.Load("z", k, off+11*Word)
+		inner := b.Op2(ir.OpFAdd, b.Op2(ir.OpFMul, r, z10), b.Op2(ir.OpFMul, tt, z11))
+		val := b.Op2(ir.OpFAdd, q, b.Op2(ir.OpFMul, y, inner))
+		b.Store("x", k, off, val)
+	}
+	finishLoop(b, k, unroll, label)
+	return b.Block()
+}
+
+// LL3 is kernel 3, the inner product: q += z[k]*x[k].
+func LL3(label string, freq float64, unroll int) *ir.Block {
+	return Dot(label, freq, unroll)
+}
+
+// LL5 is kernel 5, tridiagonal elimination (below diagonal):
+// x[i] = z[i]*(y[i] − x[i−1]) — a true linear recurrence.
+func LL5(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	x := b.Const(1) // x[i-1] carried in a register
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		z := b.Load("z", i, off)
+		y := b.Load("y", i, off)
+		x = b.Op2(ir.OpFMul, z, b.Op2(ir.OpFSub, y, x))
+		b.Store("x", i, off, x)
+	}
+	b.MarkLiveOut(x)
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// LL7 is kernel 7, the equation-of-state fragment: a wide arithmetic
+// expression over seven loads per element.
+func LL7(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	k := b.Const(0)
+	r := b.Const(3)
+	tt := b.Const(5)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		uk := b.Load("u", k, off)
+		z := b.Load("z", k, off)
+		y := b.Load("y", k, off)
+		u1 := b.Load("u", k, off+1*Word)
+		u2 := b.Load("u", k, off+2*Word)
+		u3 := b.Load("u", k, off+3*Word)
+		u6 := b.Load("u", k, off+6*Word)
+		t1 := b.Op2(ir.OpFAdd, z, b.Op2(ir.OpFMul, r, y))
+		t2 := b.Op2(ir.OpFAdd, u2, b.Op2(ir.OpFMul, r, u1))
+		t3 := b.Op2(ir.OpFAdd, u3, b.Op2(ir.OpFMul, r, t2))
+		t4 := b.Op2(ir.OpFAdd, u6, b.Op2(ir.OpFMul, tt, t3))
+		val := b.Op2(ir.OpFAdd, uk, b.Op2(ir.OpFAdd, b.Op2(ir.OpFMul, r, t1), b.Op2(ir.OpFMul, tt, t4)))
+		b.Store("x", k, off, val)
+	}
+	finishLoop(b, k, unroll, label)
+	return b.Block()
+}
+
+// LL9 is kernel 9, integrate predictors: one store fed by a long
+// multiply-add chain over ten loads of the same row.
+func LL9(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(0)
+	c0 := b.Const(7)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * 13 * Word)
+		acc := b.Load("px", i, off+4*Word)
+		for term := 0; term < 9; term++ {
+			v := b.Load("px", i, off+int64(5+term)*Word)
+			acc = b.Op2(ir.OpFAdd, acc, b.Op2(ir.OpFMul, c0, v))
+		}
+		b.Store("px", i, off, acc)
+	}
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// LL11 is kernel 11, the first sum (prefix sum): x[k] = x[k−1] + y[k] —
+// the tightest possible recurrence, one load of fresh data per link.
+func LL11(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	k := b.Const(0)
+	x := b.Const(0)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		y := b.Load("y", k, off)
+		x = b.Op2(ir.OpFAdd, x, y)
+		b.Store("x", k, off, x)
+	}
+	b.MarkLiveOut(x)
+	finishLoop(b, k, unroll, label)
+	return b.Block()
+}
+
+// LL12 is kernel 12, the first difference: x[k] = y[k+1] − y[k] — pure
+// parallel streaming.
+func LL12(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	k := b.Const(0)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		y1 := b.Load("y", k, off+Word)
+		y0 := b.Load("y", k, off)
+		b.Store("x", k, off, b.Op2(ir.OpFSub, y1, y0))
+	}
+	finishLoop(b, k, unroll, label)
+	return b.Block()
+}
+
+// LL22 is kernel 22, the Planckian distribution:
+// y[k] = u[k]/v[k]; w[k] = x[k]/(exp(y[k])−1) — modelled with divides
+// standing in for the exponential's latency profile.
+func LL22(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	k := b.Const(0)
+	one := b.Const(1)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		uu := b.Load("u", k, off)
+		v := b.Load("v", k, off)
+		x := b.Load("x", k, off)
+		y := b.Op2(ir.OpFDiv, uu, v)
+		ey := b.Op2(ir.OpFMul, y, y) // exp surrogate: y²
+		den := b.Op2(ir.OpFSub, ey, one)
+		w := b.Op2(ir.OpFDiv, x, den)
+		b.Store("w", k, off, w)
+		b.Store("yout", k, off, y)
+	}
+	finishLoop(b, k, unroll, label)
+	return b.Block()
+}
+
+// LivermoreKernels returns the implemented LFK kernels keyed by name.
+func LivermoreKernels() map[string]func(label string, freq float64, unroll int) *ir.Block {
+	return map[string]func(string, float64, int) *ir.Block{
+		"ll1":  LL1,
+		"ll3":  LL3,
+		"ll5":  LL5,
+		"ll7":  LL7,
+		"ll9":  LL9,
+		"ll11": LL11,
+		"ll12": LL12,
+		"ll22": LL22,
+	}
+}
+
+// Livermore assembles the LFK selection into one program with equal
+// profile shares, used by the cross-workload validation (A10).
+func Livermore() *ir.Program {
+	order := []string{"ll1", "ll3", "ll5", "ll7", "ll9", "ll11", "ll12", "ll22"}
+	unrolls := map[string]int{
+		"ll1": 4, "ll3": 4, "ll5": 6, "ll7": 2, "ll9": 2, "ll11": 6, "ll12": 6, "ll22": 3,
+	}
+	kernels := LivermoreKernels()
+	const targetMIns = 1000.0
+	share := targetMIns / float64(len(order))
+	fn := &ir.Func{Name: "lfk"}
+	for _, name := range order {
+		label := "lfk_" + name
+		probe := kernels[name](label, 1, unrolls[name])
+		freq := share / float64(len(probe.Instrs))
+		fn.Blocks = append(fn.Blocks, check(kernels[name](label, freq, unrolls[name])))
+	}
+	prog := &ir.Program{Name: "LFK", Funcs: []*ir.Func{fn}}
+	if err := ir.Validate(prog); err != nil {
+		panic(fmt.Sprintf("workload: livermore: %v", err))
+	}
+	return prog
+}

@@ -1,0 +1,64 @@
+package workload
+
+import "bsched/internal/ir"
+
+// Mixed kernels combine code regions with very different load level
+// parallelism inside one basic block. They matter for fidelity in two
+// ways: real loop bodies (after inlining and unrolling) are rarely
+// homogeneous, and the §3 average-LLP ablation (A1) only degrades on
+// blocks whose loads deserve different weights — on homogeneous blocks a
+// uniform average is indistinguishable from per-load weights.
+
+// GatherStencil interleaves a three-point stencil (three parallel loads
+// per element) with an indirect gather (two loads in series per element):
+// within one block, some loads can sustain long latencies and others
+// cannot.
+func GatherStencil(label string, freq float64, unroll int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	i := b.Const(Word)
+	w := b.Const(3)
+	for u := 0; u < unroll; u++ {
+		off := int64(u * Word)
+		// Stencil part: three parallel loads.
+		l := b.Load("x", i, off-Word)
+		c := b.Load("x", i, off)
+		r := b.Load("x", i, off+Word)
+		s := b.Op2(ir.OpFAdd, b.Op2(ir.OpFAdd, l, c), r)
+		// Gather part: two loads in series.
+		idx := b.Load("index", i, off)
+		addr := b.OpImm(ir.OpShlI, idx, 3)
+		g := b.Load("table", addr, 0)
+		out := b.Op2(ir.OpFMul, b.Op2(ir.OpFAdd, s, g), w)
+		b.Store("yout", i, off, out)
+	}
+	finishLoop(b, i, unroll, label)
+	return b.Block()
+}
+
+// ChaseSaxpy pairs a strictly serial pointer chase with an unrolled saxpy
+// in the same block: the chase loads have almost no parallelism of their
+// own, but the saxpy supplies independent instructions that a per-load
+// weighting can hand to them — and a uniform average weighting cannot.
+func ChaseSaxpy(label string, freq float64, param int) *ir.Block {
+	b := ir.NewBuilder(label, freq)
+	p := b.Const(0)
+	a := b.Const(3)
+	// Serial chase of depth param.
+	v := p
+	for u := 0; u < param; u++ {
+		v = b.Load("list", v, 0)
+	}
+	b.MarkLiveOut(v)
+	// Independent saxpy of width param.
+	for u := 0; u < param; u++ {
+		off := int64(u * Word)
+		x := b.Load("x", p, off)
+		y := b.Load("y", p, off)
+		t := b.Op2(ir.OpFMul, x, a)
+		s := b.Op2(ir.OpFAdd, t, y)
+		b.Store("y", p, off, s)
+	}
+	b.Store("head", ir.NoReg, 0, v)
+	finishLoop(b, p, param, label)
+	return b.Block()
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bsched/internal/ir"
+)
+
+// RandomParams shapes a randomly generated basic block.
+type RandomParams struct {
+	// Instrs is the number of instructions to generate (before the loop
+	// close); must be >= 1.
+	Instrs int
+	// PLoad and PStore are the probabilities of emitting a load or store;
+	// the remainder are ALU/FP operations.
+	PLoad, PStore float64
+	// PIndirect is the probability that a load draws its address from a
+	// previously loaded value (creating serial load chains).
+	PIndirect float64
+	// Syms is the number of distinct array symbols to reference.
+	Syms int
+}
+
+// DefaultRandomParams gives a balanced mix resembling compiled loop code.
+func DefaultRandomParams(n int) RandomParams {
+	return RandomParams{Instrs: n, PLoad: 0.3, PStore: 0.1, PIndirect: 0.25, Syms: 4}
+}
+
+// Random generates a pseudo-random, structurally valid, self-contained
+// basic block: every register is defined before use and the block ends
+// with a return. The same seed always produces the same block.
+func Random(rng *rand.Rand, p RandomParams) *ir.Block {
+	if p.Instrs < 1 {
+		panic("workload: Random with Instrs < 1")
+	}
+	if p.Syms < 1 {
+		p.Syms = 1
+	}
+	b := ir.NewBuilder(fmt.Sprintf("rand%d", rng.Int63n(1<<30)), 1)
+	var defined []ir.Reg // all defined values
+	var loaded []ir.Reg  // values produced by loads (for indirect chains)
+	sym := func() string { return fmt.Sprintf("arr%d", rng.Intn(p.Syms)) }
+	pick := func() ir.Reg { return defined[rng.Intn(len(defined))] }
+
+	// Seed a few constants so sources always exist.
+	for k := 0; k < 3; k++ {
+		defined = append(defined, b.Const(int64(k)))
+	}
+
+	aluOps := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv}
+
+	for k := 0; k < p.Instrs; k++ {
+		r := rng.Float64()
+		switch {
+		case r < p.PLoad:
+			base := ir.NoReg
+			if len(loaded) > 0 && rng.Float64() < p.PIndirect {
+				base = loaded[rng.Intn(len(loaded))]
+			} else if rng.Float64() < 0.5 {
+				base = pick()
+			}
+			v := b.Load(sym(), base, int64(rng.Intn(64))*Word)
+			defined = append(defined, v)
+			loaded = append(loaded, v)
+		case r < p.PLoad+p.PStore:
+			base := ir.NoReg
+			if rng.Float64() < 0.5 {
+				base = pick()
+			}
+			b.Store(sym(), base, int64(rng.Intn(64))*Word, pick())
+		default:
+			op := aluOps[rng.Intn(len(aluOps))]
+			defined = append(defined, b.Op2(op, pick(), pick()))
+		}
+	}
+	b.Ret()
+	return b.Block()
+}
