@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro repro-quick examples vet fmt cover clean
+.PHONY: all build test race test-race fuzz-smoke bench repro repro-quick examples vet fmt cover clean
 
 all: build test
 
@@ -12,8 +12,15 @@ build:
 test:
 	$(GO) test ./...
 
-race:
+race test-race:
 	$(GO) test -race ./...
+
+# Short fuzzing runs of the hostile-input targets; long enough to shake
+# out crashes in the parse→compile path without stalling CI.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseCompile -fuzztime=$(FUZZTIME) ./internal/compile
+	$(GO) test -run='^$$' -fuzz=FuzzMemlatSpec -fuzztime=$(FUZZTIME) ./internal/memlat
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

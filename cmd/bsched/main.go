@@ -3,27 +3,35 @@
 //
 // Usage:
 //
-//	bsched [-lat L] [-alias disjoint|conservative] [-weights] [-dot] [file.ir]
+//	bsched [-lat L] [-alias disjoint|conservative] [-weights] [-dot]
+//	       [-budget N] [-timeout D] [file.ir]
 //
 // Reads the program from the file (or stdin) and prints, per basic block,
 // the computed balanced weights and both schedules. With -dot, the code
 // DAG is printed in Graphviz syntax instead.
+//
+// Compilation runs through the hardened front door
+// (bsched/internal/compile): malformed input exits non-zero with a
+// diagnostic instead of a stack trace, and blocks that exceed the -budget
+// work cap or the -timeout deadline degrade down the ladder (exact DP →
+// union-find → fixed-latency weights; list scheduling → source order)
+// with each downgrade reported inline.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"bsched/internal/analytic"
 	"bsched/internal/cli"
+	"bsched/internal/compile"
 	"bsched/internal/core"
 	"bsched/internal/deps"
 	"bsched/internal/ir"
 	"bsched/internal/lineopt"
 	"bsched/internal/memlat"
-	"bsched/internal/pipeline"
-	"bsched/internal/sched"
 	"bsched/internal/unroll"
 )
 
@@ -38,8 +46,13 @@ func main() {
 	memSpec := flag.String("mem", "L80(2,10)", "memory model for the analytic expected-stall comparison")
 	showAnalytic := flag.Bool("analytic", true, "print the closed-form expected stalls of each schedule")
 	lineOpt := flag.Bool("lineopt", false, "mark second accesses to a cache line as known hits first (§6)")
+	budget := flag.Int64("budget", 0, "work budget per block in abstract units (0 default, negative unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on compilation (0 none); past it blocks degrade, not abort")
 	flag.Parse()
 
+	if err := cli.CheckLatency(*lat); err != nil {
+		fatal(err)
+	}
 	src, err := cli.ReadInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -54,6 +67,13 @@ func main() {
 		fatal(err)
 	}
 	buildOpts := deps.BuildOptions{Alias: alias}
+	copts := compile.Options{
+		TradLatency: *lat,
+		Alias:       alias,
+		BlockBudget: *budget,
+		Timeout:     *timeout,
+	}
+	ctx := context.Background()
 
 	for _, blk := range prog.Blocks() {
 		if *unrollBy > 1 {
@@ -69,12 +89,12 @@ func main() {
 				fmt.Printf("(lineopt: %d loads marked as known cache hits)\n", n)
 			}
 		}
-		g := deps.Build(blk, buildOpts)
 		if *dot {
-			fmt.Print(g.Dot())
+			fmt.Print(deps.Build(blk, buildOpts).Dot())
 			continue
 		}
 		if *explain >= 0 {
+			g := deps.Build(blk, buildOpts)
 			if *explain >= g.N() {
 				fatal(fmt.Errorf("block %s has only %d instructions", blk.Label, g.N()))
 			}
@@ -84,41 +104,57 @@ func main() {
 			}))
 			continue
 		}
-		fmt.Printf("== block %s (freq %g, %d instrs, %d loads, %d deps)\n",
-			blk.Label, blk.Freq, len(blk.Instrs), blk.NumLoads(), g.NumEdges())
-
-		weights := core.Weights(g, core.Options{})
-		if *showWeights {
-			fmt.Println("balanced weights:")
-			for i, in := range blk.Instrs {
-				marker := " "
-				if in.Op.IsLoad() {
-					marker = "*"
-				}
-				fmt.Printf("  %s w=%-7.3f %s\n", marker, weights[i], in)
-			}
-		}
 
 		if *stages {
-			showStages(blk, alias)
+			showStages(ctx, blk, copts)
 			continue
 		}
 
-		trad := sched.Schedule(g, sched.Traditional(*lat))
-		bal := sched.Schedule(g, sched.Balanced(core.Options{}))
-		fmt.Printf("schedules (traditional lat=%g | balanced):\n", *lat)
-		for i := range trad.Order {
-			fmt.Printf("  %2d: %-40s | %s\n", i, trad.Order[i], bal.Order[i])
+		sopts := copts
+		sopts.SkipRegalloc = true
+		sopts.Scheduler = compile.Balanced
+		bal, err := compile.RunBlock(ctx, blk, sopts)
+		if err != nil {
+			fatal(err)
 		}
-		fmt.Printf("starvation no-ops: traditional %d, balanced %d\n", trad.VNops, bal.VNops)
+		sopts.Scheduler = compile.Traditional
+		trad, err := compile.RunBlock(ctx, blk, sopts)
+		if err != nil {
+			fatal(err)
+		}
+
+		fmt.Printf("== block %s (freq %g, %d instrs, %d loads)\n",
+			blk.Label, blk.Freq, len(blk.Instrs), blk.NumLoads())
+		reportDegradations(bal, trad)
+
+		if *showWeights {
+			if w := bal.Pass1.Weights; w != nil {
+				fmt.Println("balanced weights:")
+				for i, in := range blk.Instrs {
+					marker := " "
+					if in.Op.IsLoad() {
+						marker = "*"
+					}
+					fmt.Printf("  %s w=%-7.3f %s\n", marker, w[i], in)
+				}
+			} else {
+				fmt.Println("balanced weights: unavailable (block fell back to source order)")
+			}
+		}
+
+		fmt.Printf("schedules (traditional lat=%g | balanced):\n", *lat)
+		for i := range trad.Pass1.Order {
+			fmt.Printf("  %2d: %-40s | %s\n", i, trad.Pass1.Order[i], bal.Pass1.Order[i])
+		}
+		fmt.Printf("starvation no-ops: traditional %d, balanced %d\n", trad.Pass1.VNops, bal.Pass1.VNops)
 		if *showAnalytic {
 			model, err := memlat.ParseModel(*memSpec)
 			if err != nil {
 				fatal(err)
 			}
 			if dist, ok := model.(memlat.Distribution); ok {
-				et, err1 := analytic.EstimateRuntime(trad.Order, dist)
-				eb, err2 := analytic.EstimateRuntime(bal.Order, dist)
+				et, err1 := analytic.EstimateRuntime(trad.Pass1.Order, dist)
+				eb, err2 := analytic.EstimateRuntime(bal.Pass1.Order, dist)
 				if err1 == nil && err2 == nil {
 					fmt.Printf("expected stalls on %s (analytic): traditional %.2f, balanced %.2f\n",
 						dist.Name(), et.ExpectedStalls, eb.ExpectedStalls)
@@ -129,32 +165,48 @@ func main() {
 	}
 }
 
-// showStages runs the balanced compiler pipeline on the block and prints
+// reportDegradations prints every ladder downgrade the compilations took.
+func reportDegradations(results ...*compile.BlockResult) {
+	for _, res := range results {
+		for _, e := range res.Degradations {
+			fmt.Printf("degraded: %s\n", e)
+		}
+	}
+}
+
+// showStages runs the hardened balanced pipeline on the block and prints
 // the outcome of each stage.
-func showStages(blk *ir.Block, alias deps.AliasMode) {
-	opts := pipeline.Balanced()
-	opts.Alias = alias
-	res, err := pipeline.CompileBlock(blk, opts)
+func showStages(ctx context.Context, blk *ir.Block, copts compile.Options) {
+	copts.Scheduler = compile.Balanced
+	res, err := compile.RunBlock(ctx, blk, copts)
 	if err != nil {
 		fatal(err)
 	}
+	reportDegradations(res)
 	fmt.Printf("stage 0 — source (%d instrs):\n", len(blk.Instrs))
 	for _, in := range blk.Instrs {
 		fmt.Printf("    %s\n", in)
 	}
-	// Reschedule a clone for display: the pipeline's own pass-1 result
-	// shares instruction pointers that allocation later rewrites.
-	display := blk.Clone()
-	ir.Renumber(display)
-	_, pass1 := sched.ScheduleBlock(display, deps.BuildOptions{Alias: alias},
-		sched.Balanced(core.Options{}))
+	// Recompile a clone for display: the result's own pass-1 order shares
+	// instruction pointers that allocation later rewrites.
+	dopts := copts
+	dopts.SkipRegalloc = true
+	display, err := compile.RunBlock(ctx, blk, dopts)
+	if err != nil {
+		fatal(err)
+	}
+	pass1 := display.Pass1
 	fmt.Printf("stage 1 — balanced schedule (%d starvation no-ops):\n", pass1.VNops)
 	for k, in := range pass1.Order {
-		fmt.Printf("    %2d: %s  (w=%.2f)\n", k, in, pass1.Weights[pass1.Perm[k]])
+		if pass1.Weights != nil {
+			fmt.Printf("    %2d: %s  (w=%.2f)\n", k, in, pass1.Weights[pass1.Perm[k]])
+		} else {
+			fmt.Printf("    %2d: %s\n", k, in)
+		}
 	}
 	fmt.Printf("stage 2 — register allocation: %d spill stores, %d spill loads, peak pressure %d\n",
 		res.Spill.SpillStores, res.Spill.SpillLoads, res.Spill.MaxPressure)
-	fmt.Printf("stage 3 — final schedule (%d instrs):\n", len(res.Block.Instrs))
+	fmt.Printf("stage 3 — final schedule (%d instrs, %d work units):\n", len(res.Block.Instrs), res.WorkUsed)
 	for k, in := range res.Block.Instrs {
 		fmt.Printf("    %2d: %s\n", k, in)
 	}

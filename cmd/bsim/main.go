@@ -6,11 +6,16 @@
 //
 //	bsim [-sched balanced|traditional|average] [-lat L]
 //	     [-proc unlimited|max8|len8] [-mem MODEL] [-trials N] [-seed S]
-//	     [-compare] [file.ir]
+//	     [-compare] [-budget N] [-timeout D] [file.ir]
 //
 // MODEL uses the paper's notation, e.g. L80(2,5), N(3,5), L80-N(30,5),
 // fixed(4). With -compare, both the traditional and balanced compilers
 // run and the paired percentage improvement is reported.
+//
+// Compilation runs through the hardened front door
+// (bsched/internal/compile); blocks exceeding the -budget work cap or
+// the -timeout deadline degrade to cheaper strategies (reported on
+// stderr) instead of aborting.
 package main
 
 import (
@@ -35,8 +40,21 @@ func main() {
 	seed := flag.Int64("seed", 1993, "random seed")
 	compare := flag.Bool("compare", false, "compare balanced against traditional")
 	trace := flag.Bool("trace", false, "print a cycle-accurate issue trace of one run per block")
+	budget := flag.Int64("budget", 0, "work budget per block in abstract units (0 default, negative unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound on compilation (0 none); past it blocks degrade, not abort")
 	flag.Parse()
 
+	// The compiler and experiment internals treat invariant violations as
+	// panics; at the tool boundary they become diagnostics, not traces.
+	defer func() {
+		if r := recover(); r != nil {
+			fatal(fmt.Errorf("internal error: %v", r))
+		}
+	}()
+
+	if err := cli.CheckLatency(*lat); err != nil {
+		fatal(err)
+	}
 	src, err := cli.ReadInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -54,7 +72,15 @@ func main() {
 		fatal(err)
 	}
 
-	runner := &experiments.Runner{Trials: *trials, Resamples: 100, Seed: *seed}
+	runner := &experiments.Runner{
+		Trials: *trials, Resamples: 100, Seed: *seed,
+		BlockBudget: *budget, Timeout: *timeout,
+	}
+	defer func() {
+		for _, e := range runner.Degradations {
+			fmt.Fprintf(os.Stderr, "bsim: degraded: %s\n", e)
+		}
+	}()
 
 	if *compare {
 		c := runner.Compare(prog, *lat, proc, mem)

@@ -29,13 +29,26 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,table5,figure2,figure3,figure5,ablations,summary,profile")
 	ci := flag.Bool("ci", false, "render Table 2 with 95% confidence intervals")
 	csvDir := flag.String("csv", "", "also write table2.csv and figure3.csv into this directory")
+	budget := flag.Int64("budget", 0, "work budget per compiled block in abstract units (0 default, negative unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound per program compilation (0 none); past it blocks degrade, not abort")
 	flag.Parse()
+
+	// Invariant violations deep in the experiment code panic; at the tool
+	// boundary they become a diagnostic and a non-zero exit, not a trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro: internal error:", r)
+			os.Exit(1)
+		}
+	}()
 
 	runner := experiments.DefaultRunner()
 	if *quick {
 		runner = experiments.QuickRunner()
 	}
 	runner.Seed = *seed
+	runner.BlockBudget = *budget
+	runner.Timeout = *timeout
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -114,6 +127,12 @@ func main() {
 		fmt.Println(experiments.FormatAblations(runner, progs, names))
 	}
 
+	if n := len(runner.Degradations); n > 0 {
+		fmt.Fprintf(os.Stderr, "paperrepro: %d block compilations degraded under the work budget:\n", n)
+		for _, e := range runner.Degradations {
+			fmt.Fprintf(os.Stderr, "  %s\n", e)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start))
 }
 

@@ -1,0 +1,115 @@
+// Package budget bounds the work a compilation stage may perform.
+//
+// The balanced weight computation is O(n²·e)-ish on adversarial blocks and
+// the list scheduler's deferred-ready loop is quadratic in the worst case;
+// a hostile or merely enormous input block must not be able to wedge the
+// compile path. Every budgeted stage charges abstract work units against a
+// Budget as it goes and aborts with ErrExceeded once the cap is reached,
+// letting the caller degrade to a cheaper strategy instead of stalling
+// (see bsched/internal/compile for the degradation ladder).
+//
+// A Budget also carries a context.Context: cancellation and deadlines are
+// observed at charge time, amortized so the common path stays a pair of
+// integer operations.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrExceeded is returned (wrapped in *Error) when a stage charges past
+// its work cap. Callers distinguish it from context cancellation with
+// errors.Is.
+var ErrExceeded = errors.New("work budget exceeded")
+
+// Error reports a budget violation with the amount of work performed.
+type Error struct {
+	// Used is the number of work units charged when the budget tripped.
+	Used int64
+	// Limit is the work cap (0 when the failure was a context error).
+	Limit int64
+	// Err is ErrExceeded or the context's error.
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Limit > 0 {
+		return fmt.Sprintf("%v after %d of %d units", e.Err, e.Used, e.Limit)
+	}
+	return fmt.Sprintf("%v after %d units", e.Err, e.Used)
+}
+
+// Unwrap supports errors.Is(err, ErrExceeded) and context.Canceled /
+// context.DeadlineExceeded matching.
+func (e *Error) Unwrap() error { return e.Err }
+
+// ctxCheckInterval is how many work units may be charged between
+// context.Err() polls.
+const ctxCheckInterval = 8192
+
+// Budget tracks work units charged against a cap. The zero value and the
+// nil pointer are both "unlimited, no context": every method on a nil
+// *Budget is safe and free, so unbudgeted call paths pass nil without
+// ceremony. A Budget is not safe for concurrent use; fork one per
+// goroutine.
+type Budget struct {
+	ctx       context.Context
+	limit     int64 // <= 0 means unlimited
+	used      int64
+	nextCheck int64 // used value at which to poll ctx again
+}
+
+// New returns a budget of limit work units observing ctx. A limit <= 0
+// means unlimited (only the context bounds the work); a nil ctx means no
+// cancellation.
+func New(ctx context.Context, limit int64) *Budget {
+	return &Budget{ctx: ctx, limit: limit, nextCheck: ctxCheckInterval}
+}
+
+// Charge records n units of work. It returns a *Error wrapping
+// ErrExceeded when the cap is passed, or wrapping the context error when
+// the context is done. A nil receiver charges nothing and never fails.
+func (b *Budget) Charge(n int64) error {
+	if b == nil {
+		return nil
+	}
+	b.used += n
+	if b.limit > 0 && b.used > b.limit {
+		return &Error{Used: b.used, Limit: b.limit, Err: ErrExceeded}
+	}
+	if b.ctx != nil && b.used >= b.nextCheck {
+		b.nextCheck = b.used + ctxCheckInterval
+		if err := b.ctx.Err(); err != nil {
+			return &Error{Used: b.used, Err: err}
+		}
+	}
+	return nil
+}
+
+// Used returns the work charged so far.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used
+}
+
+// Limit returns the work cap (0 for unlimited).
+func (b *Budget) Limit() int64 {
+	if b == nil || b.limit <= 0 {
+		return 0
+	}
+	return b.limit
+}
+
+// Fork returns a fresh budget with the same context and cap and zero
+// usage — one rung of a degradation ladder each gets its own allowance.
+func (b *Budget) Fork() *Budget {
+	if b == nil {
+		return nil
+	}
+	return New(b.ctx, b.limit)
+}

@@ -1,0 +1,79 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 1000; i++ {
+		if err := b.Charge(1 << 40); err != nil {
+			t.Fatalf("nil budget charged: %v", err)
+		}
+	}
+	if b.Used() != 0 || b.Limit() != 0 {
+		t.Fatalf("nil budget reports usage")
+	}
+	if b.Fork() != nil {
+		t.Fatalf("nil budget forked non-nil")
+	}
+}
+
+func TestChargeTripsAtLimit(t *testing.T) {
+	b := New(context.Background(), 10)
+	for i := 0; i < 10; i++ {
+		if err := b.Charge(1); err != nil {
+			t.Fatalf("charge %d failed early: %v", i, err)
+		}
+	}
+	err := b.Charge(1)
+	if !errors.Is(err, ErrExceeded) {
+		t.Fatalf("want ErrExceeded, got %v", err)
+	}
+	var be *Error
+	if !errors.As(err, &be) || be.Used != 11 || be.Limit != 10 {
+		t.Fatalf("bad budget error detail: %+v", be)
+	}
+}
+
+func TestUnlimitedBudgetObservesContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, 0)
+	if err := b.Charge(ctxCheckInterval + 1); err != nil {
+		t.Fatalf("live context tripped: %v", err)
+	}
+	cancel()
+	var err error
+	for i := 0; i < 3 && err == nil; i++ {
+		err = b.Charge(ctxCheckInterval + 1)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if errors.Is(err, ErrExceeded) {
+		t.Fatalf("context error must not match ErrExceeded")
+	}
+}
+
+func TestForkResetsUsage(t *testing.T) {
+	b := New(context.Background(), 5)
+	if err := b.Charge(5); err != nil {
+		t.Fatalf("charge: %v", err)
+	}
+	f := b.Fork()
+	if f.Used() != 0 || f.Limit() != 5 {
+		t.Fatalf("fork carried usage: used=%d limit=%d", f.Used(), f.Limit())
+	}
+	if err := f.Charge(5); err != nil {
+		t.Fatalf("forked budget tripped early: %v", err)
+	}
+}
+
+func TestZeroValueIsUnlimited(t *testing.T) {
+	var b Budget
+	if err := b.Charge(1 << 50); err != nil {
+		t.Fatalf("zero-value budget tripped: %v", err)
+	}
+}

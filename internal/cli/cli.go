@@ -78,9 +78,22 @@ func PickScheduler(r *experiments.Runner, kind string, lat float64) (experiments
 	case "balanced":
 		return r.BalancedSched(), nil
 	case "traditional":
+		if err := CheckLatency(lat); err != nil {
+			return experiments.SchedulerKind{}, err
+		}
 		return experiments.TraditionalSched(lat), nil
 	case "average":
 		return r.AverageSched(), nil
 	}
 	return experiments.SchedulerKind{}, fmt.Errorf("unknown scheduler %q", kind)
+}
+
+// CheckLatency validates a user-supplied optimistic load latency before
+// it reaches sched.Traditional, which treats a latency below 1 as a
+// programmer error and panics.
+func CheckLatency(lat float64) error {
+	if !(lat >= 1) { // also rejects NaN
+		return fmt.Errorf("load latency %g out of range [1, ∞)", lat)
+	}
+	return nil
 }

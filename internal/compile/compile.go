@@ -1,0 +1,492 @@
+// Package compile is the hardened front door to the compiler pipeline:
+// the entry point user-facing tools (bsched, bsim, paperrepro) call
+// instead of wiring bsched/internal/pipeline themselves.
+//
+// The package adds three guarantees the raw pipeline does not make:
+//
+//   - Panic-free boundaries. A panic anywhere in dependence construction,
+//     weight computation, scheduling or register allocation is recovered
+//     at the stage boundary and reported as a typed *Error carrying the
+//     stage, block label and (when attributable) instruction index.
+//
+//   - Bounded work. Every block compiles under a context.Context and a
+//     per-block work budget (bsched/internal/budget). Cancellation and
+//     budget exhaustion are observed inside the quadratic loops of the
+//     balanced weight computation and the list scheduler.
+//
+//   - Graceful degradation. A stage that exceeds its budget does not
+//     abort the compilation; it falls down a ladder of cheaper
+//     strategies — exact ChancesDP → union-find Chances → fixed-latency
+//     weights, and list scheduling → source order (always a valid
+//     topological order) — recording every downgrade in
+//     BlockResult.Degradations so callers can surface them.
+//
+// Register pressure failures (spill pool exhaustion) remain hard errors:
+// no cheaper strategy can conjure registers, so they surface as *Error
+// rather than a rung.
+package compile
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bsched/internal/budget"
+	"bsched/internal/core"
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+	"bsched/internal/pipeline"
+	"bsched/internal/regalloc"
+	"bsched/internal/sched"
+)
+
+// Scheduler selects the weighting family.
+type Scheduler int
+
+const (
+	// Balanced is the paper's balanced scheduler (default).
+	Balanced Scheduler = iota
+	// Traditional is the fixed-load-latency baseline.
+	Traditional
+)
+
+// String names the scheduler ("balanced", "traditional").
+func (s Scheduler) String() string {
+	if s == Traditional {
+		return "traditional"
+	}
+	return "balanced"
+}
+
+// DefaultBlockBudget is the per-rung work allowance a block gets when
+// Options.BlockBudget is zero. It is far above what any realistic block
+// needs (the charge unit is roughly one loop iteration) while still
+// bounding adversarial inputs to well under a second of work.
+const DefaultBlockBudget = 4 << 20
+
+// Options configures a hardened compilation. The zero value is a valid
+// balanced compilation with default budgets.
+type Options struct {
+	// Scheduler selects balanced (default) or traditional weighting.
+	Scheduler Scheduler
+	// Weighter, when non-nil, overrides Scheduler with a custom weighting
+	// strategy (the experiment runner's ablation weighters use this). A
+	// custom weighter runs outside the weights budget, but panics and
+	// wrong-length results still degrade to the fixed-latency rung, and
+	// dependence construction and scheduling stay budgeted.
+	Weighter sched.Weighter
+	// TradLatency is the fixed load latency for the traditional scheduler
+	// and for the final fixed-latency rung of the degradation ladder.
+	// Zero means 2 (the paper's cache hit time); values below 1 are
+	// rejected.
+	TradLatency float64
+	// Core tunes the balanced weight computation. Core.Chances picks the
+	// top rung of the ladder; ChancesUnionFind starts one rung down.
+	Core core.Options
+	// Alias selects the memory disambiguation mode (§4.2).
+	Alias deps.AliasMode
+	// Regalloc sizes the register file. Zero value → regalloc.DefaultConfig.
+	Regalloc regalloc.Config
+	// SkipRegalloc compiles with scheduling pass 1 only.
+	SkipRegalloc bool
+	// Heuristics toggles the scheduler's tie-break heuristics.
+	Heuristics sched.Heuristics
+	// Allocator selects the register allocation backend.
+	Allocator pipeline.AllocatorKind
+	// SkipPass2 skips the post-allocation scheduling pass.
+	SkipPass2 bool
+	// BlockBudget is the work allowance in abstract units granted to each
+	// budgeted stage rung of each block. Zero means DefaultBlockBudget;
+	// negative means unlimited (only the context bounds the work).
+	BlockBudget int64
+	// Timeout, when positive, bounds the wall-clock time of a Run or
+	// RunBlock call; past it, remaining blocks compile through the
+	// cheapest rungs of the ladder.
+	Timeout time.Duration
+}
+
+func (o *Options) tradLatency() float64 {
+	if o.TradLatency == 0 {
+		return 2
+	}
+	return o.TradLatency
+}
+
+func (o *Options) blockBudget() int64 {
+	switch {
+	case o.BlockBudget == 0:
+		return DefaultBlockBudget
+	case o.BlockBudget < 0:
+		return 0 // budget.New treats <= 0 as unlimited
+	}
+	return o.BlockBudget
+}
+
+func (o *Options) validate() error {
+	if o.TradLatency != 0 && !(o.TradLatency >= 1) { // also rejects NaN
+		return fmt.Errorf("traditional load latency %g out of range [1, ∞)", o.TradLatency)
+	}
+	return nil
+}
+
+func (o *Options) regallocConfig() regalloc.Config {
+	if o.Regalloc == (regalloc.Config{}) {
+		return regalloc.DefaultConfig()
+	}
+	return o.Regalloc
+}
+
+// Ladder rung names, used in Event.From / Event.To.
+const (
+	RungChancesDP = "chances-dp"
+	RungUnionFind = "chances-unionfind"
+	RungCustom    = "custom-weighter"
+	RungFixedLat  = "fixed-latency"
+	RungListSched = "list-scheduler"
+	RungSrcOrder  = "source-order"
+)
+
+// Event records one degradation: a stage of a block's compilation that
+// fell from one strategy to a cheaper one.
+type Event struct {
+	// Block is the label of the affected block.
+	Block string
+	// Pass is the scheduling pass (1 or 2).
+	Pass int
+	// Stage is the degraded stage: "weights" or "schedule".
+	Stage string
+	// From and To are ladder rung names (Rung* constants).
+	From, To string
+	// Reason is the triggering error, rendered.
+	Reason string
+}
+
+// String renders "block b3 pass 1: weights chances-dp → chances-unionfind (…)".
+func (e Event) String() string {
+	return fmt.Sprintf("block %s pass %d: %s %s → %s (%s)", e.Block, e.Pass, e.Stage, e.From, e.To, e.Reason)
+}
+
+// BlockResult is the hardened compilation outcome for one block.
+type BlockResult struct {
+	// Block is the final scheduled block; instructions are clones, the
+	// input block is never mutated.
+	Block *ir.Block
+	// Spill reports register-allocator activity (zero when SkipRegalloc).
+	Spill regalloc.Stats
+	// Pass1 and Pass2 are the scheduling results (Pass2 nil when
+	// SkipRegalloc or SkipPass2).
+	Pass1, Pass2 *sched.Result
+	// Degradations lists every ladder downgrade taken, in order. Empty
+	// means the block compiled at full strength.
+	Degradations []Event
+	// WorkUsed totals the work units charged across all budgeted rungs.
+	WorkUsed int64
+}
+
+// Degraded reports whether any stage fell down the ladder.
+func (r *BlockResult) Degraded() bool { return len(r.Degradations) > 0 }
+
+// Result is the hardened compilation outcome for a whole program.
+type Result struct {
+	// Program is the final scheduled program.
+	Program *ir.Program
+	// Blocks holds the per-block results in program order.
+	Blocks []*BlockResult
+	// Degradations aggregates every block's downgrades.
+	Degradations []Event
+}
+
+// Pipeline converts the hardened result into the raw pipeline's result
+// type, for callers (the experiment runner, the measurement helpers)
+// whose downstream analysis is written against it.
+func (r *Result) Pipeline() *pipeline.ProgramResult {
+	out := &pipeline.ProgramResult{Program: r.Program}
+	for _, br := range r.Blocks {
+		out.Blocks = append(out.Blocks, &pipeline.BlockResult{
+			Block: br.Block,
+			Spill: br.Spill,
+			Pass1: br.Pass1,
+			Pass2: br.Pass2,
+		})
+	}
+	return out
+}
+
+// RunBlock compiles one basic block through the hardened pipeline. The
+// returned error, if any, is always an *Error; scheduling never fails
+// (it degrades), so errors come from invalid options, invalid input, or
+// register pressure.
+func RunBlock(ctx context.Context, b *ir.Block, opts Options) (res *BlockResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, recovered("compile", b.Label, r)
+		}
+	}()
+	if err := opts.validate(); err != nil {
+		return nil, newError("options", "", err)
+	}
+	if b == nil {
+		return nil, newError("input", "", fmt.Errorf("nil block"))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	return compileBlock(ctx, b, opts)
+}
+
+// Run compiles every block of the program. Blocks are compiled
+// independently; the first hard error aborts (scheduling degradations do
+// not — they accumulate in Result.Degradations).
+func Run(ctx context.Context, p *ir.Program, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, recovered("compile", "", r)
+		}
+	}()
+	if err := opts.validate(); err != nil {
+		return nil, newError("options", "", err)
+	}
+	if p == nil {
+		return nil, newError("input", "", fmt.Errorf("nil program"))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	out := &Result{Program: &ir.Program{Name: p.Name}}
+	for _, f := range p.Funcs {
+		nf := &ir.Func{Name: f.Name}
+		for _, b := range f.Blocks {
+			br, err := compileBlock(ctx, b, opts)
+			if err != nil {
+				return nil, err
+			}
+			out.Blocks = append(out.Blocks, br)
+			out.Degradations = append(out.Degradations, br.Degradations...)
+			nf.Blocks = append(nf.Blocks, br.Block)
+		}
+		out.Program.Funcs = append(out.Program.Funcs, nf)
+	}
+	return out, nil
+}
+
+// blockCompiler carries the per-block compilation state.
+type blockCompiler struct {
+	opts      Options
+	buildOpts deps.BuildOptions
+	label     string
+	master    *budget.Budget // forked per rung; never charged directly
+	res       *BlockResult
+}
+
+func compileBlock(ctx context.Context, b *ir.Block, opts Options) (*BlockResult, error) {
+	c := &blockCompiler{
+		opts:      opts,
+		buildOpts: deps.BuildOptions{Alias: opts.Alias},
+		label:     b.Label,
+		master:    budget.New(ctx, opts.blockBudget()),
+		res:       &BlockResult{},
+	}
+
+	work := b.Clone()
+	ir.Renumber(work)
+
+	scheduled, pass1 := c.schedulePass(work, 1)
+	c.res.Pass1 = pass1
+	if opts.SkipRegalloc {
+		c.res.Block = scheduled
+		return c.res, nil
+	}
+
+	ir.Renumber(scheduled)
+	if err := c.regalloc(scheduled); err != nil {
+		return nil, err
+	}
+
+	if opts.SkipPass2 {
+		c.res.Block = scheduled
+		return c.res, nil
+	}
+	final, pass2 := c.schedulePass(scheduled, 2)
+	c.res.Block = final
+	c.res.Pass2 = pass2
+	return c.res, nil
+}
+
+// fork hands out a fresh budget rung and records the previous rung's
+// usage in the result's work total.
+func (c *blockCompiler) fork() *budget.Budget { return c.master.Fork() }
+
+func (c *blockCompiler) event(pass int, stage, from, to string, cause error) {
+	c.res.Degradations = append(c.res.Degradations, Event{
+		Block: c.label, Pass: pass, Stage: stage, From: from, To: to, Reason: cause.Error(),
+	})
+}
+
+// schedulePass runs one scheduling pass (DAG build, weights, list
+// scheduling) with the full degradation ladder. It cannot fail: the
+// bottom of every ladder is source order, which is always a valid
+// schedule of the pass's input block.
+func (c *blockCompiler) schedulePass(work *ir.Block, pass int) (*ir.Block, *sched.Result) {
+	g, err := c.buildDeps(work)
+	if err != nil {
+		// No DAG → nothing to schedule against; keep the input order.
+		c.event(pass, "schedule", RungListSched, RungSrcOrder, err)
+		return sourceOrder(work)
+	}
+
+	weights := c.weights(g, pass)
+	res, err := c.schedule(g, weights)
+	if err != nil {
+		c.event(pass, "schedule", RungListSched, RungSrcOrder, err)
+		return sourceOrder(work)
+	}
+	nb := &ir.Block{Label: work.Label, Freq: work.Freq, Instrs: res.Order, LiveOut: work.LiveOut}
+	return nb, res
+}
+
+// weights runs the weight-computation ladder: exact DP Chances →
+// union-find Chances → fixed-latency weights. Each rung gets a fresh
+// budget allowance; the final rung is O(n) and cannot fail.
+func (c *blockCompiler) weights(g *deps.Graph, pass int) []float64 {
+	if c.opts.Weighter != nil {
+		w, err := c.tryCustomWeights(g)
+		if err == nil {
+			return w
+		}
+		c.event(pass, "weights", RungCustom, RungFixedLat, err)
+		return c.fixedWeights(g)
+	}
+	if c.opts.Scheduler == Traditional {
+		return c.fixedWeights(g)
+	}
+	rungs := []struct {
+		name   string
+		method core.ChancesMethod
+	}{
+		{RungChancesDP, core.ChancesDP},
+		{RungUnionFind, core.ChancesUnionFind},
+	}
+	if c.opts.Core.Chances == core.ChancesUnionFind {
+		rungs = rungs[1:] // caller already asked for the cheaper analysis
+	}
+	for i, rung := range rungs {
+		w, err := c.tryWeights(g, rung.method)
+		if err == nil {
+			return w
+		}
+		to := RungFixedLat
+		if i+1 < len(rungs) {
+			to = rungs[i+1].name
+		}
+		c.event(pass, "weights", rung.name, to, err)
+	}
+	return c.fixedWeights(g)
+}
+
+// tryWeights runs one balanced-weights rung under a fresh budget,
+// recovering a panic into an error so the ladder can take it.
+func (c *blockCompiler) tryWeights(g *deps.Graph, method core.ChancesMethod) (w []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	copts := c.opts.Core
+	copts.Chances = method
+	wb := c.fork()
+	defer func() { c.res.WorkUsed += wb.Used() }()
+	return core.WeightsBudgeted(g, copts, wb)
+}
+
+// tryCustomWeights runs a caller-supplied Weighter behind the panic
+// boundary, rejecting wrong-length results (the raw scheduler treats
+// those as a programmer error and panics; here they take the ladder).
+func (c *blockCompiler) tryCustomWeights(g *deps.Graph) (w []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	w = c.opts.Weighter(g)
+	if len(w) != g.N() {
+		return nil, fmt.Errorf("weighter returned %d weights for %d nodes", len(w), g.N())
+	}
+	return w, nil
+}
+
+// fixedWeights is the ladder's floor: the traditional fixed-latency
+// weighting, linear in the block and unbudgeted.
+func (c *blockCompiler) fixedWeights(g *deps.Graph) []float64 {
+	return sched.Traditional(c.opts.tradLatency())(g)
+}
+
+// buildDeps constructs the code DAG under a budget rung.
+func (c *blockCompiler) buildDeps(work *ir.Block) (g *deps.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	wb := c.fork()
+	defer func() { c.res.WorkUsed += wb.Used() }()
+	return deps.BuildBudgeted(work, c.buildOpts, wb)
+}
+
+// schedule list-schedules under a budget rung, recovering panics.
+func (c *blockCompiler) schedule(g *deps.Graph, weights []float64) (res *sched.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	wb := c.fork()
+	defer func() { c.res.WorkUsed += wb.Used() }()
+	weigh := func(*deps.Graph) []float64 { return weights }
+	return sched.ScheduleBudgeted(g, weigh, c.opts.Heuristics, wb)
+}
+
+// regalloc runs register allocation; its failures are hard errors
+// (pressure cannot be degraded away), reported as *Error with the
+// offending instruction index when the allocator attributes one.
+func (c *blockCompiler) regalloc(scheduled *ir.Block) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recovered("regalloc", c.label, r)
+		}
+	}()
+	alloc := regalloc.Run
+	if c.opts.Allocator == pipeline.AllocColoring {
+		alloc = regalloc.RunColoring
+	}
+	spill, err := alloc(scheduled, c.opts.regallocConfig())
+	if err != nil {
+		return newError("regalloc", c.label, err)
+	}
+	c.res.Spill = spill
+	return nil
+}
+
+// sourceOrder is the bottom of the scheduling ladder: the pass's input
+// order, verbatim. The input of pass 1 is the source block and the input
+// of pass 2 is the allocated block — both are executable orders, so this
+// rung always yields a valid schedule.
+func sourceOrder(work *ir.Block) (*ir.Block, *sched.Result) {
+	order := make([]*ir.Instr, len(work.Instrs))
+	copy(order, work.Instrs)
+	perm := make([]int, len(order))
+	for i := range perm {
+		perm[i] = i
+	}
+	nb := &ir.Block{Label: work.Label, Freq: work.Freq, Instrs: order, LiveOut: work.LiveOut}
+	return nb, &sched.Result{Order: order, Perm: perm}
+}

@@ -1,0 +1,386 @@
+package compile
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bsched/internal/budget"
+	"bsched/internal/core"
+	"bsched/internal/deps"
+	"bsched/internal/interp"
+	"bsched/internal/ir"
+	"bsched/internal/machine"
+	"bsched/internal/memlat"
+	"bsched/internal/pipeline"
+	"bsched/internal/regalloc"
+	"bsched/internal/sched"
+	"bsched/internal/sim"
+	"bsched/internal/workload"
+)
+
+// chainBlock builds `chains` independent load chains of `length` loads
+// each: plenty of inter-chain parallelism (every other chain is in every
+// load's G_ind), which makes the component analysis — and the gap between
+// its DP and union-find implementations — the dominant cost.
+func chainBlock(t *testing.T, chains, length int) *ir.Block {
+	t.Helper()
+	var sb strings.Builder
+	v := 0
+	for c := 0; c < chains; c++ {
+		base := fmt.Sprintf("r%d", c+1)
+		for i := 0; i < length; i++ {
+			fmt.Fprintf(&sb, "v%d = load s%d[%s+0]\n", v, c, base)
+			base = fmt.Sprintf("v%d", v)
+			v++
+		}
+	}
+	b, err := ir.ParseBlock(sb.String())
+	if err != nil {
+		t.Fatalf("chainBlock: %v", err)
+	}
+	return b
+}
+
+func blockRegs(b *ir.Block) []ir.Reg {
+	seen := map[ir.Reg]bool{}
+	var out []ir.Reg
+	for _, in := range b.Instrs {
+		if d := in.Def(); d != ir.NoReg && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// checkSemantics asserts the compiled order computes the same memory and
+// register state as the source block.
+func checkSemantics(t *testing.T, src *ir.Block, res *BlockResult) {
+	t.Helper()
+	if len(res.Block.Instrs) != len(src.Instrs) {
+		t.Fatalf("lost instructions: %d vs %d", len(res.Block.Instrs), len(src.Instrs))
+	}
+	orig, err := interp.Run(src.Instrs, nil)
+	if err != nil {
+		t.Fatalf("interp source: %v", err)
+	}
+	got, err := interp.Run(res.Block.Instrs, nil)
+	if err != nil {
+		t.Fatalf("interp compiled: %v", err)
+	}
+	if !interp.MemEqual(orig, got) {
+		t.Fatalf("memory state changed\nsource:\n%s\ncompiled:\n%s", src, res.Block)
+	}
+	if !interp.RegsEqualOn(orig, got, blockRegs(src)) {
+		t.Fatalf("register values changed")
+	}
+}
+
+func eventSummaries(evs []Event) []string {
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = fmt.Sprintf("%s:%s->%s", e.Stage, e.From, e.To)
+	}
+	return out
+}
+
+// TestDegradationLadder forces each rung of the ladder in turn by
+// shrinking the block budget, asserting both the recorded events and
+// that every rung still produces a semantically correct schedule.
+func TestDegradationLadder(t *testing.T) {
+	blk := chainBlock(t, 6, 8)
+	ctx := context.Background()
+
+	// Measure what each stage actually costs on this block so the budget
+	// thresholds are exact rather than magic numbers.
+	g := deps.Build(blk, deps.BuildOptions{})
+	dp := budget.New(nil, 0)
+	if _, err := core.WeightsBudgeted(g, core.Options{Chances: core.ChancesDP}, dp); err != nil {
+		t.Fatalf("unlimited DP weights: %v", err)
+	}
+	uf := budget.New(nil, 0)
+	ufWeights, err := core.WeightsBudgeted(g, core.Options{Chances: core.ChancesUnionFind}, uf)
+	if err != nil {
+		t.Fatalf("unlimited UF weights: %v", err)
+	}
+	db := budget.New(nil, 0)
+	if _, err := deps.BuildBudgeted(blk, deps.BuildOptions{}, db); err != nil {
+		t.Fatalf("unlimited deps: %v", err)
+	}
+	sb := budget.New(nil, 0)
+	if _, err := sched.ScheduleBudgeted(g, func(*deps.Graph) []float64 { return ufWeights }, sched.Heuristics{}, sb); err != nil {
+		t.Fatalf("unlimited schedule: %v", err)
+	}
+	// The test block must put the budget pressure in the weights stage:
+	// union-find strictly cheaper than DP, and deps/scheduling cheaper
+	// than union-find (each rung gets its own forked allowance).
+	if !(uf.Used() < dp.Used()) || db.Used() > uf.Used()-1 || sb.Used() > uf.Used()-1 {
+		t.Fatalf("test block has the wrong cost profile: dp=%d uf=%d deps=%d sched=%d",
+			dp.Used(), uf.Used(), db.Used(), sb.Used())
+	}
+
+	run := func(t *testing.T, budget int64, wantEvents ...string) *BlockResult {
+		t.Helper()
+		res, err := RunBlock(ctx, blk, Options{SkipRegalloc: true, BlockBudget: budget})
+		if err != nil {
+			t.Fatalf("RunBlock: %v", err)
+		}
+		got := eventSummaries(res.Degradations)
+		if fmt.Sprint(got) != fmt.Sprint(wantEvents) {
+			t.Fatalf("degradations = %v, want %v", got, wantEvents)
+		}
+		checkSemantics(t, blk, res)
+		return res
+	}
+
+	t.Run("unlimited", func(t *testing.T) {
+		res := run(t, -1)
+		if res.Degraded() {
+			t.Fatal("unlimited budget degraded")
+		}
+		if res.WorkUsed == 0 {
+			t.Fatal("no work recorded")
+		}
+	})
+	t.Run("dp-to-unionfind", func(t *testing.T) {
+		// Exactly the union-find cost: DP trips, union-find just fits.
+		run(t, uf.Used(), "weights:chances-dp->chances-unionfind")
+	})
+	t.Run("to-fixed-latency", func(t *testing.T) {
+		// One unit short of the union-find cost: both balanced rungs trip
+		// and the fixed-latency floor (unbudgeted) takes over; scheduling
+		// still fits.
+		run(t, uf.Used()-1,
+			"weights:chances-dp->chances-unionfind",
+			"weights:chances-unionfind->fixed-latency")
+	})
+	t.Run("to-source-order", func(t *testing.T) {
+		// A one-unit budget cannot even build the DAG: the block falls
+		// straight to source order and must come back verbatim.
+		res := run(t, 1, "schedule:list-scheduler->source-order")
+		// The input is cloned, so compare by rendering.
+		for i, in := range res.Block.Instrs {
+			if in.String() != blk.Instrs[i].String() {
+				t.Fatalf("source order not preserved at %d: %s vs %s", i, in, blk.Instrs[i])
+			}
+		}
+	})
+	t.Run("unionfind-start", func(t *testing.T) {
+		// Asking for union-find up front skips the DP rung.
+		res, err := RunBlock(ctx, blk, Options{
+			SkipRegalloc: true,
+			BlockBudget:  uf.Used() - 1,
+			Core:         core.Options{Chances: core.ChancesUnionFind},
+		})
+		if err != nil {
+			t.Fatalf("RunBlock: %v", err)
+		}
+		got := eventSummaries(res.Degradations)
+		want := []string{"weights:chances-unionfind->fixed-latency"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("degradations = %v, want %v", got, want)
+		}
+		checkSemantics(t, blk, res)
+	})
+}
+
+// TestCancelledContextDegrades: a dead context must not abort the
+// compilation — blocks big enough to hit the amortized context poll fall
+// down the ladder and still come out scheduled.
+func TestCancelledContextDegrades(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("v0 = const 7\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "store ?[%d], v0\n", i*8)
+	}
+	blk, err := ir.ParseBlock(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunBlock(ctx, blk, Options{SkipRegalloc: true, Alias: deps.AliasConservative, BlockBudget: -1})
+	if err != nil {
+		t.Fatalf("RunBlock: %v", err)
+	}
+	if !res.Degraded() {
+		t.Fatal("cancelled context produced no degradations")
+	}
+	if len(res.Block.Instrs) != len(blk.Instrs) {
+		t.Fatalf("lost instructions: %d vs %d", len(res.Block.Instrs), len(blk.Instrs))
+	}
+	for _, e := range res.Degradations {
+		if !strings.Contains(e.Reason, "context canceled") {
+			t.Fatalf("degradation reason %q does not mention the context", e.Reason)
+		}
+	}
+}
+
+// TestFrontDoorMatchesPipeline: with no budget pressure the hardened
+// front door must produce byte-identical output to the raw pipeline.
+func TestFrontDoorMatchesPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		blk := workload.Random(rng, workload.DefaultRandomParams(10+rng.Intn(40)))
+		for _, s := range []Scheduler{Balanced, Traditional} {
+			popts := pipeline.Balanced()
+			if s == Traditional {
+				popts = pipeline.Traditional(2)
+			}
+			want, err := pipeline.CompileBlock(blk, popts)
+			if err != nil {
+				t.Fatalf("pipeline: %v", err)
+			}
+			got, err := RunBlock(context.Background(), blk, Options{Scheduler: s})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if got.Degraded() {
+				t.Fatalf("default budget degraded: %v", got.Degradations)
+			}
+			if got.Block.String() != want.Block.String() {
+				t.Fatalf("trial %d %v: front door diverged from pipeline\nwant:\n%s\ngot:\n%s",
+					trial, s, want.Block, got.Block)
+			}
+		}
+	}
+}
+
+func TestErrorBoundaries(t *testing.T) {
+	ctx := context.Background()
+	blk := chainBlock(t, 2, 3)
+
+	asCompileError := func(t *testing.T, err error, stage string) *Error {
+		t.Helper()
+		var ce *Error
+		if !errors.As(err, &ce) {
+			t.Fatalf("error %v (%T) is not a *compile.Error", err, err)
+		}
+		if ce.Stage != stage {
+			t.Fatalf("stage = %q, want %q", ce.Stage, stage)
+		}
+		return ce
+	}
+
+	t.Run("bad-options", func(t *testing.T) {
+		_, err := RunBlock(ctx, blk, Options{TradLatency: 0.5})
+		asCompileError(t, err, "options")
+	})
+	t.Run("nil-block", func(t *testing.T) {
+		_, err := RunBlock(ctx, nil, Options{})
+		asCompileError(t, err, "input")
+	})
+	t.Run("nil-program", func(t *testing.T) {
+		_, err := Run(ctx, nil, Options{})
+		asCompileError(t, err, "input")
+	})
+	t.Run("bad-regalloc-config", func(t *testing.T) {
+		_, err := RunBlock(ctx, blk, Options{Regalloc: regalloc.Config{Regs: 8, SpillPool: 2}})
+		asCompileError(t, err, "regalloc")
+	})
+	t.Run("pressure-error-instr", func(t *testing.T) {
+		err := newError("regalloc", "b0", &regalloc.PressureError{Block: "b0", Instr: 7, Detail: "x"})
+		var ce *Error
+		if !errors.As(err, &ce) || ce.Instr != 7 {
+			t.Fatalf("instruction index not lifted from PressureError: %+v", err)
+		}
+	})
+	t.Run("panic-recovered", func(t *testing.T) {
+		// A block with a nil instruction panics inside the stages; the
+		// boundary must turn that into a degradation or an *Error, never
+		// an escaping panic.
+		bad := &ir.Block{Label: "bad", Freq: 1, Instrs: []*ir.Instr{nil}}
+		res, err := RunBlock(ctx, bad, Options{SkipRegalloc: true})
+		if err != nil {
+			asCompileError(t, err, "compile")
+		} else if !res.Degraded() {
+			t.Fatal("nil-instruction block neither errored nor degraded")
+		}
+	})
+}
+
+// TestChaosFaultProfiles is the chaos test: both schedulers' output must
+// survive simulation under every injected memory fault — spikes, lock-in
+// congestion, heavy tails and contract-violating hostile samples — with
+// concurrent trials per profile (run under -race).
+func TestChaosFaultProfiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	blk := workload.Random(rng, workload.DefaultRandomParams(40))
+	procs := []machine.Config{
+		{},
+		{Kind: machine.MaxOutstanding, Limit: 2},
+		{Kind: machine.MaxAge, Limit: 4},
+	}
+	for _, s := range []Scheduler{Balanced, Traditional} {
+		res, err := RunBlock(context.Background(), blk, Options{Scheduler: s})
+		if err != nil {
+			t.Fatalf("%v: compile: %v", s, err)
+		}
+		if err := sim.Verify(res.Block.Instrs); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		for pi, m := range memlat.FaultProfiles() {
+			s, m, pi := s, m, pi
+			t.Run(fmt.Sprintf("%v/%s", s, m.Name()), func(t *testing.T) {
+				t.Parallel()
+				model := memlat.ForStream(m)
+				rng := rand.New(rand.NewSource(int64(1000 + pi)))
+				for _, proc := range procs {
+					for _, cycles := range sim.Trials(res.Block.Instrs, proc, model, rng, sim.Options{}, 3) {
+						if cycles < float64(len(blk.Instrs))/float64(proc.IssueWidth()) {
+							t.Fatalf("proc %+v: impossible cycle count %g", proc, cycles)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestProgramRunAggregates checks Run over a multi-block program,
+// including degradation aggregation.
+func TestProgramRunAggregates(t *testing.T) {
+	src := `func f
+block b0 freq=2
+v0 = const 1
+v1 = load a[v0+0]
+liveout v1
+end
+block b1 freq=1
+v0 = load b[8]
+v1 = add v0, v0
+liveout v1
+end`
+	prog, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), prog, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Blocks) != 2 {
+		t.Fatalf("got %d block results", len(res.Blocks))
+	}
+	if got := len(res.Program.Blocks()); got != 2 {
+		t.Fatalf("program has %d blocks", got)
+	}
+
+	// Starve it and the per-block degradations must aggregate.
+	res, err = Run(context.Background(), prog, Options{BlockBudget: 1})
+	if err != nil {
+		t.Fatalf("Run (starved): %v", err)
+	}
+	if len(res.Degradations) == 0 {
+		t.Fatal("starved program recorded no degradations")
+	}
+	for _, br := range res.Blocks {
+		if len(br.Degradations) == 0 {
+			t.Fatalf("block %s recorded no degradations", br.Block.Label)
+		}
+	}
+}

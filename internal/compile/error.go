@@ -1,0 +1,68 @@
+package compile
+
+import (
+	"errors"
+	"fmt"
+
+	"bsched/internal/regalloc"
+)
+
+// Error is the typed failure every public entry point of this package
+// returns: which stage failed, where, and why. The hardened front door
+// guarantees panics inside any stage are converted into an *Error rather
+// than escaping to the caller.
+type Error struct {
+	// Stage names the failed stage: "options", "input", "regalloc",
+	// "compile" (the outermost recovery boundary).
+	Stage string
+	// Block is the label of the block being compiled, "" when the failure
+	// is not attributable to one.
+	Block string
+	// Instr is the 0-based instruction index the failure is attributable
+	// to, or -1.
+	Instr int
+	// Panicked reports that the stage panicked and was recovered; the
+	// panic value is in Err.
+	Panicked bool
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	msg := fmt.Sprintf("compile: %s", e.Stage)
+	if e.Block != "" {
+		msg += fmt.Sprintf(": block %s", e.Block)
+	}
+	if e.Instr >= 0 {
+		msg += fmt.Sprintf(" instr %d", e.Instr)
+	}
+	if e.Panicked {
+		msg += " panicked"
+	}
+	return fmt.Sprintf("%s: %v", msg, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// newError wraps err as an *Error for the given stage and block, pulling
+// an instruction index out of a regalloc.PressureError when one is
+// present. An err that is already an *Error passes through unchanged.
+func newError(stage, block string, err error) *Error {
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce
+	}
+	e := &Error{Stage: stage, Block: block, Instr: -1, Err: err}
+	var pe *regalloc.PressureError
+	if errors.As(err, &pe) {
+		e.Instr = pe.Instr
+	}
+	return e
+}
+
+// recovered converts a recover() value into an *Error.
+func recovered(stage, block string, r any) *Error {
+	return &Error{Stage: stage, Block: block, Instr: -1, Panicked: true, Err: fmt.Errorf("%v", r)}
+}

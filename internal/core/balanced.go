@@ -20,6 +20,7 @@ package core
 
 import (
 	"bsched/internal/bitset"
+	"bsched/internal/budget"
 	"bsched/internal/deps"
 	"bsched/internal/ir"
 	"bsched/internal/unionfind"
@@ -82,19 +83,35 @@ func (o *Options) balanced(in *ir.Instr) bool {
 // latency) get 1 plus their accumulated load-level-parallelism credit;
 // instructions with a KnownLatency get that value; everything else gets 1.
 func Weights(g *deps.Graph, opts Options) []float64 {
-	w, _ := run(g, opts, false)
+	w, _, err := run(g, opts, false, nil)
+	if err != nil {
+		// A nil budget never trips; this branch is unreachable.
+		panic("core: unbudgeted weights failed: " + err.Error())
+	}
 	return w
+}
+
+// WeightsBudgeted is Weights under a work budget. The computation charges
+// one unit per instruction and, per connected component analysed, one
+// unit per component node — doubled for the exact ChancesDP method, whose
+// inner longest-path pass also walks every in-component edge. When the
+// budget (or its context) trips, the partial result is discarded and the
+// budget's error returned; callers degrade to a cheaper weighting instead
+// (see bsched/internal/compile). A nil budget means unlimited.
+func WeightsBudgeted(g *deps.Graph, opts Options, wb *budget.Budget) ([]float64, error) {
+	w, _, err := run(g, opts, false, wb)
+	return w, err
 }
 
 // Contributions returns, alongside the weights, the full contribution
 // matrix: contrib[l][i] is the credit instruction i added to candidate l
 // (zero elsewhere). This is the data behind the paper's Table 1.
 func Contributions(g *deps.Graph, opts Options) (weights []float64, contrib [][]float64) {
-	w, c := run(g, opts, true)
+	w, c, _ := run(g, opts, true, nil)
 	return w, c
 }
 
-func run(g *deps.Graph, opts Options, wantContrib bool) ([]float64, [][]float64) {
+func run(g *deps.Graph, opts Options, wantContrib bool, wb *budget.Budget) ([]float64, [][]float64, error) {
 	n := g.N()
 	weights := make([]float64, n)
 	candidate := make([]bool, n)
@@ -122,8 +139,18 @@ func run(g *deps.Graph, opts Options, wantContrib bool) ([]float64, [][]float64)
 	// dp is shared scratch for the per-component longest-path DP; entries
 	// are only read for nodes of the current component, so no reset is
 	// needed between components.
+	// compCost is the budget charge per component node: the exact DP also
+	// walks every in-component edge, so it is charged double relative to
+	// the near-linear union-find approximation.
+	compCost := int64(2)
+	if opts.Chances == ChancesUnionFind {
+		compCost = 1
+	}
 	dp := make([]int, n)
 	for i := 0; i < n; i++ { // Fig. 6, line 2
+		if err := wb.Charge(1); err != nil {
+			return nil, nil, err
+		}
 		ind := g.Independent(i) // line 3
 		if ind.Empty() {
 			continue
@@ -134,6 +161,9 @@ func run(g *deps.Graph, opts Options, wantContrib bool) ([]float64, [][]float64)
 			levels = g.LevelsFromLeaves(ind)
 		}
 		for _, comp := range g.Components(ind) { // line 4
+			if err := wb.Charge(compCost * int64(len(comp))); err != nil {
+				return nil, nil, err
+			}
 			var chances float64
 			switch opts.Chances {
 			case ChancesUnionFind:
@@ -155,7 +185,7 @@ func run(g *deps.Graph, opts Options, wantContrib bool) ([]float64, [][]float64)
 			}
 		}
 	}
-	return weights, contrib
+	return weights, contrib, nil
 }
 
 // maxCandidatePath returns the maximum number of candidate instructions on

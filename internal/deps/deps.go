@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"bsched/internal/bitset"
+	"bsched/internal/budget"
 	"bsched/internal/ir"
 )
 
@@ -103,6 +104,20 @@ func (g *Graph) IsLoad(i int) bool { return g.Block.Instrs[i].Op.IsLoad() }
 
 // Build constructs the code DAG for a block.
 func Build(b *ir.Block, opts BuildOptions) *Graph {
+	g, err := BuildBudgeted(b, opts, nil)
+	if err != nil {
+		// A nil budget never trips; this branch is unreachable.
+		panic("deps: unbudgeted build failed: " + err.Error())
+	}
+	return g
+}
+
+// BuildBudgeted is Build under a work budget: construction charges one
+// unit per instruction, one per prior memory reference considered by the
+// disambiguator (the quadratic term on store-heavy blocks) and one per
+// control edge. It returns the budget's error as soon as the cap or the
+// budget's context trips; a nil budget means unlimited.
+func BuildBudgeted(b *ir.Block, opts BuildOptions, wb *budget.Budget) (*Graph, error) {
 	n := len(b.Instrs)
 	g := &Graph{
 		Block: b,
@@ -141,6 +156,16 @@ func Build(b *ir.Block, opts BuildOptions) *Graph {
 	lastBarrier := -1
 
 	for j, in := range b.Instrs {
+		cost := int64(1)
+		if in.Op.IsMem() {
+			cost += int64(len(memOps))
+		}
+		if in.Op.IsTerminator() || in.Op == ir.OpCall {
+			cost += int64(j)
+		}
+		if err := wb.Charge(cost); err != nil {
+			return nil, err
+		}
 		// Register dependences. Uses first, then the def.
 		for _, r := range in.Uses() {
 			if d, ok := lastDef[r]; ok {
@@ -207,7 +232,7 @@ func Build(b *ir.Block, opts BuildOptions) *Graph {
 			}
 		}
 	}
-	return g
+	return g, nil
 }
 
 // memRef identifies a memory reference for disambiguation: the symbol,

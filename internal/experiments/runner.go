@@ -5,11 +5,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"sync"
+	"time"
 
+	"bsched/internal/compile"
 	"bsched/internal/core"
 	"bsched/internal/deps"
 	"bsched/internal/ir"
@@ -44,6 +47,16 @@ type Runner struct {
 	Allocator pipeline.AllocatorKind
 	// SkipPass2 disables the post-allocation scheduling pass (A15).
 	SkipPass2 bool
+	// BlockBudget bounds the work per compiled block rung (0 → the
+	// hardened default, negative → unlimited); see bsched/internal/compile.
+	BlockBudget int64
+	// Timeout bounds the wall-clock time of each program's compilation;
+	// past it, remaining blocks degrade rather than abort.
+	Timeout time.Duration
+
+	// Degradations accumulates every ladder downgrade taken while
+	// compiling, across all programs and schedulers; callers surface them.
+	Degradations []compile.Event
 
 	compiled map[string]*pipeline.ProgramResult
 }
@@ -95,17 +108,22 @@ func (r *Runner) Compile(prog *ir.Program, kind SchedulerKind) *pipeline.Program
 	if res, ok := r.compiled[key]; ok {
 		return res
 	}
-	res, err := pipeline.CompileProgram(prog, pipeline.Options{
-		Weighter:   kind.Weighter,
-		Alias:      r.Alias,
-		Regalloc:   r.Regalloc,
-		Heuristics: r.Heuristics,
-		Allocator:  r.Allocator,
-		SkipPass2:  r.SkipPass2,
+	hardened, err := compile.Run(context.Background(), prog, compile.Options{
+		Weighter:    kind.Weighter,
+		Alias:       r.Alias,
+		Regalloc:    r.Regalloc,
+		Heuristics:  r.Heuristics,
+		Allocator:   r.Allocator,
+		SkipPass2:   r.SkipPass2,
+		BlockBudget: r.BlockBudget,
+		Timeout:     r.Timeout,
 	})
 	if err != nil {
+		// The workloads are trusted inputs; a hard error here is a bug.
 		panic(fmt.Sprintf("experiments: compile %s: %v", key, err))
 	}
+	r.Degradations = append(r.Degradations, hardened.Degradations...)
+	res := hardened.Pipeline()
 	r.compiled[key] = res
 	return res
 }

@@ -2,9 +2,33 @@ package ir
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
+
+// ParseError is the typed error Parse returns for malformed input: the
+// 1-based source line plus the underlying cause. User-facing tools match
+// it with errors.As to attach file context; the rendered message keeps
+// the traditional "line N: ..." shape.
+type ParseError struct {
+	// Line is the 1-based source line of the error, or 0 when the error
+	// is not attributable to a single line (e.g. whole-program validation).
+	Line int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("line %d: %v", e.Line, e.Err)
+	}
+	return e.Err.Error()
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *ParseError) Unwrap() error { return e.Err }
 
 // Parse reads a program in the textual assembly syntax produced by
 // Program.String. The grammar, one construct per line:
@@ -27,14 +51,14 @@ func Parse(src string) (*Program, error) {
 	p := &parser{prog: &Program{}}
 	for i, line := range strings.Split(src, "\n") {
 		if err := p.line(strings.TrimSpace(stripComment(line))); err != nil {
-			return nil, fmt.Errorf("line %d: %w", i+1, err)
+			return nil, &ParseError{Line: i + 1, Err: err}
 		}
 	}
 	if p.block != nil {
-		return nil, fmt.Errorf("unterminated block %q", p.block.Label)
+		return nil, &ParseError{Err: fmt.Errorf("unterminated block %q", p.block.Label)}
 	}
 	if err := Validate(p.prog); err != nil {
-		return nil, err
+		return nil, &ParseError{Err: err}
 	}
 	return p.prog, nil
 }
@@ -122,7 +146,7 @@ func (p *parser) line(s string) error {
 				return fmt.Errorf("unknown block attribute %q", f)
 			}
 			freq, err := strconv.ParseFloat(val, 64)
-			if err != nil {
+			if err != nil || math.IsNaN(freq) || math.IsInf(freq, 0) {
 				return fmt.Errorf("bad freq %q", val)
 			}
 			b.Freq = freq
@@ -175,7 +199,7 @@ func parseInstr(s string) (*Instr, error) {
 			in.IsSpill = true
 		case strings.HasPrefix(attr, "lat="):
 			lat, err := strconv.ParseFloat(attr[len("lat="):], 64)
-			if err != nil {
+			if err != nil || math.IsNaN(lat) || math.IsInf(lat, 0) {
 				return nil, fmt.Errorf("bad latency attribute %q", attr)
 			}
 			in.KnownLatency = lat

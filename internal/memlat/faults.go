@@ -1,0 +1,219 @@
+package memlat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file is the fault-injection harness: Model wrappers that inject
+// the pathological memory behaviours a production scheduler must survive
+// — latency spikes, congestion that never clears, heavy power-law tails,
+// and outright hostile samples outside the model contract. The chaos
+// tests (bsched/internal/compile) compile and simulate every profile
+// under both schedulers and assert that nothing panics; the simulator
+// clamps out-of-contract samples rather than trusting them.
+
+// Spike wraps a base model and replaces every Every-th sample with a
+// fixed huge latency — a periodic TLB-shootdown / page-fault style stall.
+type Spike struct {
+	// Base supplies the ordinary samples.
+	Base Model
+	// Every is the spike period in samples (>= 1).
+	Every int
+	// Magnitude is the spiked latency in cycles.
+	Magnitude int
+
+	n int
+}
+
+// NewSpike builds a spike injector. every < 1 is treated as 1 (every
+// sample spikes).
+func NewSpike(base Model, every, magnitude int) *Spike {
+	if every < 1 {
+		every = 1
+	}
+	return &Spike{Base: base, Every: every, Magnitude: magnitude}
+}
+
+// Sample implements Model.
+func (s *Spike) Sample(rng *rand.Rand) int {
+	s.n++
+	if s.n%s.Every == 0 {
+		return s.Magnitude
+	}
+	return s.Base.Sample(rng)
+}
+
+// Mean implements Model: the stationary mixture mean.
+func (s *Spike) Mean() float64 {
+	p := 1 / float64(s.Every)
+	return (1-p)*s.Base.Mean() + p*float64(s.Magnitude)
+}
+
+// Name implements Model.
+func (s *Spike) Name() string {
+	return fmt.Sprintf("spike(%s;every=%d,mag=%d)", s.Base.Name(), s.Every, s.Magnitude)
+}
+
+// Fork implements Stateful.
+func (s *Spike) Fork() Model {
+	c := *s
+	c.n = 0
+	c.Base = ForStream(s.Base)
+	return &c
+}
+
+// LockIn models bursty congestion that never clears: samples come from
+// Calm until After samples have been drawn, then permanently from
+// Congested. It is the worst case of the Bursty Markov chain — the
+// congested state with an escape probability of zero.
+type LockIn struct {
+	// Calm and Congested supply the two phases' samples.
+	Calm, Congested Model
+	// After is how many samples the calm phase lasts.
+	After int
+
+	n int
+}
+
+// NewLockIn builds a lock-in injector.
+func NewLockIn(calm, congested Model, after int) *LockIn {
+	return &LockIn{Calm: calm, Congested: congested, After: after}
+}
+
+// Sample implements Model.
+func (l *LockIn) Sample(rng *rand.Rand) int {
+	l.n++
+	if l.n > l.After {
+		return l.Congested.Sample(rng)
+	}
+	return l.Calm.Sample(rng)
+}
+
+// Mean implements Model: the limiting (congested) mean, since the chain
+// locks in after a finite prefix.
+func (l *LockIn) Mean() float64 { return l.Congested.Mean() }
+
+// Name implements Model.
+func (l *LockIn) Name() string {
+	return fmt.Sprintf("lockin(%s->%s;after=%d)", l.Calm.Name(), l.Congested.Name(), l.After)
+}
+
+// Fork implements Stateful.
+func (l *LockIn) Fork() Model {
+	c := *l
+	c.n = 0
+	c.Calm = ForStream(l.Calm)
+	c.Congested = ForStream(l.Congested)
+	return &c
+}
+
+// HeavyTail mixes a base model with a discrete Pareto tail: with
+// probability P a sample is drawn as ⌊Min·U^(−1/Alpha)⌋ capped at Max —
+// the pathological tail distribution where the mean badly understates
+// the stragglers.
+type HeavyTail struct {
+	// Base supplies the non-tail samples.
+	Base Model
+	// P is the per-sample tail probability.
+	P float64
+	// Alpha is the Pareto tail exponent (smaller = heavier); values <= 1
+	// have an unbounded theoretical mean, hence the cap.
+	Alpha float64
+	// Min and Max bound the tail samples in cycles.
+	Min, Max int
+}
+
+// NewHeavyTail builds a heavy-tail injector with sane parameter clamping.
+func NewHeavyTail(base Model, p, alpha float64, min, max int) *HeavyTail {
+	if !(p >= 0 && p <= 1) { // also rejects NaN
+		p = 0.01
+	}
+	if !(alpha > 0) {
+		alpha = 1
+	}
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return &HeavyTail{Base: base, P: p, Alpha: alpha, Min: min, Max: max}
+}
+
+// Sample implements Model.
+func (h *HeavyTail) Sample(rng *rand.Rand) int {
+	if rng.Float64() >= h.P {
+		return h.Base.Sample(rng)
+	}
+	u := rng.Float64()
+	if u == 0 {
+		return h.Max
+	}
+	lat := float64(h.Min) * math.Pow(u, -1/h.Alpha)
+	if lat > float64(h.Max) {
+		return h.Max
+	}
+	return int(lat)
+}
+
+// Mean implements Model: the mixture mean with the capped tail's mean
+// approximated numerically from the capped Pareto expectation.
+func (h *HeavyTail) Mean() float64 {
+	var tail float64
+	if h.Alpha == 1 {
+		tail = float64(h.Min) * (1 + math.Log(float64(h.Max)/float64(h.Min)))
+	} else {
+		a, m, c := h.Alpha, float64(h.Min), float64(h.Max)
+		// E[min(Pareto(a,m), c)] = m·a/(a−1) − (c/(a−1))·(m/c)^a for a ≠ 1.
+		tail = m*a/(a-1) - c/(a-1)*math.Pow(m/c, a)
+	}
+	return (1-h.P)*h.Base.Mean() + h.P*tail
+}
+
+// Name implements Model.
+func (h *HeavyTail) Name() string {
+	return fmt.Sprintf("tail(%s;p=%g,alpha=%g,max=%d)", h.Base.Name(), h.P, h.Alpha, h.Max)
+}
+
+// Hostile is a model that violates the Model contract on purpose,
+// cycling through zero, negative and near-overflow latencies. The
+// simulator must clamp these rather than corrupt its cycle arithmetic;
+// nothing else in the tree should ever construct one outside tests.
+type Hostile struct{ n int }
+
+// hostileSamples are the raw values Hostile cycles through.
+var hostileSamples = []int{0, -1, math.MinInt32, 1, math.MaxInt64 / 2, 3, math.MaxInt32}
+
+// Sample implements Model (by breaking its ">= 0" promise).
+func (h *Hostile) Sample(*rand.Rand) int {
+	v := hostileSamples[h.n%len(hostileSamples)]
+	h.n++
+	return v
+}
+
+// Mean implements Model.
+func (h *Hostile) Mean() float64 { return 1 }
+
+// Name implements Model.
+func (h *Hostile) Name() string { return "hostile" }
+
+// Fork implements Stateful.
+func (h *Hostile) Fork() Model { return &Hostile{} }
+
+// FaultProfiles returns the named fault-injection profiles the chaos
+// tests run: every schedule produced by either compiler must simulate to
+// completion under each of these without panicking.
+func FaultProfiles() []Model {
+	return []Model{
+		NewSpike(Cache{HitRate: 0.8, HitLat: 2, MissLat: 10}, 7, 5000),
+		NewSpike(NewNormal(3, 2), 1, maxSpecLatency), // every sample at the latency cap
+		NewLockIn(NewNormal(2, 1), NewNormal(400, 50), 16),
+		NewLockIn(Fixed{Latency: 2}, Fixed{Latency: 100000}, 1),
+		NewHeavyTail(Cache{HitRate: 0.95, HitLat: 2, MissLat: 10}, 0.05, 1.1, 10, 1<<20),
+		NewHeavyTail(NewNormal(5, 5), 0.5, 0.5, 1, 1<<30),
+		NewBursty(2, 1, 300, 40, 0.05, 0.01), // long correlated bursts
+		&Hostile{},
+	}
+}

@@ -1,0 +1,117 @@
+package memlat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSpikePeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSpike(Fixed{Latency: 2}, 3, 500)
+	got := make([]int, 9)
+	for i := range got {
+		got[i] = s.Sample(rng)
+	}
+	for i, v := range got {
+		want := 2
+		if (i+1)%3 == 0 {
+			want = 500
+		}
+		if v != want {
+			t.Fatalf("sample %d = %d, want %d (seq %v)", i, v, want, got)
+		}
+	}
+	if m := s.Mean(); math.Abs(m-(2.0*2/3+500.0/3)) > 1e-9 {
+		t.Errorf("Mean() = %g", m)
+	}
+}
+
+func TestLockInNeverRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLockIn(Fixed{Latency: 1}, Fixed{Latency: 99}, 4)
+	for i := 0; i < 4; i++ {
+		if v := l.Sample(rng); v != 1 {
+			t.Fatalf("calm sample %d = %d, want 1", i, v)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if v := l.Sample(rng); v != 99 {
+			t.Fatalf("congested sample %d = %d, want 99", i, v)
+		}
+	}
+	if l.Mean() != 99 {
+		t.Errorf("Mean() = %g, want 99", l.Mean())
+	}
+}
+
+func TestHeavyTailBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHeavyTail(Fixed{Latency: 2}, 0.5, 0.5, 10, 1000)
+	sawTail := false
+	for i := 0; i < 10000; i++ {
+		v := h.Sample(rng)
+		if v < 0 || v > 1000 {
+			t.Fatalf("sample %d = %d outside [0,1000]", i, v)
+		}
+		if v >= 10 {
+			sawTail = true
+		}
+	}
+	if !sawTail {
+		t.Error("p=0.5 tail never fired in 10000 samples")
+	}
+	if m := h.Mean(); math.IsNaN(m) || m <= 0 {
+		t.Errorf("Mean() = %g", m)
+	}
+}
+
+func TestHeavyTailParamClamping(t *testing.T) {
+	h := NewHeavyTail(Fixed{Latency: 2}, math.NaN(), -3, 0, -5)
+	if !(h.P >= 0 && h.P <= 1) || h.Alpha <= 0 || h.Min < 1 || h.Max < h.Min {
+		t.Fatalf("bad params survived clamping: %+v", h)
+	}
+}
+
+func TestHostileCyclesContractViolations(t *testing.T) {
+	h := &Hostile{}
+	sawNeg, sawHuge := false, false
+	for i := 0; i < 2*len(hostileSamples); i++ {
+		v := h.Sample(nil)
+		if v < 0 {
+			sawNeg = true
+		}
+		if v > 1<<40 {
+			sawHuge = true
+		}
+	}
+	if !sawNeg || !sawHuge {
+		t.Fatalf("hostile model too polite: neg=%v huge=%v", sawNeg, sawHuge)
+	}
+}
+
+// TestFaultProfilesForkIndependent checks that every stateful profile
+// forks into an independent instance: two forks fed the same RNG stream
+// produce identical samples, and forking resets phase state.
+func TestFaultProfilesForkIndependent(t *testing.T) {
+	for _, m := range FaultProfiles() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			a, b := ForStream(m), ForStream(m)
+			ra := rand.New(rand.NewSource(42))
+			rb := rand.New(rand.NewSource(42))
+			for i := 0; i < 64; i++ {
+				va, vb := a.Sample(ra), b.Sample(rb)
+				if va != vb {
+					t.Fatalf("forked streams diverge at sample %d: %d vs %d", i, va, vb)
+				}
+			}
+			if math.IsNaN(m.Mean()) {
+				t.Errorf("Mean() is NaN")
+			}
+			if m.Name() == "" {
+				t.Errorf("empty Name()")
+			}
+		})
+	}
+}

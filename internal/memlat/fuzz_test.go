@@ -1,0 +1,56 @@
+package memlat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzMemlatSpec checks that ParseModel never panics, that rejections are
+// typed *SpecError, and that every accepted model honours the sampling
+// contract: non-negative samples within the spec latency cap and a finite
+// mean. Extend with `go test -fuzz=FuzzMemlatSpec`.
+func FuzzMemlatSpec(f *testing.F) {
+	seeds := []string{
+		"fixed(4)", "Fixed(2.6)",
+		"L80(2,5)", "L99(2,100)",
+		"L80:95(2,8,40)",
+		"N(3,5)", "N(30,5)",
+		"L80-N(30,5)", "L80(2)-N(30,5)",
+		" fixed(4) ",
+		// Hostile and malformed:
+		"N(1e12,5)", "fixed(-1)", "fixed(1e300)", "fixed(nan)",
+		"L0(2,5)", "L101(2,5)", "L80(2)", "L80:95(2,8)",
+		"N(3,)", "N(,3)", "N(3,-1)", "garbage", "", "L", "fixed", "((((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 256 {
+			return
+		}
+		m, err := ParseModel(spec)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("error is not a *SpecError: %v (%T)", err, err)
+			}
+			return
+		}
+		if m.Name() == "" {
+			t.Fatalf("accepted model %q has an empty name", spec)
+		}
+		if mean := m.Mean(); math.IsNaN(mean) || math.IsInf(mean, 0) || mean < 0 {
+			t.Fatalf("accepted model %q has mean %g", spec, mean)
+		}
+		rng := rand.New(rand.NewSource(1))
+		st := ForStream(m)
+		for i := 0; i < 32; i++ {
+			if v := st.Sample(rng); v < 0 || float64(v) > maxSpecLatency {
+				t.Fatalf("model %q sample %d = %d outside [0, %g]", spec, i, v, float64(maxSpecLatency))
+			}
+		}
+	})
+}

@@ -2,8 +2,34 @@ package memlat
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
+)
+
+// SpecError is the typed error ParseModel returns for a malformed or
+// out-of-range model specification. The offending spec travels with the
+// error so user-facing tools can report it without extra bookkeeping.
+type SpecError struct {
+	// Spec is the rejected specification string.
+	Spec string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *SpecError) Error() string { return fmt.Sprintf("memlat: spec %q: %v", e.Spec, e.Err) }
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *SpecError) Unwrap() error { return e.Err }
+
+// Specification bounds: latencies are capped so that int arithmetic in
+// the simulator stays far from overflow, and normal distributions are
+// capped so the discretized PMF table (mu+8·sigma entries) stays small.
+// Hostile specs like "N(1e12,5)" must not be able to allocate terabytes.
+const (
+	maxSpecLatency = 1e8
+	maxNormalRange = 1e6
 )
 
 // ParseModel parses a memory system specification in the paper's
@@ -16,21 +42,35 @@ import (
 //	L80-N(30,5)     cache (hit 2) in front of an N(30,5) network
 //
 // The mixed form optionally takes an explicit hit latency:
-// L80(2)-N(30,5).
+// L80(2)-N(30,5). Errors are returned as *SpecError.
 func ParseModel(s string) (Model, error) {
 	s = strings.TrimSpace(s)
+	m, err := parseModel(s)
+	if err != nil {
+		return nil, &SpecError{Spec: s, Err: err}
+	}
+	return m, nil
+}
+
+func parseModel(s string) (Model, error) {
 	switch {
 	case strings.HasPrefix(s, "fixed(") || strings.HasPrefix(s, "Fixed("):
 		args, err := parseArgs(s[strings.Index(s, "("):], 1)
 		if err != nil {
-			return nil, fmt.Errorf("memlat: %q: %w", s, err)
+			return nil, err
+		}
+		if err := checkLatency(args[0]); err != nil {
+			return nil, err
 		}
 		return Fixed{Latency: int(args[0])}, nil
 
 	case strings.HasPrefix(s, "N("):
 		args, err := parseArgs(s[1:], 2)
 		if err != nil {
-			return nil, fmt.Errorf("memlat: %q: %w", s, err)
+			return nil, err
+		}
+		if err := checkNormal(args[0], args[1]); err != nil {
+			return nil, err
 		}
 		return NewNormal(args[0], args[1]), nil
 
@@ -43,10 +83,35 @@ func ParseModel(s string) (Model, error) {
 		}
 		return parseCache(s)
 	}
-	return nil, fmt.Errorf("memlat: unrecognized model %q", s)
+	return nil, fmt.Errorf("unrecognized model")
 }
 
-// MustParseModel is ParseModel that panics on error.
+// checkLatency validates a latency argument: finite, non-negative and
+// within the simulator-safe cap.
+func checkLatency(l float64) error {
+	if math.IsNaN(l) || l < 0 || l > maxSpecLatency {
+		return fmt.Errorf("latency %g out of range [0, %g]", l, float64(maxSpecLatency))
+	}
+	return nil
+}
+
+// checkNormal validates normal-distribution parameters: sigma strictly
+// positive, mu non-negative and the discretized table (mu+8·sigma
+// entries) bounded.
+func checkNormal(mu, sigma float64) error {
+	if math.IsNaN(mu) || math.IsNaN(sigma) || sigma <= 0 || mu < 0 {
+		return fmt.Errorf("bad normal parameters N(%g,%g)", mu, sigma)
+	}
+	if mu+8*sigma > maxNormalRange {
+		return fmt.Errorf("normal range %g exceeds the %g-cycle cap", mu+8*sigma, float64(maxNormalRange))
+	}
+	return nil
+}
+
+// MustParseModel is ParseModel that panics on error. It is for
+// compile-time-constant specs in tests and examples only; anything
+// derived from user input must go through ParseModel and handle the
+// *SpecError.
 func MustParseModel(s string) Model {
 	m, err := ParseModel(s)
 	if err != nil {
@@ -58,15 +123,18 @@ func MustParseModel(s string) Model {
 func parseCache(s string) (Model, error) {
 	open := strings.Index(s, "(")
 	if open < 0 {
-		return nil, fmt.Errorf("memlat: bad cache spec %q", s)
+		return nil, fmt.Errorf("bad cache spec")
 	}
 	hr, err := strconv.ParseFloat(s[1:open], 64)
 	if err != nil || hr <= 0 || hr > 100 {
-		return nil, fmt.Errorf("memlat: bad hit rate in %q", s)
+		return nil, fmt.Errorf("bad hit rate in %q", s)
 	}
 	args, err := parseArgs(s[open:], 2)
 	if err != nil {
-		return nil, fmt.Errorf("memlat: %q: %w", s, err)
+		return nil, err
+	}
+	if err := firstErr(checkLatency(args[0]), checkLatency(args[1])); err != nil {
+		return nil, err
 	}
 	return Cache{HitRate: hr / 100, HitLat: int(args[0]), MissLat: int(args[1])}, nil
 }
@@ -79,19 +147,32 @@ func parseMixed(s string, dash int) (Model, error) {
 		hrStr = head[1:open]
 		args, err := parseArgs(head[open:], 1)
 		if err != nil {
-			return nil, fmt.Errorf("memlat: %q: %w", s, err)
+			return nil, err
 		}
 		hitLat = args[0]
 	}
 	hr, err := strconv.ParseFloat(hrStr, 64)
 	if err != nil || hr <= 0 || hr > 100 {
-		return nil, fmt.Errorf("memlat: bad hit rate in %q", s)
+		return nil, fmt.Errorf("bad hit rate in %q", s)
 	}
 	args, err := parseArgs(s[dash+2:], 2)
 	if err != nil {
-		return nil, fmt.Errorf("memlat: %q: %w", s, err)
+		return nil, err
+	}
+	if err := firstErr(checkLatency(hitLat), checkNormal(args[0], args[1])); err != nil {
+		return nil, err
 	}
 	return NewMixed(hr/100, int(hitLat), args[0], args[1]), nil
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseArgs parses "(a,b,...)" expecting exactly n numbers.

@@ -49,16 +49,19 @@ func parseTwoLevel(s string) (Model, error) {
 	colon := strings.IndexByte(s, ':')
 	open := strings.IndexByte(s, '(')
 	if colon < 0 || open < colon {
-		return nil, fmt.Errorf("memlat: bad two-level spec %q", s)
+		return nil, fmt.Errorf("bad two-level spec")
 	}
 	r1, err1 := strconv.ParseFloat(s[1:colon], 64)
 	r2, err2 := strconv.ParseFloat(s[colon+1:open], 64)
 	if err1 != nil || err2 != nil || r1 <= 0 || r1 > 100 || r2 <= 0 || r2 > 100 {
-		return nil, fmt.Errorf("memlat: bad hit rates in %q", s)
+		return nil, fmt.Errorf("bad hit rates in %q", s)
 	}
 	args, err := parseArgs(s[open:], 3)
 	if err != nil {
-		return nil, fmt.Errorf("memlat: %q: %w", s, err)
+		return nil, err
+	}
+	if err := firstErr(checkLatency(args[0]), checkLatency(args[1]), checkLatency(args[2])); err != nil {
+		return nil, err
 	}
 	return TwoLevelCache{
 		L1Rate: r1 / 100, L1Lat: int(args[0]),

@@ -133,7 +133,9 @@ func RunColoring(b *ir.Block, cfg Config) (Stats, error) {
 	}
 
 	stats := Stats{MaxPressure: maxOverlap(ranges)}
-	rewriteColored(b, cfg, color, spilled, reserved, &stats)
+	if err := rewriteColored(b, cfg, color, spilled, reserved, &stats); err != nil {
+		return Stats{}, err
+	}
 	ir.Renumber(b)
 	return stats, nil
 }
@@ -227,8 +229,9 @@ func checkDefBeforeUse(b *ir.Block) error {
 // rewriteColored substitutes colors for virtual registers and inserts
 // spill-everywhere code for the spilled set: a store after every
 // definition and a pool-register reload before every use. Reserved
-// (live-in physical) registers are excluded from the pool.
-func rewriteColored(b *ir.Block, cfg Config, color map[ir.Reg]int, spilledList []ir.Reg, reserved map[ir.Reg]bool, stats *Stats) {
+// (live-in physical) registers are excluded from the pool. It returns a
+// PressureError when the spill pool cannot serve the rewrite.
+func rewriteColored(b *ir.Block, cfg Config, color map[ir.Reg]int, spilledList []ir.Reg, reserved map[ir.Reg]bool, stats *Stats) error {
 	spilled := make(map[ir.Reg]bool, len(spilledList))
 	for _, v := range spilledList {
 		spilled[v] = true
@@ -240,13 +243,24 @@ func rewriteColored(b *ir.Block, cfg Config, color map[ir.Reg]int, spilledList [
 		}
 	}
 	if len(pool) < 3 && len(spilledList) > 0 {
-		panic("regalloc: spill pool crowded out by reserved registers")
+		return &PressureError{
+			Block:  b.Label,
+			Instr:  -1,
+			Detail: "spill pool crowded out by reserved registers",
+		}
 	}
+	idx := -1 // current instruction, for error context
+	var poolErr error
 	takePool := func(inUse map[ir.Reg]bool) ir.Reg {
 		p := pool[0]
 		for tries := 0; inUse[p]; tries++ {
 			if tries >= len(pool) {
-				panic("regalloc: spill pool exhausted by a single instruction")
+				poolErr = &PressureError{
+					Block:  b.Label,
+					Instr:  idx,
+					Detail: fmt.Sprintf("spill pool of %d exhausted by a single instruction", len(pool)),
+				}
+				return ir.NoReg
 			}
 			pool = append(pool[1:], p)
 			p = pool[0]
@@ -256,15 +270,21 @@ func rewriteColored(b *ir.Block, cfg Config, color map[ir.Reg]int, spilledList [
 	}
 
 	var out []*ir.Instr
-	for _, in := range b.Instrs {
+	for i, in := range b.Instrs {
+		idx = i
 		inUse := make(map[ir.Reg]bool)
 		rewrite := func(r ir.Reg) ir.Reg {
-			if !r.IsVirt() {
-				inUse[r] = true
+			if poolErr != nil || !r.IsVirt() {
+				if !r.IsVirt() {
+					inUse[r] = true
+				}
 				return r
 			}
 			if spilled[r] {
 				p := takePool(inUse)
+				if poolErr != nil {
+					return r
+				}
 				out = append(out, &ir.Instr{
 					Op: ir.OpLoad, Dst: p,
 					Sym: StackSym, Off: slotOf(r), IsSpill: true,
@@ -283,12 +303,18 @@ func rewriteColored(b *ir.Block, cfg Config, color map[ir.Reg]int, spilledList [
 		if in.Op.IsMem() && in.Base != ir.NoReg {
 			in.Base = rewrite(in.Base)
 		}
+		if poolErr != nil {
+			return poolErr
+		}
 		if d := in.Def(); d.IsVirt() {
 			if spilled[d] {
 				// Define into a pool register, store to the slot. The
 				// write happens after the instruction's reads, so the
 				// register of a same-instruction reload may be reused.
 				p := takePool(map[ir.Reg]bool{})
+				if poolErr != nil {
+					return poolErr
+				}
 				in.Dst = p
 				out = append(out, in)
 				out = append(out, &ir.Instr{
@@ -303,4 +329,5 @@ func rewriteColored(b *ir.Block, cfg Config, color map[ir.Reg]int, spilledList [
 		out = append(out, in)
 	}
 	b.Instrs = out
+	return nil
 }

@@ -1,0 +1,28 @@
+package regalloc
+
+import "fmt"
+
+// PressureError reports that a block cannot be allocated within the
+// configured register file: either a single instruction needs more
+// simultaneous spill-pool registers than exist, or live values crowd out
+// every eviction candidate. It used to be a panic; returning it lets the
+// pipeline report "block needs more registers" instead of crashing, and
+// lets callers distinguish resource exhaustion from malformed input with
+// errors.As.
+type PressureError struct {
+	// Block is the label of the block that could not be allocated.
+	Block string
+	// Instr is the index of the offending instruction, or -1 when the
+	// failure is not attributable to a single instruction.
+	Instr int
+	// Detail says which resource ran out.
+	Detail string
+}
+
+// Error implements error.
+func (e *PressureError) Error() string {
+	if e.Instr >= 0 {
+		return fmt.Sprintf("regalloc: block %s instr %d needs more registers: %s", e.Block, e.Instr, e.Detail)
+	}
+	return fmt.Sprintf("regalloc: block %s needs more registers: %s", e.Block, e.Detail)
+}

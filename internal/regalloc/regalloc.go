@@ -120,6 +120,7 @@ func Run(b *ir.Block, cfg Config) (Stats, error) {
 	}
 	a := &allocator{
 		cfg:    cfg,
+		block:  b,
 		values: make(map[ir.Reg]*valueState),
 		regOf:  make(map[ir.Reg]ir.Reg),
 	}
@@ -168,7 +169,11 @@ func Run(b *ir.Block, cfg Config) (Stats, error) {
 	for idx, in := range b.Instrs {
 		// Rewrite uses, reloading spilled values.
 		inUse := make(map[ir.Reg]bool) // pregs this instruction reads
+		var rewriteErr error
 		rewrite := func(r ir.Reg) ir.Reg {
+			if rewriteErr != nil {
+				return r
+			}
 			if !r.IsVirt() {
 				inUse[r] = true
 				return r
@@ -176,7 +181,11 @@ func Run(b *ir.Block, cfg Config) (Stats, error) {
 			v := a.value(r)
 			if v.preg == ir.NoReg {
 				// Reload from the stack slot through the FIFO pool.
-				p := a.takePoolReg(inUse)
+				p, err := a.takePoolReg(idx, inUse)
+				if err != nil {
+					rewriteErr = err
+					return r
+				}
 				out = append(out, &ir.Instr{
 					Op: ir.OpLoad, Dst: p,
 					Sym: StackSym, Off: slotOf(r), IsSpill: true,
@@ -195,6 +204,9 @@ func Run(b *ir.Block, cfg Config) (Stats, error) {
 		}
 		if in.Op.IsMem() && in.Base != ir.NoReg {
 			in.Base = rewrite(in.Base)
+		}
+		if rewriteErr != nil {
+			return Stats{}, rewriteErr
 		}
 
 		// Consume this use from each value's queue; free dead values.
@@ -218,7 +230,10 @@ func Run(b *ir.Block, cfg Config) (Stats, error) {
 				v.preg = ir.NoReg
 				v.inPool = false
 			}
-			p, spills := a.allocGeneral(idx, b, inUse)
+			p, spills, err := a.allocGeneral(idx, b, inUse)
+			if err != nil {
+				return Stats{}, err
+			}
 			out = append(out, spills...)
 			v.preg = p
 			v.inPool = false
@@ -246,6 +261,7 @@ func Run(b *ir.Block, cfg Config) (Stats, error) {
 
 type allocator struct {
 	cfg         Config
+	block       *ir.Block
 	values      map[ir.Reg]*valueState
 	regOf       map[ir.Reg]ir.Reg // physical -> virtual currently held
 	freeGeneral []ir.Reg
@@ -291,12 +307,18 @@ func (a *allocator) maybeRelease(vr ir.Reg, v *valueState) {
 // takePoolReg rotates the FIFO spill pool, displacing whatever value the
 // oldest pool register still holds. Registers already read by the current
 // instruction are skipped so that multiple reloads for one instruction
-// never collide.
-func (a *allocator) takePoolReg(inUse map[ir.Reg]bool) ir.Reg {
+// never collide; if every pool register is already read, the instruction
+// needs more spill registers than the file has and a PressureError is
+// returned.
+func (a *allocator) takePoolReg(idx int, inUse map[ir.Reg]bool) (ir.Reg, error) {
 	p := a.pool[0]
 	for tries := 0; inUse[p]; tries++ {
 		if tries >= len(a.pool) {
-			panic("regalloc: spill pool exhausted by a single instruction")
+			return ir.NoReg, &PressureError{
+				Block:  a.block.Label,
+				Instr:  idx,
+				Detail: fmt.Sprintf("spill pool of %d exhausted by a single instruction", len(a.pool)),
+			}
 		}
 		a.pool = append(a.pool[1:], p)
 		p = a.pool[0]
@@ -312,13 +334,15 @@ func (a *allocator) takePoolReg(inUse map[ir.Reg]bool) ir.Reg {
 		v.spilled = true
 		delete(a.regOf, p)
 	}
-	return p
+	return p, nil
 }
 
 // allocGeneral returns a free general register, evicting the value with
 // the farthest next use if none is free. Registers read by the current
-// instruction are not eviction candidates.
-func (a *allocator) allocGeneral(idx int, b *ir.Block, inUse map[ir.Reg]bool) (ir.Reg, []*ir.Instr) {
+// instruction are not eviction candidates; if nothing is evictable the
+// block's pressure exceeds the general pool and a PressureError is
+// returned.
+func (a *allocator) allocGeneral(idx int, b *ir.Block, inUse map[ir.Reg]bool) (ir.Reg, []*ir.Instr, error) {
 	if n := len(a.freeGeneral); n > 0 {
 		var p ir.Reg
 		if a.cfg.Reuse == ReuseFIFO {
@@ -328,7 +352,7 @@ func (a *allocator) allocGeneral(idx int, b *ir.Block, inUse map[ir.Reg]bool) (i
 			p = a.freeGeneral[n-1]
 			a.freeGeneral = a.freeGeneral[:n-1]
 		}
-		return p, nil
+		return p, nil, nil
 	}
 	// Belady: evict the general-register value used farthest in the
 	// future (never-used live-out values count as +inf).
@@ -348,7 +372,11 @@ func (a *allocator) allocGeneral(idx int, b *ir.Block, inUse map[ir.Reg]bool) (i
 		}
 	}
 	if victimUse == -2 {
-		panic("regalloc: no evictable register (pressure exceeds general pool)")
+		return ir.NoReg, nil, &PressureError{
+			Block:  a.block.Label,
+			Instr:  idx,
+			Detail: "no evictable register (pressure exceeds general pool)",
+		}
 	}
 	vr := a.regOf[victim]
 	v := a.value(vr)
@@ -365,7 +393,7 @@ func (a *allocator) allocGeneral(idx int, b *ir.Block, inUse map[ir.Reg]bool) (i
 	v.preg = ir.NoReg
 	delete(a.regOf, victim)
 	a.stats.Evictions++
-	return victim, spillCode
+	return victim, spillCode, nil
 }
 
 // slotOf maps a virtual register to its stack slot offset.

@@ -26,7 +26,9 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
+	"bsched/internal/budget"
 	"bsched/internal/core"
 	"bsched/internal/deps"
 	"bsched/internal/ir"
@@ -120,10 +122,42 @@ func Schedule(g *deps.Graph, weigh Weighter) *Result {
 
 // ScheduleWith list-schedules with explicit heuristic toggles.
 func ScheduleWith(g *deps.Graph, weigh Weighter, h Heuristics) *Result {
+	res, err := ScheduleBudgeted(g, weigh, h, nil)
+	if err != nil {
+		// A nil budget never trips; this branch is unreachable.
+		panic("sched: unbudgeted schedule failed: " + err.Error())
+	}
+	return res
+}
+
+// maxWeight caps the latency weight a single instruction may carry.
+// Hostile inputs (e.g. "!lat=1e300") must not be able to push issue slots
+// anywhere near integer overflow; 1e12 slots is already ~16 minutes of
+// simulated time on a GHz machine, far beyond any sane schedule.
+const maxWeight = 1e12
+
+// ScheduleBudgeted is ScheduleWith under a work budget: the selection
+// loop charges one unit per ready candidate considered per issue slot
+// (the quadratic term on wide blocks). When the budget or its context
+// trips, the partial schedule is discarded and the budget's error
+// returned; callers fall back to source order, which is always a valid
+// schedule (see bsched/internal/compile). A nil budget means unlimited.
+//
+// Non-finite weights (NaN, ±Inf) are sanitized to 1 and weights above
+// maxWeight are clamped, so a hostile Weighter cannot wedge the slot
+// arithmetic.
+func ScheduleBudgeted(g *deps.Graph, weigh Weighter, h Heuristics, wb *budget.Budget) (*Result, error) {
 	n := g.N()
 	weights := weigh(g)
 	if len(weights) != n {
 		panic("sched: weighter returned wrong length")
+	}
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			weights[i] = 1
+		} else if w > maxWeight {
+			weights[i] = maxWeight
+		}
 	}
 	prio := priorities(g, weights)
 
@@ -134,7 +168,7 @@ func ScheduleWith(g *deps.Graph, weigh Weighter, h Heuristics) *Result {
 		Priorities: prio,
 	}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 
 	slotOf := make([]int, n) // issue slot of each placed node, or -1
@@ -155,11 +189,22 @@ func ScheduleWith(g *deps.Graph, weigh Weighter, h Heuristics) *Result {
 	}
 
 	placed := 0
-	slot := 0 // current issue slot (counts virtual no-ops too)
+	stale := 0 // placed nodes still sitting in enabledList
+	slot := 0  // current issue slot (counts virtual no-ops too)
 	for placed < n {
+		if err := wb.Charge(1 + int64(len(enabledList))); err != nil {
+			return nil, err
+		}
 		best := -1
+		minReady := math.Inf(1)
 		for _, i := range enabledList {
-			if slotOf[i] >= 0 || readyAt[i] > float64(slot)+eps {
+			if slotOf[i] >= 0 {
+				continue
+			}
+			if readyAt[i] > float64(slot)+eps {
+				if readyAt[i] < minReady {
+					minReady = readyAt[i]
+				}
 				continue
 			}
 			if best < 0 || better(g, prio, i, best, unplacedPreds, h) {
@@ -168,15 +213,22 @@ func ScheduleWith(g *deps.Graph, weigh Weighter, h Heuristics) *Result {
 		}
 		if best < 0 {
 			// Starvation: every enabled instruction is still inside some
-			// predecessor's latency window. Insert a virtual no-op slot.
-			res.VNops++
-			slot++
+			// predecessor's latency window. Insert virtual no-op slots up
+			// to the earliest ready time — jumping in one step rather than
+			// slot by slot, so huge latency weights cannot wedge the loop.
+			next := int(math.Ceil(minReady - eps))
+			if next <= slot {
+				next = slot + 1
+			}
+			res.VNops += next - slot
+			slot = next
 			continue
 		}
 		slotOf[best] = slot
 		res.Order = append(res.Order, g.Instr(best))
 		res.Perm = append(res.Perm, best)
 		placed++
+		stale++
 		slot++
 		// Placing best enables successors and fixes their ready times.
 		for _, e := range g.Succs[best] {
@@ -187,11 +239,15 @@ func ScheduleWith(g *deps.Graph, weigh Weighter, h Heuristics) *Result {
 				readyAt[s] = earliestSlot(g, weights, slotOf, s)
 			}
 		}
-		if len(enabledList) > 2*n {
+		// Drop placed entries once they dominate the list, keeping each
+		// selection scan proportional to the live ready set rather than to
+		// everything ever enabled.
+		if stale*2 > len(enabledList) {
 			enabledList = compact(enabledList, slotOf)
+			stale = 0
 		}
 	}
-	return res
+	return res, nil
 }
 
 // earliestSlot computes the earliest slot at which node s may issue given

@@ -158,9 +158,15 @@ func RunBlock(instrs []*ir.Instr, proc machine.Config, mem memlat.Model, rng *ra
 		switch {
 		case in.Op.IsLoad():
 			st.Loads++
-			lat = mem.Sample(rng)
+			lat = clampLatency(mem.Sample(rng))
 			if in.KnownLatency > 0 {
-				lat = int(in.KnownLatency)
+				// Clamp in float space: converting an out-of-range float64
+				// to int is implementation-defined.
+				kl := in.KnownLatency
+				if kl > maxSimLatency {
+					kl = maxSimLatency
+				}
+				lat = int(kl)
 			}
 			complete := t + lat
 			readyAt[in.Dst] = complete
@@ -187,6 +193,25 @@ func RunBlock(instrs []*ir.Instr, proc machine.Config, mem memlat.Model, rng *ra
 	}
 	st.Interlocks = st.Cycles - issueCycles
 	return st
+}
+
+// maxSimLatency caps a single sampled latency so that cycle arithmetic
+// stays far from int overflow even when a memory model misbehaves (the
+// memlat fault-injection profiles do so on purpose) or a !lat attribute
+// carries an absurd value.
+const maxSimLatency = 1 << 40
+
+// clampLatency forces an out-of-contract sample back into [0,
+// maxSimLatency]; models are supposed to return non-negative latencies,
+// but the simulator must not trust them.
+func clampLatency(lat int) int {
+	if lat < 0 {
+		return 0
+	}
+	if lat > maxSimLatency {
+		return maxSimLatency
+	}
+	return lat
 }
 
 // outstandingT records an in-flight load.
