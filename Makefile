@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race fuzz-smoke bench repro repro-quick examples vet fmt cover clean
+.PHONY: all build test race test-race fuzz-smoke serve-smoke bench repro repro-quick examples vet fmt cover clean
 
 all: build test
 
@@ -21,6 +21,12 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseCompile -fuzztime=$(FUZZTIME) ./internal/compile
 	$(GO) test -run='^$$' -fuzz=FuzzMemlatSpec -fuzztime=$(FUZZTIME) ./internal/memlat
+
+# Build the bschedd compilation daemon and round-trip one request
+# through the full HTTP stack (plus a cache-hit check); exits non-zero
+# on any failure. See docs/SERVER.md.
+serve-smoke:
+	$(GO) run ./cmd/bschedd -smoke examples/ir/demo.ir
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -6,7 +6,13 @@
 package bsched
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"bsched/internal/analytic"
@@ -20,6 +26,7 @@ import (
 	"bsched/internal/pipeline"
 	"bsched/internal/regalloc"
 	"bsched/internal/sched"
+	"bsched/internal/server"
 	"bsched/internal/sim"
 	"bsched/internal/unroll"
 	"bsched/internal/workload"
@@ -301,4 +308,69 @@ func BenchmarkOOO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ooo.Run(compiled.Block.Instrs, cfg, mem, rng)
 	}
+}
+
+// BenchmarkServerCacheHitVsMiss measures the compilation service's
+// end-to-end HTTP service time (decode, parse, fingerprint, queue,
+// compile, respond) for cold compilations versus content-addressed cache
+// hits — the serving hot path bschedd lives on. "miss" mutates the
+// program every iteration so every request compiles; "hit" repeats one
+// program so every request after the first is served from cache.
+func BenchmarkServerCacheHitVsMiss(b *testing.B) {
+	const template = `func demo
+block body freq=100
+  v0 = const %d
+  v1 = load x[v0+0]
+  v2 = load x[v0+8]
+  v3 = fadd v1, v2
+  v4 = load idx[v0+0]
+  v5 = load table[v4+0]
+  v6 = fmul v3, v5
+  store out[v0+0], v6
+  v7 = addi v0, 8
+  v8 = slt v7, v6
+  br v8, body
+end
+`
+	post := func(b *testing.B, url, program string) {
+		b.Helper()
+		body, err := json.Marshal(map[string]any{"program": program})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(url+"/v1/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %s", resp.Status)
+		}
+	}
+
+	b.Run("miss", func(b *testing.B) {
+		// Large cache so eviction cost is not part of the measurement;
+		// every program is distinct, so every request is a cold compile.
+		srv := server.New(server.Config{CacheCapacity: 1 << 20})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL, fmt.Sprintf(template, i+1))
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		srv := server.New(server.Config{})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		program := fmt.Sprintf(template, 8)
+		post(b, ts.URL, program) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL, program)
+		}
+	})
 }

@@ -1,0 +1,184 @@
+// Command bschedd is the balanced-scheduling compilation daemon: it
+// serves the hardened compiler (bsched/internal/compile) over an HTTP
+// JSON API with a fixed worker pool, a bounded request queue with
+// explicit backpressure, and a sharded content-addressed schedule cache
+// with single-flight deduplication. See docs/SERVER.md for the API.
+//
+// Usage:
+//
+//	bschedd [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
+//	        [-timeout D] [-max-timeout D] [-max-bytes N]
+//	bschedd -smoke file.ir
+//
+// Endpoints:
+//
+//	POST /v1/compile   compile a program (JSON body, see docs/SERVER.md)
+//	GET  /healthz      liveness probe
+//	GET  /stats        service counters and latency quantiles
+//
+// The daemon prints "bschedd: listening on ADDR" once the socket is
+// bound (so scripts can start it with -addr 127.0.0.1:0 and scrape the
+// ephemeral port) and shuts down cleanly on SIGINT/SIGTERM: the listener
+// stops accepting, in-flight requests drain, then the worker pool stops.
+//
+// With -smoke, bschedd instead starts itself on an ephemeral port, sends
+// one compile request for the given IR file through the full HTTP stack,
+// prints a summary and exits non-zero on any failure — a self-contained
+// round-trip check for CI (`make serve-smoke`).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bsched/internal/cli"
+	"bsched/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8370", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "compilation worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", server.DefaultQueueDepth, "bounded request queue depth; past it requests get 503 + Retry-After")
+	cache := flag.Int("cache", server.DefaultCacheCapacity, "schedule cache capacity in entries (negative disables)")
+	timeout := flag.Duration("timeout", server.DefaultCompileTimeout, "default per-compilation deadline")
+	maxTimeout := flag.Duration("max-timeout", server.MaxCompileTimeout, "upper clamp on request-supplied deadlines")
+	maxBytes := flag.Int64("max-bytes", server.DefaultMaxRequestBytes, "maximum request body size")
+	smoke := flag.String("smoke", "", "don't serve: round-trip one compile request for this IR file and exit")
+	flag.Parse()
+
+	cfg := server.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheCapacity:   *cache,
+		MaxRequestBytes: *maxBytes,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+	}
+
+	if *smoke != "" {
+		if err := runSmoke(cfg, *smoke); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := serve(cfg, *addr); err != nil {
+		fatal(err)
+	}
+}
+
+// serve runs the daemon until SIGINT/SIGTERM.
+func serve(cfg server.Config, addr string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	svc := server.New(cfg)
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	fmt.Printf("bschedd: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("bschedd: shutting down")
+	// Stop accepting, drain in-flight handlers (workers still run so
+	// queued compilations finish), then Close stops the pool.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	svc.Close()
+	fmt.Println("bschedd: shutdown complete")
+	return nil
+}
+
+// runSmoke starts the service in-process on an ephemeral port, posts the
+// given IR file twice through real HTTP (the second must be a cache
+// hit), and prints a one-line verdict.
+func runSmoke(cfg server.Config, path string) error {
+	src, err := cli.ReadInput(path)
+	if err != nil {
+		return err
+	}
+	svc := server.New(cfg)
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	post := func() (*server.CompileResponse, error) {
+		body, err := json.Marshal(server.CompileRequest{Program: src})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(base+"/v1/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("POST /v1/compile: %s: %s", resp.Status, bytes.TrimSpace(raw))
+		}
+		var out server.CompileResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return nil, fmt.Errorf("decode response: %w", err)
+		}
+		return &out, nil
+	}
+
+	cold, err := post()
+	if err != nil {
+		return err
+	}
+	if len(cold.Blocks) == 0 || cold.Program == "" {
+		return errors.New("smoke: empty compile response")
+	}
+	warm, err := post()
+	if err != nil {
+		return err
+	}
+	if !warm.Cached {
+		return errors.New("smoke: second identical request was not served from cache")
+	}
+	if warm.Program != cold.Program {
+		return errors.New("smoke: cached schedule differs from cold schedule")
+	}
+	fmt.Printf("bschedd: smoke ok — %d block(s), fingerprint %s, cold %.2fms, cached %.2fms\n",
+		len(cold.Blocks), cold.Fingerprint, cold.ServiceMillis, warm.ServiceMillis)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bschedd:", err)
+	os.Exit(1)
+}

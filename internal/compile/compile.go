@@ -29,6 +29,8 @@ package compile
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"bsched/internal/budget"
@@ -103,6 +105,15 @@ type Options struct {
 	// RunBlock call; past it, remaining blocks compile through the
 	// cheapest rungs of the ladder.
 	Timeout time.Duration
+	// Parallelism bounds how many blocks Run compiles concurrently.
+	// Zero means runtime.GOMAXPROCS(0); values below zero mean 1
+	// (sequential). Results, degradation order and error attribution are
+	// deterministic regardless of the setting: blocks land in program
+	// order and a hard error in an earlier block wins over one in a
+	// later block. A custom Weighter must be safe for concurrent use
+	// when more than one block compiles at a time (the built-in
+	// weighters all are).
+	Parallelism int
 }
 
 func (o *Options) tradLatency() float64 {
@@ -120,6 +131,16 @@ func (o *Options) blockBudget() int64 {
 		return 0 // budget.New treats <= 0 as unlimited
 	}
 	return o.BlockBudget
+}
+
+func (o *Options) parallelism() int {
+	if o.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 func (o *Options) validate() error {
@@ -240,8 +261,10 @@ func RunBlock(ctx context.Context, b *ir.Block, opts Options) (res *BlockResult,
 }
 
 // Run compiles every block of the program. Blocks are compiled
-// independently; the first hard error aborts (scheduling degradations do
-// not — they accumulate in Result.Degradations).
+// independently, up to Options.Parallelism at a time (default
+// GOMAXPROCS); the first hard error in program order aborts (scheduling
+// degradations do not — they accumulate in Result.Degradations). The
+// result is deterministic in program order regardless of parallelism.
 func Run(ctx context.Context, p *ir.Program, opts Options) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -262,21 +285,76 @@ func Run(ctx context.Context, p *ir.Program, opts Options) (res *Result, err err
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
-	out := &Result{Program: &ir.Program{Name: p.Name}}
-	for _, f := range p.Funcs {
-		nf := &ir.Func{Name: f.Name}
+
+	// Flatten to a task list so the worker loop is shape-agnostic.
+	type task struct {
+		fn    int
+		block *ir.Block
+	}
+	var tasks []task
+	for fi, f := range p.Funcs {
 		for _, b := range f.Blocks {
-			br, err := compileBlock(ctx, b, opts)
+			tasks = append(tasks, task{fn: fi, block: b})
+		}
+	}
+
+	results := make([]*BlockResult, len(tasks))
+	errs := make([]error, len(tasks))
+	if par := opts.parallelism(); par <= 1 || len(tasks) <= 1 {
+		for i, t := range tasks {
+			if results[i], errs[i] = compileBlockRecover(ctx, t.block, opts); errs[i] != nil {
+				// Sequential fast path: nothing later can outrank an
+				// earlier error, so abort immediately.
+				return nil, errs[i]
+			}
+		}
+	} else {
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for i, t := range tasks {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int, b *ir.Block) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[i], errs[i] = compileBlockRecover(ctx, b, opts)
+			}(i, t.block)
+		}
+		wg.Wait()
+		// Blocks are never cancelled mid-flight on a sibling's failure
+		// (cancellation would change which rungs other blocks land on),
+		// so the first error in program order is the same one the
+		// sequential path reports.
+		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
-			out.Blocks = append(out.Blocks, br)
-			out.Degradations = append(out.Degradations, br.Degradations...)
-			nf.Blocks = append(nf.Blocks, br.Block)
 		}
-		out.Program.Funcs = append(out.Program.Funcs, nf)
+	}
+
+	out := &Result{Program: &ir.Program{Name: p.Name}}
+	for _, f := range p.Funcs {
+		out.Program.Funcs = append(out.Program.Funcs, &ir.Func{Name: f.Name})
+	}
+	for i, br := range results {
+		out.Blocks = append(out.Blocks, br)
+		out.Degradations = append(out.Degradations, br.Degradations...)
+		nf := out.Program.Funcs[tasks[i].fn]
+		nf.Blocks = append(nf.Blocks, br.Block)
 	}
 	return out, nil
+}
+
+// compileBlockRecover is compileBlock behind Run's panic boundary, safe
+// to call from a worker goroutine (a panic escaping a goroutine would
+// kill the process, not the request).
+func compileBlockRecover(ctx context.Context, b *ir.Block, opts Options) (res *BlockResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, recovered("compile", b.Label, r)
+		}
+	}()
+	return compileBlock(ctx, b, opts)
 }
 
 // blockCompiler carries the per-block compilation state.

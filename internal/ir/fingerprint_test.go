@@ -1,0 +1,136 @@
+package ir
+
+import "testing"
+
+const fpDemoSrc = `func demo
+block body freq=100
+  v0 = const 8
+  v1 = load x[v0+0]
+  v2 = load x[v0+8]
+  v3 = fadd v1, v2
+  v4 = load idx[v0+0]
+  v5 = load table[v4+0]
+  v6 = fmul v3, v5
+  store out[v0+0], v6
+  v7 = addi v0, 8
+  v8 = slt v7, v6
+  br v8, body
+end
+`
+
+func parseDemo(t *testing.T) *Program {
+	t.Helper()
+	p, err := Parse(fpDemoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func demoBlock(t *testing.T) *Block {
+	t.Helper()
+	return parseDemo(t).Blocks()[0]
+}
+
+// TestFingerprintStable pins the fingerprint of a fixed block to a
+// constant. SHA-256 over a deterministic encoding cannot vary between
+// processes, runs or architectures; if this constant ever changes, the
+// encoding changed and every persisted cache key is invalidated — which
+// is exactly the kind of change that should fail a test.
+func TestFingerprintStable(t *testing.T) {
+	b := demoBlock(t)
+	const want = 0x153be1f6520b5c2d // golden; recompute only on deliberate encoding changes
+	if got := b.Fingerprint(); got != want {
+		t.Errorf("Fingerprint() = %#016x, want %#016x", got, want)
+	}
+}
+
+// TestFingerprintReparse checks that two independent parses of the same
+// source agree — no pointer identity, allocation order or map iteration
+// sneaks into the hash.
+func TestFingerprintReparse(t *testing.T) {
+	a, b := demoBlock(t), demoBlock(t)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("two parses of the same source fingerprint differently")
+	}
+	pa, pb := parseDemo(t), parseDemo(t)
+	if pa.Fingerprint() != pb.Fingerprint() {
+		t.Error("two parses of the same program fingerprint differently")
+	}
+	if c := demoBlock(t).Clone(); c.Fingerprint() != a.Fingerprint() {
+		t.Error("Clone changed the fingerprint")
+	}
+}
+
+// TestFingerprintOrderSensitive swaps two independent instructions and
+// expects a different hash: a schedule cache must distinguish orderings
+// even when the instruction multiset is identical.
+func TestFingerprintOrderSensitive(t *testing.T) {
+	a, b := demoBlock(t), demoBlock(t)
+	// Instructions 1 and 2 are the two loads from x — same opcode, same
+	// base, different offsets. Swapping them preserves the multiset.
+	b.Instrs[1], b.Instrs[2] = b.Instrs[2], b.Instrs[1]
+	b.Instrs[1].Seq, b.Instrs[2].Seq = b.Instrs[2].Seq, b.Instrs[1].Seq // same Seq values, swapped positions
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("reordered block has the same fingerprint")
+	}
+}
+
+// TestFingerprintMutationSensitive flips one field at a time and checks
+// every mutation lands on a distinct fingerprint (and none collides with
+// the original) — collision sanity on near-identical blocks, the common
+// case for a content-addressed cache.
+func TestFingerprintMutationSensitive(t *testing.T) {
+	mutations := map[string]func(*Block){
+		"label":       func(b *Block) { b.Label = "body2" },
+		"freq":        func(b *Block) { b.Freq = 101 },
+		"liveout":     func(b *Block) { b.LiveOut = append(b.LiveOut, Virt(8)) },
+		"opcode":      func(b *Block) { b.Instrs[3].Op = OpFSub },
+		"dst":         func(b *Block) { b.Instrs[0].Dst = Virt(40) },
+		"src":         func(b *Block) { b.Instrs[3].Srcs[1] = Virt(1) },
+		"imm":         func(b *Block) { b.Instrs[0].Imm = 16 },
+		"sym":         func(b *Block) { b.Instrs[1].Sym = "y" },
+		"base":        func(b *Block) { b.Instrs[1].Base = NoReg },
+		"off":         func(b *Block) { b.Instrs[2].Off = 16 },
+		"target":      func(b *Block) { b.Instrs[10].Target = "exit" },
+		"seq":         func(b *Block) { b.Instrs[5].Seq += 100 },
+		"spill-flag":  func(b *Block) { b.Instrs[7].IsSpill = true },
+		"known-lat":   func(b *Block) { b.Instrs[1].KnownLatency = 2 },
+		"drop-instr":  func(b *Block) { b.Instrs = b.Instrs[:len(b.Instrs)-1] },
+		"extra-instr": func(b *Block) { b.Instrs = append(b.Instrs, &Instr{Op: OpNop, Seq: 99}) },
+	}
+	base := demoBlock(t).Fingerprint()
+	seen := map[uint64]string{}
+	for name, mutate := range mutations {
+		b := demoBlock(t)
+		mutate(b)
+		fp := b.Fingerprint()
+		if fp == base {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("mutations %q and %q collide at %#016x", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+// TestProgramFingerprint checks the program hash sees structure the
+// block hashes alone do not: function names and program name.
+func TestProgramFingerprint(t *testing.T) {
+	a, b := parseDemo(t), parseDemo(t)
+	b.Funcs[0].Name = "demo2"
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("renamed function has the same program fingerprint")
+	}
+	c := parseDemo(t)
+	c.Name = "other"
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("renamed program has the same fingerprint")
+	}
+	d := parseDemo(t)
+	d.Funcs[0].Blocks[0].Instrs[0].Imm = 9
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("block edit invisible to the program fingerprint")
+	}
+}

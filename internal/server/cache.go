@@ -1,0 +1,148 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key addresses one compilation by content: the program's fingerprint
+// and a fingerprint of every schedule-relevant option. Two requests with
+// equal keys are guaranteed (up to 64+64-bit hash collisions) to want
+// the same schedule.
+type Key struct {
+	Prog uint64
+	Opts uint64
+}
+
+// entry is one cache slot. It is created before the compilation runs and
+// completed exactly once; waiters block on done. After done is closed,
+// resp/err are immutable — concurrent readers need no lock.
+type entry struct {
+	done chan struct{}
+	resp *CompileResponse
+	err  error
+}
+
+func newEntry() *entry { return &entry{done: make(chan struct{})} }
+
+// complete publishes the outcome and releases every waiter.
+func (e *entry) complete(resp *CompileResponse, err error) {
+	e.resp, e.err = resp, err
+	close(e.done)
+}
+
+// completed reports whether the entry has already been published (used
+// to distinguish a cache hit from coalescing onto an in-flight leader).
+func (e *entry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cache is a sharded, capacity-bounded, content-addressed map from Key
+// to *entry with built-in single-flight semantics: lookup either finds
+// an existing entry (completed → cache hit, in-flight → coalesce) or
+// atomically installs a fresh one and names the caller leader. Sharding
+// keeps lock hold times short under concurrent clients; each shard runs
+// an independent LRU.
+type cache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int        // max entries in this shard
+	ll  *list.List // front = most recent; values are *cacheItem
+	m   map[Key]*list.Element
+}
+
+type cacheItem struct {
+	key Key
+	e   *entry
+}
+
+// newCache builds a cache of roughly capacity entries split over shards.
+// capacity <= 0 disables caching entirely (every lookup is a leader with
+// a detached entry — single-flight is off too, which is what a
+// cache-disabled benchmark wants).
+func newCache(capacity, shards int) *cache {
+	if capacity <= 0 {
+		return &cache{}
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &cache{shards: make([]cacheShard, shards)}
+	per := (capacity + shards - 1) / shards
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: per, ll: list.New(), m: make(map[Key]*list.Element)}
+	}
+	return c
+}
+
+func (c *cache) disabled() bool { return len(c.shards) == 0 }
+
+func (c *cache) shard(k Key) *cacheShard {
+	// Mix both halves so programs compiled under many option sets spread
+	// across shards.
+	h := k.Prog ^ (k.Opts * 0x9e3779b97f4a7c15)
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// lookup returns the entry for k, creating and installing a fresh one
+// when absent. leader is true when the caller installed the entry and
+// must therefore run (and publish) the compilation.
+func (c *cache) lookup(k Key) (e *entry, leader bool) {
+	if c.disabled() {
+		return newEntry(), true
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*cacheItem).e, false
+	}
+	e = newEntry()
+	s.m[k] = s.ll.PushFront(&cacheItem{key: k, e: e})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheItem).key)
+	}
+	return e, true
+}
+
+// remove drops k if it still maps to e. Leaders call it on failure so an
+// error (or a backpressure rejection) is never served from cache; the
+// entry itself still completes, so coalesced waiters observe the error.
+func (c *cache) remove(k Key, e *entry) {
+	if c.disabled() {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok && el.Value.(*cacheItem).e == e {
+		s.ll.Remove(el)
+		delete(s.m, k)
+	}
+}
+
+// len reports the number of resident entries across all shards.
+func (c *cache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,303 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"bsched/internal/compile"
+	"bsched/internal/core"
+	"bsched/internal/deps"
+	"bsched/internal/pipeline"
+	"bsched/internal/regalloc"
+)
+
+// Budget tiers. A tier names a per-block work allowance so that clients
+// can't ask for arbitrary (possibly enormous) budgets and so that the
+// tier can be part of the cache key: the same program compiled under a
+// smaller budget may legitimately land on different ladder rungs, so the
+// two results must not share a cache slot.
+const (
+	TierSmall     = "small"     // 1/16 of the default: degrades early, cheap on hostile input
+	TierDefault   = "default"   // compile.DefaultBlockBudget
+	TierLarge     = "large"     // 8× the default
+	TierUnlimited = "unlimited" // only the deadline bounds the work
+)
+
+// tierBudget maps a tier name to a compile.Options.BlockBudget value.
+func tierBudget(tier string) (int64, error) {
+	switch tier {
+	case "", TierDefault:
+		return 0, nil // compile's own default
+	case TierSmall:
+		return compile.DefaultBlockBudget / 16, nil
+	case TierLarge:
+		return 8 * compile.DefaultBlockBudget, nil
+	case TierUnlimited:
+		return -1, nil
+	}
+	return 0, fmt.Errorf("unknown budget tier %q (want %s|%s|%s|%s)",
+		tier, TierSmall, TierDefault, TierLarge, TierUnlimited)
+}
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
+	// Program is the textual IR source (docs/IR.md).
+	Program string `json:"program"`
+	// Options selects the scheduling configuration; the zero value is a
+	// default balanced compilation.
+	Options RequestOptions `json:"options"`
+	// TimeoutMillis bounds this compilation's wall-clock time. Zero means
+	// the server default; values above the server maximum are clamped.
+	// The deadline is not part of the cache key: a slower identical
+	// request is happy to reuse a faster one's schedule.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// RequestOptions is the JSON mirror of the schedule-relevant subset of
+// compile.Options. Every field participates in the options fingerprint.
+type RequestOptions struct {
+	// Scheduler is "balanced" (default) or "traditional".
+	Scheduler string `json:"scheduler,omitempty"`
+	// TradLatency is the traditional scheduler's fixed load latency
+	// (default 2, the paper's cache hit time).
+	TradLatency float64 `json:"trad_latency,omitempty"`
+	// Alias is "disjoint" (default) or "conservative".
+	Alias string `json:"alias,omitempty"`
+	// Chances is "dp" (default, exact) or "unionfind" (the paper's
+	// O(n·α(n)) approximation).
+	Chances string `json:"chances,omitempty"`
+	// Allocator is "local" (default) or "coloring".
+	Allocator string `json:"allocator,omitempty"`
+	// SkipRegalloc stops after scheduling pass 1.
+	SkipRegalloc bool `json:"skip_regalloc,omitempty"`
+	// SkipPass2 skips the post-allocation scheduling pass.
+	SkipPass2 bool `json:"skip_pass2,omitempty"`
+	// NoPressureTie / NoExposeTie disable the §4.1 tie-break heuristics.
+	NoPressureTie bool `json:"no_pressure_tie,omitempty"`
+	NoExposeTie   bool `json:"no_expose_tie,omitempty"`
+	// Regs / SpillPool size the register file (0,0 → the default 32/6).
+	Regs      int `json:"regs,omitempty"`
+	SpillPool int `json:"spill_pool,omitempty"`
+	// Budget is the work-budget tier: "small", "default", "large" or
+	// "unlimited".
+	Budget string `json:"budget,omitempty"`
+}
+
+// compileOptions lowers the request options onto compile.Options,
+// validating every enum.
+func (o *RequestOptions) compileOptions() (compile.Options, error) {
+	var out compile.Options
+	switch o.Scheduler {
+	case "", "balanced":
+		out.Scheduler = compile.Balanced
+	case "traditional":
+		out.Scheduler = compile.Traditional
+	default:
+		return out, fmt.Errorf("unknown scheduler %q (want balanced|traditional)", o.Scheduler)
+	}
+	out.TradLatency = o.TradLatency
+	if o.TradLatency != 0 && !(o.TradLatency >= 1) {
+		return out, fmt.Errorf("trad_latency %g out of range [1, ∞)", o.TradLatency)
+	}
+	switch o.Alias {
+	case "", "disjoint":
+		out.Alias = deps.AliasDisjoint
+	case "conservative":
+		out.Alias = deps.AliasConservative
+	default:
+		return out, fmt.Errorf("unknown alias mode %q (want disjoint|conservative)", o.Alias)
+	}
+	switch o.Chances {
+	case "", "dp":
+		out.Core.Chances = core.ChancesDP
+	case "unionfind":
+		out.Core.Chances = core.ChancesUnionFind
+	default:
+		return out, fmt.Errorf("unknown chances method %q (want dp|unionfind)", o.Chances)
+	}
+	switch o.Allocator {
+	case "", "local":
+		out.Allocator = pipeline.AllocLocal
+	case "coloring":
+		out.Allocator = pipeline.AllocColoring
+	default:
+		return out, fmt.Errorf("unknown allocator %q (want local|coloring)", o.Allocator)
+	}
+	out.SkipRegalloc = o.SkipRegalloc
+	out.SkipPass2 = o.SkipPass2
+	out.Heuristics.NoPressureTie = o.NoPressureTie
+	out.Heuristics.NoExposeTie = o.NoExposeTie
+	if (o.Regs == 0) != (o.SpillPool == 0) {
+		return out, fmt.Errorf("regs and spill_pool must be set together")
+	}
+	if o.Regs != 0 {
+		out.Regalloc = regalloc.Config{Regs: o.Regs, SpillPool: o.SpillPool}
+	}
+	budget, err := tierBudget(o.Budget)
+	if err != nil {
+		return out, err
+	}
+	out.BlockBudget = budget
+	return out, nil
+}
+
+// fingerprint hashes every schedule-relevant option into 64 bits, the
+// second half of the cache Key. Defaults are normalized first ("" and
+// "balanced" hash identically), so spelling a default out does not
+// defeat the cache.
+func (o *RequestOptions) fingerprint() uint64 {
+	h := sha256.New()
+	var buf [8]byte
+	wu64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wstr := func(s string) {
+		wu64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	wbool := func(b bool) {
+		if b {
+			wu64(1)
+		} else {
+			wu64(0)
+		}
+	}
+	norm := func(s, def string) string {
+		if s == "" {
+			return def
+		}
+		return s
+	}
+	wstr(norm(o.Scheduler, "balanced"))
+	lat := o.TradLatency
+	if lat == 0 {
+		lat = 2
+	}
+	wu64(math.Float64bits(lat))
+	wstr(norm(o.Alias, "disjoint"))
+	wstr(norm(o.Chances, "dp"))
+	wstr(norm(o.Allocator, "local"))
+	wbool(o.SkipRegalloc)
+	wbool(o.SkipPass2)
+	wbool(o.NoPressureTie)
+	wbool(o.NoExposeTie)
+	regs, pool := o.Regs, o.SpillPool
+	if regs == 0 && pool == 0 {
+		regs, pool = 32, 6 // regalloc.DefaultConfig
+	}
+	wu64(uint64(regs))
+	wu64(uint64(pool))
+	wstr(norm(o.Budget, TierDefault))
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return binary.LittleEndian.Uint64(out[:8])
+}
+
+// BlockSummary is the per-block slice of a CompileResponse.
+type BlockSummary struct {
+	Label string `json:"label"`
+	// Instrs counts the final scheduled instructions (spill code
+	// included).
+	Instrs int `json:"instrs"`
+	// VNops1 is the number of starvation no-op slots in the pass-1
+	// schedule, the paper's latency-boundness diagnostic.
+	VNops1 int `json:"vnops_pass1"`
+	// Spill totals.
+	SpillLoads  int `json:"spill_loads"`
+	SpillStores int `json:"spill_stores"`
+	MaxPressure int `json:"max_pressure"`
+	// WorkUsed is the budget charge across all rungs.
+	WorkUsed int64 `json:"work_used"`
+	Degraded bool  `json:"degraded,omitempty"`
+}
+
+// DegradationEvent mirrors compile.Event for JSON.
+type DegradationEvent struct {
+	Block  string `json:"block"`
+	Pass   int    `json:"pass"`
+	Stage  string `json:"stage"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Reason string `json:"reason"`
+}
+
+// CompileResponse is the body of a successful POST /v1/compile. Cached
+// responses share the immutable compilation fields; the per-request
+// fields (Cached, Coalesced, ServiceMillis) are stamped on a copy.
+type CompileResponse struct {
+	// Program is the fully scheduled program, rendered in the same
+	// textual IR the request used.
+	Program string `json:"program"`
+	// Blocks summarizes each block in program order.
+	Blocks []BlockSummary `json:"blocks"`
+	// Degradations lists every ladder downgrade across the program.
+	Degradations []DegradationEvent `json:"degradations,omitempty"`
+	// Fingerprint and OptionsFingerprint echo the cache key (hex).
+	Fingerprint        string `json:"fingerprint"`
+	OptionsFingerprint string `json:"options_fingerprint"`
+	// Cached is true when the response was served from a completed cache
+	// entry; Coalesced when this request waited on an identical in-flight
+	// compilation instead of starting its own.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// ServiceMillis is this request's wall-clock service time.
+	ServiceMillis float64 `json:"service_ms"`
+}
+
+// ErrorResponse is the body of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Stage is compile.Error's stage when the failure came from the
+	// compiler ("regalloc", "input", ...), else "".
+	Stage string `json:"stage,omitempty"`
+	// Block is the failing block's label when attributable.
+	Block string `json:"block,omitempty"`
+	// RetryAfterSeconds accompanies 503 backpressure rejections.
+	RetryAfterSeconds int `json:"retry_after_s,omitempty"`
+}
+
+// buildResponse renders a hardened compile result as the shared
+// (cacheable) part of a response.
+func buildResponse(res *compile.Result, key Key) *CompileResponse {
+	out := &CompileResponse{
+		Program:            res.Program.String(),
+		Fingerprint:        fmt.Sprintf("%016x", key.Prog),
+		OptionsFingerprint: fmt.Sprintf("%016x", key.Opts),
+	}
+	for _, br := range res.Blocks {
+		s := BlockSummary{
+			Label:       br.Block.Label,
+			Instrs:      len(br.Block.Instrs),
+			SpillLoads:  br.Spill.SpillLoads,
+			SpillStores: br.Spill.SpillStores,
+			MaxPressure: br.Spill.MaxPressure,
+			WorkUsed:    br.WorkUsed,
+			Degraded:    br.Degraded(),
+		}
+		if br.Pass1 != nil {
+			s.VNops1 = br.Pass1.VNops
+		}
+		out.Blocks = append(out.Blocks, s)
+	}
+	for _, e := range res.Degradations {
+		out.Degradations = append(out.Degradations, DegradationEvent{
+			Block: e.Block, Pass: e.Pass, Stage: e.Stage,
+			From: e.From, To: e.To, Reason: e.Reason,
+		})
+	}
+	return out
+}
+
+// stamped returns a copy of the shared response with the per-request
+// fields set; the shared slices stay aliased and must not be mutated.
+func (r *CompileResponse) stamped(cached, coalesced bool, service time.Duration) *CompileResponse {
+	c := *r
+	c.Cached = cached
+	c.Coalesced = coalesced
+	c.ServiceMillis = float64(service.Microseconds()) / 1000
+	return &c
+}

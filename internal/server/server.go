@@ -1,0 +1,358 @@
+// Package server turns the hardened compiler front door
+// (bsched/internal/compile) into a long-lived concurrent compilation
+// service: the engine behind the bschedd daemon.
+//
+// Architecture, in one request's lifetime:
+//
+//	POST /v1/compile
+//	   ├─ decode + validate + parse (in the handler goroutine)
+//	   ├─ content-addressed lookup: Key{program fingerprint, options fingerprint}
+//	   │    ├─ completed entry  → cache hit, respond immediately
+//	   │    ├─ in-flight entry  → coalesce: wait on the leader's result
+//	   │    └─ absent           → leader: enqueue a job
+//	   ├─ bounded queue, fixed worker pool — the queue full is an explicit
+//	   │    503 + Retry-After (backpressure), never an unbounded goroutine
+//	   └─ worker compiles under the request deadline and budget tier,
+//	        publishes the entry, every waiter responds
+//
+// The cache is sharded and LRU-bounded; single-flight deduplication is
+// built into the lookup, so N concurrent identical requests cost exactly
+// one compilation. GET /stats exposes counters and a fixed-bucket
+// latency histogram (p50/p99) for scraping; GET /healthz is a liveness
+// probe.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"bsched/internal/compile"
+	"bsched/internal/ir"
+)
+
+// Config sizes the service. The zero value is a sensible default.
+type Config struct {
+	// Workers is the size of the compilation worker pool. Zero means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted
+	// compilations. A full queue rejects new work with 503 + Retry-After.
+	// Zero means DefaultQueueDepth.
+	QueueDepth int
+	// CacheCapacity bounds the schedule cache, in entries. Zero means
+	// DefaultCacheCapacity; negative disables caching (and with it
+	// single-flight coalescing).
+	CacheCapacity int
+	// CacheShards splits the cache to keep lock hold times short. Zero
+	// means DefaultCacheShards.
+	CacheShards int
+	// MaxRequestBytes bounds a request body. Zero means DefaultMaxRequestBytes.
+	MaxRequestBytes int64
+	// DefaultTimeout is the per-compilation deadline when the request
+	// does not carry one; MaxTimeout clamps request-supplied deadlines.
+	// Zeros mean DefaultCompileTimeout / MaxCompileTimeout.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+// Defaults for Config's zero fields.
+const (
+	DefaultQueueDepth      = 64
+	DefaultCacheCapacity   = 1024
+	DefaultCacheShards     = 16
+	DefaultMaxRequestBytes = 1 << 20
+	DefaultCompileTimeout  = 10 * time.Second
+	MaxCompileTimeout      = 60 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = DefaultCacheCapacity
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = DefaultCacheShards
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = DefaultCompileTimeout
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = MaxCompileTimeout
+	}
+	return c
+}
+
+// Sentinel failures an entry can complete with.
+var (
+	errBusy     = errors.New("compilation queue full")
+	errShutdown = errors.New("server shutting down")
+)
+
+// job is one queued compilation: the leader request's parsed program and
+// lowered options, bound for the worker pool.
+type job struct {
+	prog    *ir.Program
+	opts    compile.Options
+	timeout time.Duration
+	key     Key
+	e       *entry
+}
+
+// Server is the compilation service. Create with New, serve via
+// Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	queue chan *job
+	cache *cache
+	stats Stats
+	start time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	// compileFn is the compilation the workers run; tests substitute it
+	// to count invocations and to block the pool at will.
+	compileFn func(context.Context, *ir.Program, compile.Options) (*compile.Result, error)
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		queue:     make(chan *job, cfg.QueueDepth),
+		cache:     newCache(cfg.CacheCapacity, cfg.CacheShards),
+		start:     time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		compileFn: compile.Run,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the worker pool and fails any still-queued jobs with a
+// shutdown error. In-flight compilations observe the cancelled context
+// and finish quickly through the degradation ladder. Safe to call twice.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		s.cancel()
+		s.wg.Wait()
+		for {
+			select {
+			case j := <-s.queue:
+				s.cache.remove(j.key, j.e)
+				j.e.complete(nil, errShutdown)
+			default:
+				return
+			}
+		}
+	})
+}
+
+// worker drains the queue until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob compiles one job and publishes its entry. Errors are removed
+// from the cache (they must not be served to later requests) but still
+// complete the entry so coalesced waiters observe them.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithTimeout(s.ctx, j.timeout)
+	defer cancel()
+	res, err := s.compileFn(ctx, j.prog, j.opts)
+	if err != nil {
+		s.cache.remove(j.key, j.e)
+		j.e.complete(nil, err)
+		return
+	}
+	s.stats.degradations.Add(int64(len(res.Degradations)))
+	j.e.complete(buildResponse(res, j.key), nil)
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/compile", s.handleCompile)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// Stats returns a point-in-time snapshot of the service counters.
+func (s *Server) Stats() Snapshot {
+	snap := s.stats.snapshot()
+	snap.QueueDepth = len(s.queue)
+	snap.QueueCapacity = cap(s.queue)
+	snap.Workers = s.cfg.Workers
+	snap.CacheEntries = s.cache.len()
+	return snap
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// timeout clamps a request's deadline to the configured range.
+func (s *Server) timeout(millis int64) time.Duration {
+	d := time.Duration(millis) * time.Millisecond
+	if d <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, &ErrorResponse{Error: "POST only"})
+		return
+	}
+	started := time.Now()
+
+	var req CompileRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.stats.clientErrors.Add(1)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, &ErrorResponse{Error: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	opts, err := req.Options.compileOptions()
+	if err != nil {
+		s.stats.clientErrors.Add(1)
+		writeError(w, http.StatusBadRequest, &ErrorResponse{Error: fmt.Sprintf("options: %v", err), Stage: "options"})
+		return
+	}
+	prog, err := ir.Parse(req.Program)
+	if err != nil {
+		s.stats.clientErrors.Add(1)
+		writeError(w, http.StatusBadRequest, &ErrorResponse{Error: fmt.Sprintf("parse program: %v", err), Stage: "parse"})
+		return
+	}
+
+	s.stats.requests.Add(1)
+	key := Key{Prog: prog.Fingerprint(), Opts: req.Options.fingerprint()}
+	e, leader := s.cache.lookup(key)
+	coalesced := false
+	switch {
+	case leader:
+		s.stats.cacheMisses.Add(1)
+		j := &job{prog: prog, opts: opts, timeout: s.timeout(req.TimeoutMillis), key: key, e: e}
+		select {
+		case s.queue <- j:
+		default:
+			// Backpressure: the pool is saturated and the queue is at
+			// capacity. Reject instead of queueing unboundedly, and fail
+			// the entry so coalesced requests that raced in behind us
+			// reject too instead of hanging.
+			s.cache.remove(key, e)
+			e.complete(nil, errBusy)
+			s.respondError(w, errBusy)
+			return
+		}
+	case e.completed():
+		s.stats.cacheHits.Add(1)
+		s.respond(w, e.resp.stamped(true, false, time.Since(started)))
+		return
+	default:
+		coalesced = true
+		s.stats.coalesced.Add(1)
+	}
+
+	select {
+	case <-e.done:
+		if e.err != nil {
+			s.respondError(w, e.err)
+			return
+		}
+		s.respond(w, e.resp.stamped(!leader, coalesced, time.Since(started)))
+	case <-r.Context().Done():
+		// Client gone; the compilation (if any) still completes and
+		// populates the cache for the next asker.
+		s.stats.clientErrors.Add(1)
+	case <-s.ctx.Done():
+		s.respondError(w, errShutdown)
+	}
+}
+
+// respond writes a 200 and records its service time.
+func (s *Server) respond(w http.ResponseWriter, resp *CompileResponse) {
+	s.stats.ok.Add(1)
+	s.stats.hist.observe(time.Duration(resp.ServiceMillis * float64(time.Millisecond)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// respondError maps a failure to a status code and error body.
+func (s *Server) respondError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBusy), errors.Is(err, errShutdown):
+		s.stats.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, &ErrorResponse{Error: err.Error(), RetryAfterSeconds: 1})
+	default:
+		s.stats.compileErrors.Add(1)
+		resp := &ErrorResponse{Error: err.Error()}
+		var ce *compile.Error
+		if errors.As(err, &ce) {
+			resp.Stage = ce.Stage
+			resp.Block = ce.Block
+		}
+		writeError(w, http.StatusUnprocessableEntity, resp)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the client hanging up mid-write is not our error
+}
+
+func writeError(w http.ResponseWriter, status int, e *ErrorResponse) {
+	writeJSON(w, status, e)
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats aggregates the daemon's service counters. All fields are updated
+// with atomics; a Snapshot is a consistent-enough point-in-time copy for
+// monitoring (individual counters are exact, cross-counter invariants
+// like hits+misses == lookups may be momentarily off by in-flight
+// requests).
+type Stats struct {
+	requests      atomic.Int64 // POST /v1/compile requests accepted for processing
+	ok            atomic.Int64 // 200 responses
+	clientErrors  atomic.Int64 // 4xx: malformed JSON, parse errors, bad options
+	compileErrors atomic.Int64 // 422: hard compile errors (e.g. register pressure)
+	rejected      atomic.Int64 // 503: bounded queue full (backpressure)
+	cacheHits     atomic.Int64 // served from a completed cache entry
+	cacheMisses   atomic.Int64 // required a fresh compilation
+	coalesced     atomic.Int64 // waited on another request's in-flight compilation
+	degradations  atomic.Int64 // ladder downgrade events across all compilations
+	hist          histogram    // service time of successful compilations
+}
+
+// Snapshot is the JSON shape of GET /stats.
+type Snapshot struct {
+	Requests      int64 `json:"requests"`
+	OK            int64 `json:"ok"`
+	ClientErrors  int64 `json:"client_errors"`
+	CompileErrors int64 `json:"compile_errors"`
+	Rejected      int64 `json:"rejected"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	Coalesced     int64 `json:"coalesced"`
+	Degradations  int64 `json:"degradations"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Workers       int   `json:"workers"`
+	CacheEntries  int   `json:"cache_entries"`
+	// P50/P99 service time of successful compilations, in milliseconds,
+	// estimated from a fixed-bucket histogram (see histBounds).
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+}
+
+// snapshot copies the counters; queue/worker/cache gauges are filled in
+// by the server, which owns them.
+func (s *Stats) snapshot() Snapshot {
+	return Snapshot{
+		Requests:      s.requests.Load(),
+		OK:            s.ok.Load(),
+		ClientErrors:  s.clientErrors.Load(),
+		CompileErrors: s.compileErrors.Load(),
+		Rejected:      s.rejected.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Degradations:  s.degradations.Load(),
+		P50Millis:     s.hist.quantile(0.50),
+		P99Millis:     s.hist.quantile(0.99),
+	}
+}
+
+// histBounds are the histogram's bucket upper bounds in microseconds,
+// roughly 1-2-5 per decade from 50µs to 10s. The final implicit bucket is
+// +Inf. Fixed bounds keep Observe to one atomic add and make quantile
+// estimation allocation-free.
+var histBounds = [...]int64{
+	50, 100, 200, 500, // µs
+	1_000, 2_000, 5_000, // 1–5 ms
+	10_000, 20_000, 50_000, // 10–50 ms
+	100_000, 200_000, 500_000, // 0.1–0.5 s
+	1_000_000, 2_000_000, 5_000_000, 10_000_000, // 1–10 s
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent use.
+type histogram struct {
+	counts [len(histBounds) + 1]atomic.Int64
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	for i, ub := range histBounds {
+		if us <= ub {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(histBounds)].Add(1)
+}
+
+// quantile estimates the q-quantile (0 < q < 1) in milliseconds by
+// linear interpolation within the containing bucket. Returns 0 with no
+// observations; the overflow bucket reports its lower bound.
+func (h *histogram) quantile(q float64) float64 {
+	var counts [len(histBounds) + 1]int64
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(histBounds) {
+			return float64(histBounds[len(histBounds)-1]) / 1000 // lower bound of +Inf bucket
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = histBounds[i-1]
+		}
+		hi := histBounds[i]
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - float64(cum)) / float64(c)
+		}
+		return (float64(lo) + frac*float64(hi-lo)) / 1000
+	}
+	return float64(histBounds[len(histBounds)-1]) / 1000
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	if q := h.quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %g, want 0", q)
+	}
+	// 90 fast requests at ~1ms, 10 slow at ~150ms: p50 must sit in the
+	// 0.5–1ms bucket, p99 in the 100–200ms bucket.
+	for i := 0; i < 90; i++ {
+		h.observe(800 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(150 * time.Millisecond)
+	}
+	if p50 := h.quantile(0.50); p50 < 0.5 || p50 > 1.0 {
+		t.Errorf("p50 = %gms, want within (0.5, 1.0]", p50)
+	}
+	if p99 := h.quantile(0.99); p99 < 100 || p99 > 200 {
+		t.Errorf("p99 = %gms, want within (100, 200]", p99)
+	}
+	if p100 := h.quantile(0.9999); p100 < 100 {
+		t.Errorf("p99.99 = %gms, want in the slow bucket", p100)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h histogram
+	for i := 0; i < 4; i++ {
+		h.observe(time.Hour)
+	}
+	// The +Inf bucket reports its lower bound rather than inventing an
+	// upper one.
+	if q := h.quantile(0.5); q != 10_000 {
+		t.Errorf("overflow p50 = %gms, want 10000 (10s lower bound)", q)
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	var s Stats
+	s.requests.Add(3)
+	s.ok.Add(2)
+	s.cacheHits.Add(1)
+	s.hist.observe(2 * time.Millisecond)
+	snap := s.snapshot()
+	if snap.Requests != 3 || snap.OK != 2 || snap.CacheHits != 1 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	if snap.P50Millis <= 0 {
+		t.Errorf("p50 %g after one observation", snap.P50Millis)
+	}
+}
