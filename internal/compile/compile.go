@@ -28,6 +28,7 @@ package compile
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -180,6 +181,13 @@ type Event struct {
 	From, To string
 	// Reason is the triggering error, rendered.
 	Reason string
+	// Deadline reports that the downgrade was forced by expiry or
+	// cancellation of the surrounding context rather than the work
+	// budget. Budget-driven downgrades are deterministic for a given
+	// input and options; deadline-driven ones depend on wall-clock
+	// state, so rerunning the same input may land on a better rung —
+	// callers that memoize results should not reuse such a result.
+	Deadline bool
 }
 
 // String renders "block b3 pass 1: weights chances-dp → chances-unionfind (…)".
@@ -407,6 +415,7 @@ func (c *blockCompiler) fork() *budget.Budget { return c.master.Fork() }
 func (c *blockCompiler) event(pass int, stage, from, to string, cause error) {
 	c.res.Degradations = append(c.res.Degradations, Event{
 		Block: c.label, Pass: pass, Stage: stage, From: from, To: to, Reason: cause.Error(),
+		Deadline: errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded),
 	})
 }
 

@@ -217,6 +217,9 @@ func TestCancelledContextDegrades(t *testing.T) {
 		if !strings.Contains(e.Reason, "context canceled") {
 			t.Fatalf("degradation reason %q does not mention the context", e.Reason)
 		}
+		if !e.Deadline {
+			t.Fatalf("context-forced degradation %v not flagged Deadline", e)
+		}
 	}
 }
 
@@ -377,6 +380,11 @@ end`
 	}
 	if len(res.Degradations) == 0 {
 		t.Fatal("starved program recorded no degradations")
+	}
+	for _, e := range res.Degradations {
+		if e.Deadline {
+			t.Fatalf("budget-forced degradation %v wrongly flagged Deadline", e)
+		}
 	}
 	for _, br := range res.Blocks {
 		if len(br.Degradations) == 0 {

@@ -23,7 +23,7 @@ import (
 //
 // The block is rewritten in place, like Run.
 func RunColoring(b *ir.Block, cfg Config) (Stats, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
 	if err := checkDefBeforeUse(b); err != nil {

@@ -67,7 +67,10 @@ type Config struct {
 // paper's enlargement by 2).
 func DefaultConfig() Config { return Config{Regs: 32, SpillPool: 6} }
 
-func (c Config) validate() error {
+// Validate rejects register files too small to allocate anything.
+// Exported so API edges (the compilation server) can refuse a bad
+// configuration before it reaches a worker.
+func (c Config) Validate() error {
 	// An instruction can read up to three spilled values (fma), each
 	// needing its own pool register simultaneously.
 	if c.SpillPool < 3 {
@@ -108,7 +111,7 @@ type valueState struct {
 // must be defined in the block before its first use (workload blocks are
 // self-contained). Block LiveOut values are kept live to the end.
 func Run(b *ir.Block, cfg Config) (Stats, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
 	// Physical registers already present in the block (live-ins like the

@@ -26,6 +26,13 @@ const (
 	TierUnlimited = "unlimited" // only the deadline bounds the work
 )
 
+// MaxRegs bounds the client-selectable register file. The allocators
+// build O(Regs) state per block, so an unbounded value would let one
+// cheap request force an enormous allocation inside a worker — a Go
+// runtime OOM is fatal and no panic boundary recovers it. Real register
+// files are far below this.
+const MaxRegs = 1024
+
 // tierBudget maps a tier name to a compile.Options.BlockBudget value.
 func tierBudget(tier string) (int64, error) {
 	switch tier {
@@ -49,10 +56,13 @@ type CompileRequest struct {
 	// Options selects the scheduling configuration; the zero value is a
 	// default balanced compilation.
 	Options RequestOptions `json:"options"`
-	// TimeoutMillis bounds this compilation's wall-clock time. Zero means
-	// the server default; values above the server maximum are clamped.
-	// The deadline is not part of the cache key: a slower identical
-	// request is happy to reuse a faster one's schedule.
+	// TimeoutMillis bounds this request's wall-clock time — the
+	// compilation itself, or the wait on an identical in-flight
+	// compilation when the request coalesces. Zero means the server
+	// default; values above the server maximum are clamped. The deadline
+	// is not part of the cache key: a slower identical request is happy
+	// to reuse a faster one's schedule, and a result the deadline
+	// degraded is served to its own requester but never cached.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
@@ -134,7 +144,14 @@ func (o *RequestOptions) compileOptions() (compile.Options, error) {
 		return out, fmt.Errorf("regs and spill_pool must be set together")
 	}
 	if o.Regs != 0 {
-		out.Regalloc = regalloc.Config{Regs: o.Regs, SpillPool: o.SpillPool}
+		if o.Regs > MaxRegs {
+			return out, fmt.Errorf("regs %d above the server maximum %d", o.Regs, MaxRegs)
+		}
+		cfg := regalloc.Config{Regs: o.Regs, SpillPool: o.SpillPool}
+		if err := cfg.Validate(); err != nil {
+			return out, err
+		}
+		out.Regalloc = cfg
 	}
 	budget, err := tierBudget(o.Budget)
 	if err != nil {
@@ -223,6 +240,10 @@ type DegradationEvent struct {
 	From   string `json:"from"`
 	To     string `json:"to"`
 	Reason string `json:"reason"`
+	// Deadline is true when the downgrade was forced by the request's
+	// wall-clock deadline rather than its budget tier; such results are
+	// served but never cached.
+	Deadline bool `json:"deadline,omitempty"`
 }
 
 // CompileResponse is the body of a successful POST /v1/compile. Cached
@@ -286,7 +307,7 @@ func buildResponse(res *compile.Result, key Key) *CompileResponse {
 	for _, e := range res.Degradations {
 		out.Degradations = append(out.Degradations, DegradationEvent{
 			Block: e.Block, Pass: e.Pass, Stage: e.Stage,
-			From: e.From, To: e.To, Reason: e.Reason,
+			From: e.From, To: e.To, Reason: e.Reason, Deadline: e.Deadline,
 		})
 	}
 	return out

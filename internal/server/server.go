@@ -8,7 +8,8 @@
 //	   ├─ decode + validate + parse (in the handler goroutine)
 //	   ├─ content-addressed lookup: Key{program fingerprint, options fingerprint}
 //	   │    ├─ completed entry  → cache hit, respond immediately
-//	   │    ├─ in-flight entry  → coalesce: wait on the leader's result
+//	   │    ├─ in-flight entry  → coalesce: wait on the leader's result,
+//	   │    │                     bounded by this request's own deadline
 //	   │    └─ absent           → leader: enqueue a job
 //	   ├─ bounded queue, fixed worker pool — the queue full is an explicit
 //	   │    503 + Retry-After (backpressure), never an unbounded goroutine
@@ -96,10 +97,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Sentinel failures an entry can complete with.
+// Sentinel failures an entry can complete with, plus the per-request
+// deadline expiry (which never fails a shared entry).
 var (
 	errBusy     = errors.New("compilation queue full")
 	errShutdown = errors.New("server shutting down")
+	errDeadline = errors.New("request deadline exceeded awaiting compilation")
 )
 
 // job is one queued compilation: the leader request's parsed program and
@@ -120,6 +123,10 @@ type Server struct {
 	cache *cache
 	stats Stats
 	start time.Time
+	// blockPar is the per-job block parallelism: GOMAXPROCS split across
+	// the worker pool, so a saturated pool runs ~one block compilation
+	// per CPU instead of Workers × GOMAXPROCS goroutines.
+	blockPar int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -135,11 +142,16 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	blockPar := runtime.GOMAXPROCS(0) / cfg.Workers
+	if blockPar < 1 {
+		blockPar = 1
+	}
 	s := &Server{
 		cfg:       cfg,
 		queue:     make(chan *job, cfg.QueueDepth),
 		cache:     newCache(cfg.CacheCapacity, cfg.CacheShards),
 		start:     time.Now(),
+		blockPar:  blockPar,
 		ctx:       ctx,
 		cancel:    cancel,
 		compileFn: compile.Run,
@@ -196,7 +208,27 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	s.stats.degradations.Add(int64(len(res.Degradations)))
+	if deadlineDegraded(res) {
+		// The schedule is valid for the request whose deadline forced the
+		// cheap rungs, but not for the key: the deadline is not part of
+		// the key, so caching it would serve the degraded schedule to
+		// later requests with generous deadlines. Serve it, don't cache it.
+		s.cache.remove(j.key, j.e)
+	}
 	j.e.complete(buildResponse(res, j.key), nil)
+}
+
+// deadlineDegraded reports whether any downgrade was forced by the wall
+// clock (context deadline or shutdown) rather than the work-budget tier.
+// Tier-driven downgrades are deterministic and cacheable — the tier is
+// part of the cache key; wall-clock ones are not.
+func deadlineDegraded(res *compile.Result) bool {
+	for _, e := range res.Degradations {
+		if e.Deadline {
+			return true
+		}
+	}
+	return false
 }
 
 // Handler returns the service's HTTP routes.
@@ -275,13 +307,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.stats.requests.Add(1)
+	deadline := s.timeout(req.TimeoutMillis)
+	opts.Parallelism = s.blockPar
 	key := Key{Prog: prog.Fingerprint(), Opts: req.Options.fingerprint()}
 	e, leader := s.cache.lookup(key)
 	coalesced := false
 	switch {
 	case leader:
 		s.stats.cacheMisses.Add(1)
-		j := &job{prog: prog, opts: opts, timeout: s.timeout(req.TimeoutMillis), key: key, e: e}
+		j := &job{prog: prog, opts: opts, timeout: deadline, key: key, e: e}
 		select {
 		case s.queue <- j:
 		default:
@@ -303,6 +337,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.stats.coalesced.Add(1)
 	}
 
+	// A coalesced wait is bounded by this request's own clamped deadline,
+	// not the leader's: a request asking for 100ms must not block for an
+	// in-flight leader's 60s. Expiry responds 503 without failing the
+	// shared entry — the compilation completes for everyone still
+	// waiting. The leader itself gets no such timer: its job compiles
+	// under its own deadline and degrades rather than fails.
+	var waitC <-chan time.Time
+	if coalesced {
+		wait := time.NewTimer(deadline - time.Since(started))
+		defer wait.Stop()
+		waitC = wait.C
+	}
 	select {
 	case <-e.done:
 		if e.err != nil {
@@ -310,6 +356,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.respond(w, e.resp.stamped(!leader, coalesced, time.Since(started)))
+	case <-waitC:
+		s.respondError(w, errDeadline)
 	case <-r.Context().Done():
 		// Client gone; the compilation (if any) still completes and
 		// populates the cache for the next asker.
@@ -329,7 +377,7 @@ func (s *Server) respond(w http.ResponseWriter, resp *CompileResponse) {
 // respondError maps a failure to a status code and error body.
 func (s *Server) respondError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, errBusy), errors.Is(err, errShutdown):
+	case errors.Is(err, errBusy), errors.Is(err, errShutdown), errors.Is(err, errDeadline):
 		s.stats.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, &ErrorResponse{Error: err.Error(), RetryAfterSeconds: 1})

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -416,6 +417,153 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	if snap.CacheEntries > len(programs) {
 		t.Errorf("%d cache entries for %d distinct programs", snap.CacheEntries, len(programs))
+	}
+}
+
+// TestRegisterFileBounds: client-controlled register-file sizes are
+// validated at the edge. regalloc builds O(Regs) state per block, so an
+// unbounded value would let one cheap request force a multi-GB worker
+// allocation — a fatal runtime OOM no panic boundary recovers.
+func TestRegisterFileBounds(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	cases := []struct {
+		name string
+		opts RequestOptions
+		want int
+	}{
+		{"huge-regs", RequestOptions{Regs: 2000000000, SpillPool: 3}, http.StatusBadRequest},
+		{"above-max", RequestOptions{Regs: MaxRegs + 1, SpillPool: 6}, http.StatusBadRequest},
+		{"negative", RequestOptions{Regs: -8, SpillPool: -3}, http.StatusBadRequest},
+		{"pool-too-small", RequestOptions{Regs: 32, SpillPool: 1}, http.StatusBadRequest},
+		{"pool-swallows-regs", RequestOptions{Regs: 8, SpillPool: 8}, http.StatusBadRequest},
+		{"at-max", RequestOptions{Regs: MaxRegs, SpillPool: 6}, http.StatusOK},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, _, errResp := postCompile(t, ts.URL, CompileRequest{Program: demoProgram, Options: c.opts})
+			if status != c.want {
+				t.Fatalf("status %d, want %d (%+v)", status, c.want, errResp)
+			}
+			if c.want == http.StatusBadRequest && errResp.Stage != "options" {
+				t.Errorf("stage %q, want options", errResp.Stage)
+			}
+		})
+	}
+}
+
+// TestDeadlineDegradedNotCached: a result degraded by the leader's
+// wall-clock deadline is served to that request but must not be cached —
+// the deadline is not part of the key, so a later request with a
+// generous deadline would otherwise be stuck with the degraded schedule.
+func TestDeadlineDegradedNotCached(t *testing.T) {
+	s, ts := startServer(t, Config{})
+	var calls atomic.Int64
+	s.compileFn = func(ctx context.Context, p *ir.Program, opts compile.Options) (*compile.Result, error) {
+		n := calls.Add(1)
+		res, err := compile.Run(ctx, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			// Simulate the first compile blowing its deadline mid-ladder.
+			res.Degradations = append(res.Degradations, compile.Event{
+				Block: "body", Pass: 1, Stage: "weights",
+				From: compile.RungChancesDP, To: compile.RungFixedLat,
+				Reason: "context deadline exceeded after 8192 units", Deadline: true,
+			})
+		}
+		return res, nil
+	}
+	status, first, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram})
+	if status != http.StatusOK {
+		t.Fatalf("degraded request status %d", status)
+	}
+	if len(first.Degradations) != 1 || !first.Degradations[0].Deadline {
+		t.Fatalf("degradations %+v, want one deadline-flagged event", first.Degradations)
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Fatalf("deadline-degraded result left %d cache entries", n)
+	}
+	status, second, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram})
+	if status != http.StatusOK {
+		t.Fatalf("second request status %d", status)
+	}
+	if second.Cached {
+		t.Error("second request was served the deadline-degraded schedule from cache")
+	}
+	if len(second.Degradations) != 0 {
+		t.Errorf("recompile still degraded: %+v", second.Degradations)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("ran %d compilations, want 2 (no reuse of the degraded result)", got)
+	}
+	// The clean recompile is cacheable as usual.
+	if _, third, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram}); !third.Cached {
+		t.Error("clean recompile was not cached")
+	}
+}
+
+// TestCoalescedWaitBounded: a coalesced request's wait is bounded by its
+// own clamped deadline, not the leader's — a 50ms client must not hang
+// for up to the leader's 10s default. Its timeout must not fail the
+// shared entry either.
+func TestCoalescedWaitBounded(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 1})
+	gate := make(chan struct{})
+	running := make(chan struct{}, 1)
+	s.compileFn = func(ctx context.Context, p *ir.Program, opts compile.Options) (*compile.Result, error) {
+		select {
+		case running <- struct{}{}:
+		default:
+		}
+		<-gate
+		return compile.Run(ctx, p, opts)
+	}
+	leaderDone := make(chan int, 1)
+	go func() {
+		status, _, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram})
+		leaderDone <- status
+	}()
+	<-running // the leader is inside compileFn, holding the entry in flight
+
+	start := time.Now()
+	status, _, errResp := postCompile(t, ts.URL,
+		CompileRequest{Program: demoProgram, TimeoutMillis: 50})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("coalesced request past its deadline got %d (%+v), want 503", status, errResp)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("coalesced request with a 50ms deadline waited %v", elapsed)
+	}
+
+	close(gate)
+	if got := <-leaderDone; got != http.StatusOK {
+		t.Fatalf("leader finished with %d after a waiter timed out", got)
+	}
+	if _, second, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram}); !second.Cached {
+		t.Error("leader's result was not cached after a waiter timed out")
+	}
+}
+
+// TestJobParallelism: server jobs split GOMAXPROCS across the worker
+// pool instead of letting every worker fan out to GOMAXPROCS
+// block-compile goroutines (P² oversubscription when saturated).
+func TestJobParallelism(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 2, CacheCapacity: -1})
+	var got atomic.Int64
+	s.compileFn = func(ctx context.Context, p *ir.Program, opts compile.Options) (*compile.Result, error) {
+		got.Store(int64(opts.Parallelism))
+		return compile.Run(ctx, p, opts)
+	}
+	if status, _, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram}); status != http.StatusOK {
+		t.Fatal("compile failed")
+	}
+	want := runtime.GOMAXPROCS(0) / 2
+	if want < 1 {
+		want = 1
+	}
+	if int(got.Load()) != want {
+		t.Errorf("job Parallelism %d, want %d (GOMAXPROCS/Workers)", got.Load(), want)
 	}
 }
 
