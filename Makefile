@@ -2,15 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race fuzz-smoke serve-smoke bench repro repro-quick examples vet fmt cover clean
+.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke doc-lint bench repro repro-quick examples vet fmt cover clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+# The default test path runs the unit suites plus the documentation
+# lint and the /metrics smoke check, so a metric or doc regression
+# fails `make test` the same way a unit failure does.
+test: doc-lint
 	$(GO) test ./...
+	$(MAKE) metrics-smoke
 
 race test-race:
 	$(GO) test -race ./...
@@ -27,6 +31,21 @@ fuzz-smoke:
 # on any failure. See docs/SERVER.md.
 serve-smoke:
 	$(GO) run ./cmd/bschedd -smoke examples/ir/demo.ir
+
+# Same round trip, then scrape GET /metrics and assert every metric
+# family cataloged in docs/OBSERVABILITY.md is present with samples.
+metrics-smoke:
+	$(GO) run ./cmd/bschedd -metrics-smoke examples/ir/demo.ir
+
+# Documentation hygiene: source is gofmt-clean, vet-clean, and the
+# packages godoc renders without error (a parse failure here means a
+# malformed doc comment).
+doc-lint:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	@for pkg in ./internal/obs ./internal/server ./internal/compile; do \
+		$(GO) doc $$pkg >/dev/null || exit 1; done
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,13 +8,22 @@
 //
 //	bschedd [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
 //	        [-timeout D] [-max-timeout D] [-max-bytes N]
+//	        [-log-format kv|json|none] [-pprof]
 //	bschedd -smoke file.ir
+//	bschedd -metrics-smoke file.ir
 //
 // Endpoints:
 //
 //	POST /v1/compile   compile a program (JSON body, see docs/SERVER.md)
 //	GET  /healthz      liveness probe
-//	GET  /stats        service counters and latency quantiles
+//	GET  /stats        service counters and latency breakdowns (JSON)
+//	GET  /metrics      Prometheus text exposition (docs/OBSERVABILITY.md)
+//	GET  /debug/pprof  runtime profiles (only with -pprof)
+//
+// Every request is logged to stderr as one structured line (key=value
+// by default, -log-format json for JSON lines, none to disable) with a
+// process-unique request ID that is also returned in the X-Request-ID
+// response header.
 //
 // The daemon prints "bschedd: listening on ADDR" once the socket is
 // bound (so scripts can start it with -addr 127.0.0.1:0 and scrape the
@@ -24,7 +33,9 @@
 // With -smoke, bschedd instead starts itself on an ephemeral port, sends
 // one compile request for the given IR file through the full HTTP stack,
 // prints a summary and exits non-zero on any failure — a self-contained
-// round-trip check for CI (`make serve-smoke`).
+// round-trip check for CI (`make serve-smoke`). -metrics-smoke does the
+// same and then scrapes GET /metrics, asserting every cataloged metric
+// family is present (`make metrics-smoke`).
 package main
 
 import (
@@ -37,12 +48,15 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"bsched/internal/cli"
+	"bsched/internal/obs"
 	"bsched/internal/server"
 )
 
@@ -54,9 +68,16 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultCompileTimeout, "default per-compilation deadline")
 	maxTimeout := flag.Duration("max-timeout", server.MaxCompileTimeout, "upper clamp on request-supplied deadlines")
 	maxBytes := flag.Int64("max-bytes", server.DefaultMaxRequestBytes, "maximum request body size")
+	logFormat := flag.String("log-format", "kv", "structured request log format: kv, json or none")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	smoke := flag.String("smoke", "", "don't serve: round-trip one compile request for this IR file and exit")
+	metricsSmoke := flag.String("metrics-smoke", "", "don't serve: round-trip one compile for this IR file, scrape /metrics, verify the catalog, and exit")
 	flag.Parse()
 
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -64,32 +85,70 @@ func main() {
 		MaxRequestBytes: *maxBytes,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
+		Logger:          logger,
 	}
 
-	if *smoke != "" {
-		if err := runSmoke(cfg, *smoke); err != nil {
+	switch {
+	case *smoke != "":
+		if err := runSmoke(cfg, *smoke, false); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	if err := serve(cfg, *addr); err != nil {
-		fatal(err)
+	case *metricsSmoke != "":
+		if err := runSmoke(cfg, *metricsSmoke, true); err != nil {
+			fatal(err)
+		}
+	default:
+		if err := serve(cfg, *addr, *pprofOn); err != nil {
+			fatal(err)
+		}
 	}
 }
 
+// buildLogger maps the -log-format flag onto a stderr logger; "none"
+// disables request logging entirely.
+func buildLogger(format string) (*obs.Logger, error) {
+	if format == "none" || format == "off" {
+		return nil, nil
+	}
+	f, err := obs.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(os.Stderr, f), nil
+}
+
+// withPprof mounts the net/http/pprof handlers next to the service
+// routes. Explicit registrations, not the package's DefaultServeMux
+// side effect — the profiles are served only when -pprof asked for
+// them.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // serve runs the daemon until SIGINT/SIGTERM.
-func serve(cfg server.Config, addr string) error {
+func serve(cfg server.Config, addr string, pprofOn bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	svc := server.New(cfg)
 	defer svc.Close()
 
+	handler := svc.Handler()
+	if pprofOn {
+		handler = withPprof(handler)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	fmt.Printf("bschedd: listening on %s\n", ln.Addr())
 
 	errc := make(chan error, 1)
@@ -115,8 +174,10 @@ func serve(cfg server.Config, addr string) error {
 
 // runSmoke starts the service in-process on an ephemeral port, posts the
 // given IR file twice through real HTTP (the second must be a cache
-// hit), and prints a one-line verdict.
-func runSmoke(cfg server.Config, path string) error {
+// hit), and prints a one-line verdict. With metrics set it additionally
+// scrapes GET /metrics and asserts every cataloged metric family is
+// present — the `make metrics-smoke` CI check.
+func runSmoke(cfg server.Config, path string, metrics bool) error {
 	src, err := cli.ReadInput(path)
 	if err != nil {
 		return err
@@ -175,6 +236,67 @@ func runSmoke(cfg server.Config, path string) error {
 	}
 	fmt.Printf("bschedd: smoke ok — %d block(s), fingerprint %s, cold %.2fms, cached %.2fms\n",
 		len(cold.Blocks), cold.Fingerprint, cold.ServiceMillis, warm.ServiceMillis)
+	if metrics {
+		return checkMetrics(base)
+	}
+	return nil
+}
+
+// requiredMetrics is the CI contract with docs/OBSERVABILITY.md: every
+// family the catalog documents must appear in a scrape.
+var requiredMetrics = []string{
+	"bschedd_requests_total",
+	"bschedd_responses_total",
+	"bschedd_cache_events_total",
+	"bschedd_degradations_total",
+	"bschedd_request_duration_seconds",
+	"bschedd_stage_duration_seconds",
+	"bschedd_compile_duration_seconds",
+	"bschedd_queue_depth",
+	"bschedd_queue_capacity",
+	"bschedd_workers",
+	"bschedd_cache_entries",
+	"bschedd_uptime_seconds",
+}
+
+// checkMetrics scrapes /metrics and verifies every required family has
+// a TYPE declaration and the histograms carry samples from the smoke
+// compile.
+func checkMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return fmt.Errorf("GET /metrics content type %q, want text exposition format", ct)
+	}
+	text := string(raw)
+	var missing []string
+	for _, name := range requiredMetrics {
+		if !strings.Contains(text, "# TYPE "+name+" ") {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("metrics smoke: missing families: %s", strings.Join(missing, ", "))
+	}
+	for _, want := range []string{
+		`bschedd_stage_duration_seconds_count{stage="compile"}`,
+		`bschedd_compile_duration_seconds_count{tier="default"}`,
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("metrics smoke: no sample for %s", want)
+		}
+	}
+	fmt.Printf("bschedd: metrics smoke ok — %d required families present\n", len(requiredMetrics))
 	return nil
 }
 

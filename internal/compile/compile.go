@@ -115,7 +115,30 @@ type Options struct {
 	// when more than one block compiles at a time (the built-in
 	// weighters all are).
 	Parallelism int
+	// Observer, when non-nil, receives the wall-clock duration of every
+	// pipeline stage of every block (the Stage* constants) as the stage
+	// finishes — the seam the bschedd daemon uses for its per-stage
+	// latency histograms. Observations carry no block identity and may
+	// arrive from multiple goroutines at once when blocks compile in
+	// parallel, so the observer must be fast and safe for concurrent
+	// use. It is called on the panic and degradation paths too: a stage
+	// that fell down the ladder still reports the time it burned.
+	Observer StageObserver
 }
+
+// StageObserver receives one timing sample per completed pipeline
+// stage. Implementations must be safe for concurrent use; see
+// Options.Observer.
+type StageObserver func(stage string, d time.Duration)
+
+// Stage names passed to a StageObserver. Each scheduling pass reports
+// deps, weights and schedule once; regalloc reports once per block.
+const (
+	StageDeps     = "deps"     // dependence-DAG construction
+	StageWeights  = "weights"  // balanced/traditional weight computation
+	StageSchedule = "schedule" // list scheduling
+	StageRegalloc = "regalloc" // register allocation
+)
 
 func (o *Options) tradLatency() float64 {
 	if o.TradLatency == 0 {
@@ -412,6 +435,16 @@ func compileBlock(ctx context.Context, b *ir.Block, opts Options) (*BlockResult,
 // usage in the result's work total.
 func (c *blockCompiler) fork() *budget.Budget { return c.master.Fork() }
 
+// timeStage starts a stage timer and returns the stop function to
+// defer; with no observer both halves are free.
+func (c *blockCompiler) timeStage(stage string) func() {
+	if c.opts.Observer == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { c.opts.Observer(stage, time.Since(start)) }
+}
+
 func (c *blockCompiler) event(pass int, stage, from, to string, cause error) {
 	c.res.Degradations = append(c.res.Degradations, Event{
 		Block: c.label, Pass: pass, Stage: stage, From: from, To: to, Reason: cause.Error(),
@@ -445,6 +478,7 @@ func (c *blockCompiler) schedulePass(work *ir.Block, pass int) (*ir.Block, *sche
 // union-find Chances → fixed-latency weights. Each rung gets a fresh
 // budget allowance; the final rung is O(n) and cannot fail.
 func (c *blockCompiler) weights(g *deps.Graph, pass int) []float64 {
+	defer c.timeStage(StageWeights)()
 	if c.opts.Weighter != nil {
 		w, err := c.tryCustomWeights(g)
 		if err == nil {
@@ -519,6 +553,7 @@ func (c *blockCompiler) fixedWeights(g *deps.Graph) []float64 {
 
 // buildDeps constructs the code DAG under a budget rung.
 func (c *blockCompiler) buildDeps(work *ir.Block) (g *deps.Graph, err error) {
+	defer c.timeStage(StageDeps)()
 	defer func() {
 		if r := recover(); r != nil {
 			g, err = nil, fmt.Errorf("panic: %v", r)
@@ -531,6 +566,7 @@ func (c *blockCompiler) buildDeps(work *ir.Block) (g *deps.Graph, err error) {
 
 // schedule list-schedules under a budget rung, recovering panics.
 func (c *blockCompiler) schedule(g *deps.Graph, weights []float64) (res *sched.Result, err error) {
+	defer c.timeStage(StageSchedule)()
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("panic: %v", r)
@@ -546,6 +582,7 @@ func (c *blockCompiler) schedule(g *deps.Graph, weights []float64) (res *sched.R
 // (pressure cannot be degraded away), reported as *Error with the
 // offending instruction index when the allocator attributes one.
 func (c *blockCompiler) regalloc(scheduled *ir.Block) (err error) {
+	defer c.timeStage(StageRegalloc)()
 	defer func() {
 		if r := recover(); r != nil {
 			err = recovered("regalloc", c.label, r)

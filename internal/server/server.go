@@ -18,9 +18,20 @@
 //
 // The cache is sharded and LRU-bounded; single-flight deduplication is
 // built into the lookup, so N concurrent identical requests cost exactly
-// one compilation. GET /stats exposes counters and a fixed-bucket
-// latency histogram (p50/p99) for scraping; GET /healthz is a liveness
-// probe.
+// one compilation.
+//
+// Observability (see docs/OBSERVABILITY.md for the full catalog): every
+// counter, gauge and latency histogram lives in an internal/obs
+// registry. GET /metrics renders it in Prometheus text exposition
+// format; GET /stats serves the same instruments as a JSON snapshot
+// (p50/p99 plus per-stage and per-tier latency breakdowns); GET
+// /healthz is a liveness probe. Per-stage timings cover the whole
+// request path — parse, cache lookup, queue wait, worker-side compile —
+// and, through compile.Options.Observer, the pipeline stages inside a
+// compilation (deps, weights, schedule, regalloc). When Config.Logger
+// is set, every request additionally emits one structured log line
+// carrying a process-unique request ID (also returned in the
+// X-Request-ID response header).
 package server
 
 import (
@@ -35,6 +46,7 @@ import (
 
 	"bsched/internal/compile"
 	"bsched/internal/ir"
+	"bsched/internal/obs"
 )
 
 // Config sizes the service. The zero value is a sensible default.
@@ -59,17 +71,33 @@ type Config struct {
 	// does not carry one; MaxTimeout clamps request-supplied deadlines.
 	// Zeros mean DefaultCompileTimeout / MaxCompileTimeout.
 	DefaultTimeout time.Duration
-	MaxTimeout     time.Duration
+	// MaxTimeout is the upper clamp on request-supplied deadlines.
+	MaxTimeout time.Duration
+	// Logger, when non-nil, receives one structured line per HTTP
+	// request (event "http": request ID, method, path, status, duration,
+	// response bytes, plus cache disposition / tier / fingerprint for
+	// compiles). Nil disables request logging.
+	Logger *obs.Logger
 }
 
 // Defaults for Config's zero fields.
 const (
-	DefaultQueueDepth      = 64
-	DefaultCacheCapacity   = 1024
-	DefaultCacheShards     = 16
+	// DefaultQueueDepth is the bounded-queue capacity when
+	// Config.QueueDepth is zero.
+	DefaultQueueDepth = 64
+	// DefaultCacheCapacity is the schedule-cache size, in entries, when
+	// Config.CacheCapacity is zero.
+	DefaultCacheCapacity = 1024
+	// DefaultCacheShards is how many ways the schedule cache is sharded.
+	DefaultCacheShards = 16
+	// DefaultMaxRequestBytes caps the request body when
+	// Config.MaxRequestBytes is zero.
 	DefaultMaxRequestBytes = 1 << 20
-	DefaultCompileTimeout  = 10 * time.Second
-	MaxCompileTimeout      = 60 * time.Second
+	// DefaultCompileTimeout is the per-compilation deadline when the
+	// request does not supply one.
+	DefaultCompileTimeout = 10 * time.Second
+	// MaxCompileTimeout is the upper clamp on request-supplied deadlines.
+	MaxCompileTimeout = 60 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -113,6 +141,10 @@ type job struct {
 	timeout time.Duration
 	key     Key
 	e       *entry
+	// tier labels the per-tier compile-duration histogram; enqueued
+	// feeds the queue-wait stage timing.
+	tier     string
+	enqueued time.Time
 }
 
 // Server is the compilation service. Create with New, serve via
@@ -121,7 +153,8 @@ type Server struct {
 	cfg   Config
 	queue chan *job
 	cache *cache
-	stats Stats
+	stats *Stats
+	log   *obs.Logger
 	start time.Time
 	// blockPar is the per-job block parallelism: GOMAXPROCS split across
 	// the worker pool, so a saturated pool runs ~one block compilation
@@ -150,12 +183,32 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		queue:     make(chan *job, cfg.QueueDepth),
 		cache:     newCache(cfg.CacheCapacity, cfg.CacheShards),
+		stats:     newStats(),
+		log:       cfg.Logger,
 		start:     time.Now(),
 		blockPar:  blockPar,
 		ctx:       ctx,
 		cancel:    cancel,
 		compileFn: compile.Run,
 	}
+	// Gauges are function-backed: sampled at scrape time from the state
+	// the server owns, so they can never drift from the truth.
+	reg := s.stats.reg
+	reg.Gauge("bschedd_queue_depth",
+		"Accepted-but-unstarted compilations currently waiting in the bounded queue.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.Gauge("bschedd_queue_capacity",
+		"Capacity of the bounded compilation queue (-queue).",
+		func() float64 { return float64(cap(s.queue)) })
+	reg.Gauge("bschedd_workers",
+		"Size of the compilation worker pool (-workers).",
+		func() float64 { return float64(cfg.Workers) })
+	reg.Gauge("bschedd_cache_entries",
+		"Entries resident in the schedule cache across all shards.",
+		func() float64 { return float64(s.cache.len()) })
+	reg.Gauge("bschedd_uptime_seconds",
+		"Seconds since the service started.",
+		func() float64 { return time.Since(s.start).Seconds() })
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -199,9 +252,14 @@ func (s *Server) worker() {
 // from the cache (they must not be served to later requests) but still
 // complete the entry so coalesced waiters observe them.
 func (s *Server) runJob(j *job) {
+	s.stats.stages.With(stageQueue).ObserveDuration(time.Since(j.enqueued))
 	ctx, cancel := context.WithTimeout(s.ctx, j.timeout)
 	defer cancel()
+	compileStart := time.Now()
 	res, err := s.compileFn(ctx, j.prog, j.opts)
+	elapsed := time.Since(compileStart)
+	s.stats.stages.With(stageCompile).ObserveDuration(elapsed)
+	s.stats.tiers.With(j.tier).ObserveDuration(elapsed)
 	if err != nil {
 		s.cache.remove(j.key, j.e)
 		j.e.complete(nil, err)
@@ -231,13 +289,85 @@ func deadlineDegraded(res *compile.Result) bool {
 	return false
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, wrapped in the
+// request-ID/logging middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.handleCompile)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.Handle("/metrics", s.stats.reg.Handler())
+	return s.logged(mux)
+}
+
+// requestNote accumulates handler-specific fields for the access-log
+// line; it rides the request context so handleCompile can annotate the
+// line the middleware emits.
+type requestNote struct{ kv []any }
+
+type noteKey struct{}
+
+// note appends fields to the request's access-log line, if logging is
+// on for this request.
+func note(r *http.Request, kv ...any) {
+	if n, ok := r.Context().Value(noteKey{}).(*requestNote); ok {
+		n.kv = append(n.kv, kv...)
+	}
+}
+
+// statusWriter captures the response status and size for the access
+// log.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// logged stamps every request with a process-unique X-Request-ID and,
+// when a logger is configured, emits one structured "http" event per
+// request after the handler returns.
+func (s *Server) logged(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := obs.RequestID()
+		w.Header().Set("X-Request-ID", id)
+		if s.log == nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		n := &requestNote{}
+		r = r.WithContext(context.WithValue(r.Context(), noteKey{}, n))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		kv := append([]any{
+			"id", id, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status(), "dur_ms", time.Since(start), "bytes", sw.bytes,
+		}, n.kv...)
+		s.log.Log("http", kv...)
+	})
 }
 
 // Stats returns a point-in-time snapshot of the service counters.
@@ -299,7 +429,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, &ErrorResponse{Error: fmt.Sprintf("options: %v", err), Stage: "options"})
 		return
 	}
+	parseStart := time.Now()
 	prog, err := ir.Parse(req.Program)
+	s.stats.stages.With(stageParse).ObserveDuration(time.Since(parseStart))
 	if err != nil {
 		s.stats.clientErrors.Add(1)
 		writeError(w, http.StatusBadRequest, &ErrorResponse{Error: fmt.Sprintf("parse program: %v", err), Stage: "parse"})
@@ -309,13 +441,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.stats.requests.Add(1)
 	deadline := s.timeout(req.TimeoutMillis)
 	opts.Parallelism = s.blockPar
+	opts.Observer = s.stats.observeStage
+	tier := req.Options.Budget
+	if tier == "" {
+		tier = TierDefault
+	}
+	lookupStart := time.Now()
 	key := Key{Prog: prog.Fingerprint(), Opts: req.Options.fingerprint()}
 	e, leader := s.cache.lookup(key)
+	s.stats.stages.With(stageLookup).ObserveDuration(time.Since(lookupStart))
+	note(r, "fingerprint", fmt.Sprintf("%016x", key.Prog), "tier", tier)
 	coalesced := false
 	switch {
 	case leader:
 		s.stats.cacheMisses.Add(1)
-		j := &job{prog: prog, opts: opts, timeout: deadline, key: key, e: e}
+		note(r, "cache", "miss")
+		j := &job{prog: prog, opts: opts, timeout: deadline, key: key, e: e,
+			tier: tier, enqueued: time.Now()}
 		select {
 		case s.queue <- j:
 		default:
@@ -330,11 +472,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 	case e.completed():
 		s.stats.cacheHits.Add(1)
+		note(r, "cache", "hit")
 		s.respond(w, e.resp.stamped(true, false, time.Since(started)))
 		return
 	default:
 		coalesced = true
 		s.stats.coalesced.Add(1)
+		note(r, "cache", "coalesced")
 	}
 
 	// A coalesced wait is bounded by this request's own clamped deadline,
@@ -370,7 +514,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 // respond writes a 200 and records its service time.
 func (s *Server) respond(w http.ResponseWriter, resp *CompileResponse) {
 	s.stats.ok.Add(1)
-	s.stats.hist.observe(time.Duration(resp.ServiceMillis * float64(time.Millisecond)))
+	s.stats.hist.Observe(resp.ServiceMillis / 1000) // histogram samples are seconds
 	writeJSON(w, http.StatusOK, resp)
 }
 

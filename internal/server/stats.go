@@ -1,29 +1,102 @@
 package server
 
 import (
-	"sync/atomic"
 	"time"
+
+	"bsched/internal/obs"
 )
 
-// Stats aggregates the daemon's service counters. All fields are updated
-// with atomics; a Snapshot is a consistent-enough point-in-time copy for
-// monitoring (individual counters are exact, cross-counter invariants
-// like hits+misses == lookups may be momentarily off by in-flight
-// requests).
+// Stage label values the server records itself, alongside the
+// compile.Stage* names (deps, weights, schedule, regalloc) threaded out
+// of the pipeline via compile.Options.Observer.
+const (
+	stageParse   = "parse"   // IR parsing in the handler goroutine
+	stageLookup  = "lookup"  // content-addressed cache lookup
+	stageQueue   = "queue"   // enqueue → worker pickup wait
+	stageCompile = "compile" // whole compileFn call inside a worker
+)
+
+// Stats is the daemon's instrument panel, backed by an internal/obs
+// registry so that the exact same instruments serve both GET /stats
+// (JSON snapshot) and GET /metrics (Prometheus text exposition).
+// Counters cost one atomic add; a Snapshot is a consistent-enough
+// point-in-time copy for monitoring (individual counters are exact,
+// cross-counter invariants like hits+misses == lookups may be
+// momentarily off by in-flight requests). docs/OBSERVABILITY.md
+// catalogs every registered metric.
 type Stats struct {
-	requests      atomic.Int64 // POST /v1/compile requests accepted for processing
-	ok            atomic.Int64 // 200 responses
-	clientErrors  atomic.Int64 // 4xx: malformed JSON, parse errors, bad options
-	compileErrors atomic.Int64 // 422: hard compile errors (e.g. register pressure)
-	rejected      atomic.Int64 // 503: bounded queue full (backpressure)
-	cacheHits     atomic.Int64 // served from a completed cache entry
-	cacheMisses   atomic.Int64 // required a fresh compilation
-	coalesced     atomic.Int64 // waited on another request's in-flight compilation
-	degradations  atomic.Int64 // ladder downgrade events across all compilations
-	hist          histogram    // service time of successful compilations
+	reg *obs.Registry
+
+	requests      *obs.Counter // bschedd_requests_total
+	ok            *obs.Counter // bschedd_responses_total{outcome="ok"}
+	clientErrors  *obs.Counter // bschedd_responses_total{outcome="client_error"}
+	compileErrors *obs.Counter // bschedd_responses_total{outcome="compile_error"}
+	rejected      *obs.Counter // bschedd_responses_total{outcome="rejected"}
+	cacheHits     *obs.Counter // bschedd_cache_events_total{event="hit"}
+	cacheMisses   *obs.Counter // bschedd_cache_events_total{event="miss"}
+	coalesced     *obs.Counter // bschedd_cache_events_total{event="coalesced"}
+	degradations  *obs.Counter // bschedd_degradations_total
+	hist          *obs.Histogram
+	stages        *obs.HistogramVec
+	tiers         *obs.HistogramVec
 }
 
-// Snapshot is the JSON shape of GET /stats.
+// newStats builds the registry and registers every request-driven
+// instrument; the Server registers its gauges (queue depth, cache
+// residency, uptime) on the same registry from New, where it owns the
+// state they sample.
+func newStats() *Stats {
+	reg := obs.NewRegistry()
+	responses := reg.CounterVec("bschedd_responses_total",
+		"Completed requests by outcome: ok, client_error, compile_error or rejected.",
+		"outcome")
+	cacheEvents := reg.CounterVec("bschedd_cache_events_total",
+		"Schedule-cache lookups by result: hit, miss (became a compile leader) or coalesced (joined an in-flight compile).",
+		"event")
+	return &Stats{
+		reg: reg,
+		requests: reg.Counter("bschedd_requests_total",
+			"POST /v1/compile requests accepted for processing (decoded, validated and parsed)."),
+		ok:            responses.With("ok"),
+		clientErrors:  responses.With("client_error"),
+		compileErrors: responses.With("compile_error"),
+		rejected:      responses.With("rejected"),
+		cacheHits:     cacheEvents.With("hit"),
+		cacheMisses:   cacheEvents.With("miss"),
+		coalesced:     cacheEvents.With("coalesced"),
+		degradations: reg.Counter("bschedd_degradations_total",
+			"Degradation-ladder downgrade events across all compilations."),
+		hist: reg.Histogram("bschedd_request_duration_seconds",
+			"End-to-end service time of successful compile requests.", nil),
+		stages: reg.HistogramVec("bschedd_stage_duration_seconds",
+			"Latency by pipeline stage: parse, lookup, queue, compile, deps, weights, schedule, regalloc.",
+			nil, "stage"),
+		tiers: reg.HistogramVec("bschedd_compile_duration_seconds",
+			"Worker-side compilation time by work-budget tier (small, default, large, unlimited).",
+			nil, "tier"),
+	}
+}
+
+// observeStage records one per-stage latency sample; its signature
+// matches compile.StageObserver, so it is handed directly to the
+// pipeline via compile.Options.Observer. Safe for concurrent use.
+func (s *Stats) observeStage(stage string, d time.Duration) {
+	s.stages.With(stage).ObserveDuration(d)
+}
+
+// LatencySummary is the JSON shape of one per-stage or per-tier latency
+// breakdown inside a Snapshot.
+type LatencySummary struct {
+	// Count is the number of samples recorded.
+	Count int64 `json:"count"`
+	// P50Millis / P99Millis are fixed-bucket quantile estimates in
+	// milliseconds.
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+}
+
+// Snapshot is the JSON shape of GET /stats. Every field present before
+// the observability PR is unchanged; Stages and Tiers are additive.
 type Snapshot struct {
 	Requests      int64 `json:"requests"`
 	OK            int64 `json:"ok"`
@@ -39,91 +112,52 @@ type Snapshot struct {
 	Workers       int   `json:"workers"`
 	CacheEntries  int   `json:"cache_entries"`
 	// P50/P99 service time of successful compilations, in milliseconds,
-	// estimated from a fixed-bucket histogram (see histBounds).
+	// estimated from a fixed-bucket histogram
+	// (obs.DefaultLatencyBuckets).
 	P50Millis float64 `json:"p50_ms"`
 	P99Millis float64 `json:"p99_ms"`
+	// Stages breaks latency down by pipeline stage (parse, lookup,
+	// queue, compile, deps, weights, schedule, regalloc); Tiers breaks
+	// worker-side compile time down by work-budget tier. Both are empty
+	// until the first request flows through.
+	Stages map[string]LatencySummary `json:"stages,omitempty"`
+	Tiers  map[string]LatencySummary `json:"tiers,omitempty"`
 }
 
-// snapshot copies the counters; queue/worker/cache gauges are filled in
-// by the server, which owns them.
+// snapshot copies the counters and summarizes the histograms;
+// queue/worker/cache gauges are filled in by the server, which owns
+// them.
 func (s *Stats) snapshot() Snapshot {
 	return Snapshot{
-		Requests:      s.requests.Load(),
-		OK:            s.ok.Load(),
-		ClientErrors:  s.clientErrors.Load(),
-		CompileErrors: s.compileErrors.Load(),
-		Rejected:      s.rejected.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Degradations:  s.degradations.Load(),
-		P50Millis:     s.hist.quantile(0.50),
-		P99Millis:     s.hist.quantile(0.99),
+		Requests:      s.requests.Value(),
+		OK:            s.ok.Value(),
+		ClientErrors:  s.clientErrors.Value(),
+		CompileErrors: s.compileErrors.Value(),
+		Rejected:      s.rejected.Value(),
+		CacheHits:     s.cacheHits.Value(),
+		CacheMisses:   s.cacheMisses.Value(),
+		Coalesced:     s.coalesced.Value(),
+		Degradations:  s.degradations.Value(),
+		P50Millis:     s.hist.Quantile(0.50) * 1000,
+		P99Millis:     s.hist.Quantile(0.99) * 1000,
+		Stages:        summarize(s.stages),
+		Tiers:         summarize(s.tiers),
 	}
 }
 
-// histBounds are the histogram's bucket upper bounds in microseconds,
-// roughly 1-2-5 per decade from 50µs to 10s. The final implicit bucket is
-// +Inf. Fixed bounds keep Observe to one atomic add and make quantile
-// estimation allocation-free.
-var histBounds = [...]int64{
-	50, 100, 200, 500, // µs
-	1_000, 2_000, 5_000, // 1–5 ms
-	10_000, 20_000, 50_000, // 10–50 ms
-	100_000, 200_000, 500_000, // 0.1–0.5 s
-	1_000_000, 2_000_000, 5_000_000, 10_000_000, // 1–10 s
-}
-
-// histogram is a fixed-bucket latency histogram safe for concurrent use.
-type histogram struct {
-	counts [len(histBounds) + 1]atomic.Int64
-}
-
-// observe records one duration.
-func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	for i, ub := range histBounds {
-		if us <= ub {
-			h.counts[i].Add(1)
-			return
+// summarize flattens a one-label histogram vec into the Snapshot's
+// breakdown maps.
+func summarize(v *obs.HistogramVec) map[string]LatencySummary {
+	out := make(map[string]LatencySummary)
+	v.Each(func(values []string, h *obs.Histogram) {
+		out[values[0]] = LatencySummary{
+			Count:     h.Count(),
+			P50Millis: h.Quantile(0.50) * 1000,
+			P99Millis: h.Quantile(0.99) * 1000,
 		}
+	})
+	if len(out) == 0 {
+		return nil
 	}
-	h.counts[len(histBounds)].Add(1)
-}
-
-// quantile estimates the q-quantile (0 < q < 1) in milliseconds by
-// linear interpolation within the containing bucket. Returns 0 with no
-// observations; the overflow bucket reports its lower bound.
-func (h *histogram) quantile(q float64) float64 {
-	var counts [len(histBounds) + 1]int64
-	var total int64
-	for i := range h.counts {
-		counts[i] = h.counts[i].Load()
-		total += counts[i]
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := q * float64(total)
-	var cum int64
-	for i, c := range counts {
-		if float64(cum+c) < rank {
-			cum += c
-			continue
-		}
-		if i == len(histBounds) {
-			return float64(histBounds[len(histBounds)-1]) / 1000 // lower bound of +Inf bucket
-		}
-		lo := int64(0)
-		if i > 0 {
-			lo = histBounds[i-1]
-		}
-		hi := histBounds[i]
-		frac := 0.0
-		if c > 0 {
-			frac = (rank - float64(cum)) / float64(c)
-		}
-		return (float64(lo) + frac*float64(hi-lo)) / 1000
-	}
-	return float64(histBounds[len(histBounds)-1]) / 1000
+	return out
 }

@@ -1,57 +1,88 @@
 package server
 
 import (
+	"strings"
 	"testing"
 	"time"
+
+	"bsched/internal/compile"
 )
 
-func TestHistogramQuantiles(t *testing.T) {
-	var h histogram
-	if q := h.quantile(0.5); q != 0 {
-		t.Errorf("empty histogram p50 = %g, want 0", q)
-	}
-	// 90 fast requests at ~1ms, 10 slow at ~150ms: p50 must sit in the
-	// 0.5–1ms bucket, p99 in the 100–200ms bucket.
-	for i := 0; i < 90; i++ {
-		h.observe(800 * time.Microsecond)
-	}
-	for i := 0; i < 10; i++ {
-		h.observe(150 * time.Millisecond)
-	}
-	if p50 := h.quantile(0.50); p50 < 0.5 || p50 > 1.0 {
-		t.Errorf("p50 = %gms, want within (0.5, 1.0]", p50)
-	}
-	if p99 := h.quantile(0.99); p99 < 100 || p99 > 200 {
-		t.Errorf("p99 = %gms, want within (100, 200]", p99)
-	}
-	if p100 := h.quantile(0.9999); p100 < 100 {
-		t.Errorf("p99.99 = %gms, want in the slow bucket", p100)
-	}
-}
-
-func TestHistogramOverflowBucket(t *testing.T) {
-	var h histogram
-	for i := 0; i < 4; i++ {
-		h.observe(time.Hour)
-	}
-	// The +Inf bucket reports its lower bound rather than inventing an
-	// upper one.
-	if q := h.quantile(0.5); q != 10_000 {
-		t.Errorf("overflow p50 = %gms, want 10000 (10s lower bound)", q)
-	}
-}
-
 func TestSnapshotCounters(t *testing.T) {
-	var s Stats
+	s := newStats()
 	s.requests.Add(3)
 	s.ok.Add(2)
 	s.cacheHits.Add(1)
-	s.hist.observe(2 * time.Millisecond)
+	s.hist.ObserveDuration(2 * time.Millisecond)
 	snap := s.snapshot()
 	if snap.Requests != 3 || snap.OK != 2 || snap.CacheHits != 1 {
 		t.Errorf("snapshot %+v", snap)
 	}
 	if snap.P50Millis <= 0 {
 		t.Errorf("p50 %g after one observation", snap.P50Millis)
+	}
+}
+
+// TestSnapshotStageBreakdown: per-stage samples recorded through the
+// compile.StageObserver seam surface in the Snapshot's Stages map.
+func TestSnapshotStageBreakdown(t *testing.T) {
+	s := newStats()
+	if got := s.snapshot().Stages; got != nil {
+		t.Errorf("empty stats carry a stage breakdown: %v", got)
+	}
+	var observer compile.StageObserver = s.observeStage
+	observer(compile.StageWeights, 3*time.Millisecond)
+	observer(compile.StageWeights, 3*time.Millisecond)
+	s.stages.With(stageQueue).ObserveDuration(100 * time.Microsecond)
+	snap := s.snapshot()
+	w, ok := snap.Stages[compile.StageWeights]
+	if !ok || w.Count != 2 {
+		t.Fatalf("weights breakdown %+v (stages %v)", w, snap.Stages)
+	}
+	if w.P50Millis < 2 || w.P50Millis > 5 {
+		t.Errorf("weights p50 = %gms, want within (2, 5]", w.P50Millis)
+	}
+	if q, ok := snap.Stages[stageQueue]; !ok || q.Count != 1 {
+		t.Errorf("queue breakdown %+v", snap.Stages)
+	}
+}
+
+// TestSnapshotTierBreakdown: per-tier compile durations land in
+// separate Tiers entries.
+func TestSnapshotTierBreakdown(t *testing.T) {
+	s := newStats()
+	s.tiers.With(TierSmall).ObserveDuration(1 * time.Millisecond)
+	s.tiers.With(TierDefault).ObserveDuration(40 * time.Millisecond)
+	snap := s.snapshot()
+	small, dflt := snap.Tiers[TierSmall], snap.Tiers[TierDefault]
+	if small.Count != 1 || dflt.Count != 1 {
+		t.Fatalf("tiers %+v", snap.Tiers)
+	}
+	if small.P50Millis >= dflt.P50Millis {
+		t.Errorf("small p50 %gms not below default p50 %gms", small.P50Millis, dflt.P50Millis)
+	}
+}
+
+// TestStatsExposition: the registry renders every counter family the
+// JSON snapshot reports, under the documented metric names.
+func TestStatsExposition(t *testing.T) {
+	s := newStats()
+	s.requests.Inc()
+	s.rejected.Inc()
+	s.degradations.Add(2)
+	var b strings.Builder
+	s.reg.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"bschedd_requests_total 1",
+		`bschedd_responses_total{outcome="rejected"} 1`,
+		"bschedd_degradations_total 2",
+		"# TYPE bschedd_request_duration_seconds histogram",
+		"# TYPE bschedd_stage_duration_seconds histogram",
+		"# TYPE bschedd_compile_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }
