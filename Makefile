@@ -9,10 +9,10 @@ all: build test
 build:
 	$(GO) build ./...
 
-# The default test path runs the unit suites plus the documentation
-# lint and the /metrics smoke check, so a metric or doc regression
+# The default test path runs go vet, the unit suites, the documentation
+# lint and the /metrics smoke check, so a vet, metric or doc regression
 # fails `make test` the same way a unit failure does.
-test: doc-lint
+test: vet doc-lint
 	$(GO) test ./...
 	$(MAKE) metrics-smoke
 
@@ -37,13 +37,12 @@ serve-smoke:
 metrics-smoke:
 	$(GO) run ./cmd/bschedd -metrics-smoke examples/ir/demo.ir
 
-# Documentation hygiene: source is gofmt-clean, vet-clean, and the
-# packages godoc renders without error (a parse failure here means a
-# malformed doc comment).
+# Documentation hygiene: source is gofmt-clean and the packages godoc
+# renders without error (a parse failure here means a malformed doc
+# comment). Vet runs as its own `make test` prerequisite.
 doc-lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	$(GO) vet ./...
 	@for pkg in ./internal/obs ./internal/server ./internal/compile; do \
 		$(GO) doc $$pkg >/dev/null || exit 1; done
 

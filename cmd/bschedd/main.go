@@ -8,22 +8,31 @@
 //
 //	bschedd [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
 //	        [-timeout D] [-max-timeout D] [-max-bytes N]
+//	        [-traces N] [-trace-sample N]
 //	        [-log-format kv|json|none] [-pprof]
 //	bschedd -smoke file.ir
 //	bschedd -metrics-smoke file.ir
 //
 // Endpoints:
 //
-//	POST /v1/compile   compile a program (JSON body, see docs/SERVER.md)
-//	GET  /healthz      liveness probe
-//	GET  /stats        service counters and latency breakdowns (JSON)
-//	GET  /metrics      Prometheus text exposition (docs/OBSERVABILITY.md)
-//	GET  /debug/pprof  runtime profiles (only with -pprof)
+//	POST /v1/compile      compile a program (JSON body, see docs/SERVER.md)
+//	GET  /healthz         liveness probe
+//	GET  /stats           service counters and latency breakdowns (JSON)
+//	GET  /metrics         Prometheus text exposition (docs/OBSERVABILITY.md)
+//	GET  /v1/traces       index of retained request traces (JSON)
+//	GET  /v1/traces/{id}  one trace as Chrome trace-event JSON (Perfetto);
+//	                      ?format=tree for the raw span tree
+//	GET  /debug/pprof     runtime profiles (only with -pprof)
 //
 // Every request is logged to stderr as one structured line (key=value
 // by default, -log-format json for JSON lines, none to disable) with a
 // process-unique request ID that is also returned in the X-Request-ID
-// response header.
+// response header. Every request is also traced: the trace id rides the
+// X-Trace-ID response header and the log line's trace= field, incoming
+// W3C traceparent headers are honored, and completed traces are kept in
+// a bounded in-memory store under tail-based retention (errors and
+// degradations always, the slowest tail, 1-in-N of the healthy rest —
+// see docs/OBSERVABILITY.md).
 //
 // The daemon prints "bschedd: listening on ADDR" once the socket is
 // bound (so scripts can start it with -addr 127.0.0.1:0 and scrape the
@@ -68,6 +77,8 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultCompileTimeout, "default per-compilation deadline")
 	maxTimeout := flag.Duration("max-timeout", server.MaxCompileTimeout, "upper clamp on request-supplied deadlines")
 	maxBytes := flag.Int64("max-bytes", server.DefaultMaxRequestBytes, "maximum request body size")
+	traces := flag.Int("traces", obs.DefaultTraceCapacity, "retained request trace capacity (negative disables tracing)")
+	traceSample := flag.Int("trace-sample", obs.DefaultTraceSampleEvery, "keep 1 in N healthy fast traces (errors, degradations and the slow tail are always kept)")
 	logFormat := flag.String("log-format", "kv", "structured request log format: kv, json or none")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	smoke := flag.String("smoke", "", "don't serve: round-trip one compile request for this IR file and exit")
@@ -79,13 +90,15 @@ func main() {
 		fatal(err)
 	}
 	cfg := server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheCapacity:   *cache,
-		MaxRequestBytes: *maxBytes,
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		Logger:          logger,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheCapacity:    *cache,
+		MaxRequestBytes:  *maxBytes,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		Logger:           logger,
+		TraceCapacity:    *traces,
+		TraceSampleEvery: *traceSample,
 	}
 
 	switch {
@@ -193,38 +206,38 @@ func runSmoke(cfg server.Config, path string, metrics bool) error {
 	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()
 
-	post := func() (*server.CompileResponse, error) {
+	post := func() (*server.CompileResponse, string, error) {
 		body, err := json.Marshal(server.CompileRequest{Program: src})
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		resp, err := http.Post(base+"/v1/compile", "application/json", bytes.NewReader(body))
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		defer resp.Body.Close()
 		raw, err := io.ReadAll(resp.Body)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("POST /v1/compile: %s: %s", resp.Status, bytes.TrimSpace(raw))
+			return nil, "", fmt.Errorf("POST /v1/compile: %s: %s", resp.Status, bytes.TrimSpace(raw))
 		}
 		var out server.CompileResponse
 		if err := json.Unmarshal(raw, &out); err != nil {
-			return nil, fmt.Errorf("decode response: %w", err)
+			return nil, "", fmt.Errorf("decode response: %w", err)
 		}
-		return &out, nil
+		return &out, resp.Header.Get("X-Trace-ID"), nil
 	}
 
-	cold, err := post()
+	cold, traceID, err := post()
 	if err != nil {
 		return err
 	}
 	if len(cold.Blocks) == 0 || cold.Program == "" {
 		return errors.New("smoke: empty compile response")
 	}
-	warm, err := post()
+	warm, _, err := post()
 	if err != nil {
 		return err
 	}
@@ -234,10 +247,55 @@ func runSmoke(cfg server.Config, path string, metrics bool) error {
 	if warm.Program != cold.Program {
 		return errors.New("smoke: cached schedule differs from cold schedule")
 	}
-	fmt.Printf("bschedd: smoke ok — %d block(s), fingerprint %s, cold %.2fms, cached %.2fms\n",
-		len(cold.Blocks), cold.Fingerprint, cold.ServiceMillis, warm.ServiceMillis)
+	if err := checkTrace(base, traceID); err != nil {
+		return err
+	}
+	fmt.Printf("bschedd: smoke ok — %d block(s), fingerprint %s, cold %.2fms, cached %.2fms, trace %s\n",
+		len(cold.Blocks), cold.Fingerprint, cold.ServiceMillis, warm.ServiceMillis, traceID)
 	if metrics {
 		return checkMetrics(base)
+	}
+	return nil
+}
+
+// checkTrace fetches the cold compile's trace and asserts the Chrome
+// trace-event export covers the whole request path — the same JSON a
+// human would drop into ui.perfetto.dev.
+func checkTrace(base, traceID string) error {
+	if traceID == "" {
+		return errors.New("smoke: compile response carried no X-Trace-ID header")
+	}
+	resp, err := http.Get(base + "/v1/traces/" + traceID)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/traces/%s: %s: %s", traceID, resp.Status, bytes.TrimSpace(raw))
+	}
+	var export struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &export); err != nil {
+		return fmt.Errorf("smoke: trace export is not valid JSON: %w", err)
+	}
+	have := make(map[string]bool)
+	for _, e := range export.TraceEvents {
+		if e.Phase == "X" {
+			have[e.Name] = true
+		}
+	}
+	for _, want := range []string{"POST /v1/compile", "parse", "cache-lookup", "queue-wait", "compile", "deps", "weights", "schedule", "regalloc"} {
+		if !have[want] {
+			return fmt.Errorf("smoke: trace %s export missing %q span", traceID, want)
+		}
 	}
 	return nil
 }
@@ -257,6 +315,10 @@ var requiredMetrics = []string{
 	"bschedd_workers",
 	"bschedd_cache_entries",
 	"bschedd_uptime_seconds",
+	"bschedd_traces_retained",
+	"bschedd_build_info",
+	"go_goroutines",
+	"go_memstats_heap_alloc_bytes",
 }
 
 // checkMetrics scrapes /metrics and verifies every required family has

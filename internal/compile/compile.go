@@ -124,12 +124,41 @@ type Options struct {
 	// use. It is called on the panic and degradation paths too: a stage
 	// that fell down the ladder still reports the time it burned.
 	Observer StageObserver
+	// SpanObserver, when non-nil, receives one completed StageSpan per
+	// pipeline stage of every block — the stage name plus the block
+	// label, pass, start time and duration that Observer deliberately
+	// omits. It is the tracing seam: the bschedd daemon turns each
+	// record into a child span of the request's compile span.
+	// SpanObserver runs alongside Observer (both fire when both are
+	// set) and shares its contract: concurrency-safe, fast, called on
+	// the panic and degradation paths too.
+	SpanObserver StageSpanObserver
 }
 
 // StageObserver receives one timing sample per completed pipeline
 // stage. Implementations must be safe for concurrent use; see
 // Options.Observer.
 type StageObserver func(stage string, d time.Duration)
+
+// StageSpan is one completed pipeline stage of one block, with enough
+// identity to render it as a span in a request trace.
+type StageSpan struct {
+	// Block is the label of the block the stage ran for.
+	Block string
+	// Pass is the scheduling pass (1 or 2); 0 for regalloc, which runs
+	// between the passes.
+	Pass int
+	// Stage is one of the Stage* constants.
+	Stage string
+	// Start and Duration are the stage's wall-clock bounds.
+	Start    time.Time
+	Duration time.Duration
+}
+
+// StageSpanObserver receives one StageSpan per completed pipeline stage
+// of every block. Implementations must be safe for concurrent use; see
+// Options.SpanObserver.
+type StageSpanObserver func(StageSpan)
 
 // Stage names passed to a StageObserver. Each scheduling pass reports
 // deps, weights and schedule once; regalloc reports once per block.
@@ -436,13 +465,24 @@ func compileBlock(ctx context.Context, b *ir.Block, opts Options) (*BlockResult,
 func (c *blockCompiler) fork() *budget.Budget { return c.master.Fork() }
 
 // timeStage starts a stage timer and returns the stop function to
-// defer; with no observer both halves are free.
-func (c *blockCompiler) timeStage(stage string) func() {
-	if c.opts.Observer == nil {
+// defer; with no observers both halves are free. pass is the scheduling
+// pass (0 for regalloc), forwarded to the span observer.
+func (c *blockCompiler) timeStage(stage string, pass int) func() {
+	if c.opts.Observer == nil && c.opts.SpanObserver == nil {
 		return func() {}
 	}
 	start := time.Now()
-	return func() { c.opts.Observer(stage, time.Since(start)) }
+	return func() {
+		d := time.Since(start)
+		if c.opts.Observer != nil {
+			c.opts.Observer(stage, d)
+		}
+		if c.opts.SpanObserver != nil {
+			c.opts.SpanObserver(StageSpan{
+				Block: c.label, Pass: pass, Stage: stage, Start: start, Duration: d,
+			})
+		}
+	}
 }
 
 func (c *blockCompiler) event(pass int, stage, from, to string, cause error) {
@@ -457,7 +497,7 @@ func (c *blockCompiler) event(pass int, stage, from, to string, cause error) {
 // bottom of every ladder is source order, which is always a valid
 // schedule of the pass's input block.
 func (c *blockCompiler) schedulePass(work *ir.Block, pass int) (*ir.Block, *sched.Result) {
-	g, err := c.buildDeps(work)
+	g, err := c.buildDeps(work, pass)
 	if err != nil {
 		// No DAG → nothing to schedule against; keep the input order.
 		c.event(pass, "schedule", RungListSched, RungSrcOrder, err)
@@ -465,7 +505,7 @@ func (c *blockCompiler) schedulePass(work *ir.Block, pass int) (*ir.Block, *sche
 	}
 
 	weights := c.weights(g, pass)
-	res, err := c.schedule(g, weights)
+	res, err := c.schedule(g, weights, pass)
 	if err != nil {
 		c.event(pass, "schedule", RungListSched, RungSrcOrder, err)
 		return sourceOrder(work)
@@ -478,7 +518,7 @@ func (c *blockCompiler) schedulePass(work *ir.Block, pass int) (*ir.Block, *sche
 // union-find Chances → fixed-latency weights. Each rung gets a fresh
 // budget allowance; the final rung is O(n) and cannot fail.
 func (c *blockCompiler) weights(g *deps.Graph, pass int) []float64 {
-	defer c.timeStage(StageWeights)()
+	defer c.timeStage(StageWeights, pass)()
 	if c.opts.Weighter != nil {
 		w, err := c.tryCustomWeights(g)
 		if err == nil {
@@ -552,8 +592,8 @@ func (c *blockCompiler) fixedWeights(g *deps.Graph) []float64 {
 }
 
 // buildDeps constructs the code DAG under a budget rung.
-func (c *blockCompiler) buildDeps(work *ir.Block) (g *deps.Graph, err error) {
-	defer c.timeStage(StageDeps)()
+func (c *blockCompiler) buildDeps(work *ir.Block, pass int) (g *deps.Graph, err error) {
+	defer c.timeStage(StageDeps, pass)()
 	defer func() {
 		if r := recover(); r != nil {
 			g, err = nil, fmt.Errorf("panic: %v", r)
@@ -565,8 +605,8 @@ func (c *blockCompiler) buildDeps(work *ir.Block) (g *deps.Graph, err error) {
 }
 
 // schedule list-schedules under a budget rung, recovering panics.
-func (c *blockCompiler) schedule(g *deps.Graph, weights []float64) (res *sched.Result, err error) {
-	defer c.timeStage(StageSchedule)()
+func (c *blockCompiler) schedule(g *deps.Graph, weights []float64, pass int) (res *sched.Result, err error) {
+	defer c.timeStage(StageSchedule, pass)()
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("panic: %v", r)
@@ -582,7 +622,7 @@ func (c *blockCompiler) schedule(g *deps.Graph, weights []float64) (res *sched.R
 // (pressure cannot be degraded away), reported as *Error with the
 // offending instruction index when the allocator attributes one.
 func (c *blockCompiler) regalloc(scheduled *ir.Block) (err error) {
-	defer c.timeStage(StageRegalloc)()
+	defer c.timeStage(StageRegalloc, 0)()
 	defer func() {
 		if r := recover(); r != nil {
 			err = recovered("regalloc", c.label, r)

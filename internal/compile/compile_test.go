@@ -464,3 +464,53 @@ func TestStageObserverConcurrent(t *testing.T) {
 		t.Errorf("observed %d samples, want 56", got)
 	}
 }
+
+// TestStageSpanObserver: Options.SpanObserver receives block- and
+// pass-attributed records for every stage, alongside (not instead of) a
+// plain Observer set at the same time.
+func TestStageSpanObserver(t *testing.T) {
+	blk := chainBlock(t, 4, 4)
+	blk.Label = "bspan"
+	var mu sync.Mutex
+	var spans []StageSpan
+	var plain int
+	res, err := RunBlock(context.Background(), blk, Options{
+		Observer: func(string, time.Duration) { mu.Lock(); plain++; mu.Unlock() },
+		SpanObserver: func(s StageSpan) {
+			mu.Lock()
+			spans = append(spans, s)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	// 2 passes × 3 stages + regalloc = 7 records through both seams.
+	if len(spans) != 7 || plain != 7 {
+		t.Fatalf("span records %d, plain samples %d, want 7 each", len(spans), plain)
+	}
+	passes := map[string]map[int]int{}
+	for _, s := range spans {
+		if s.Block != "bspan" {
+			t.Errorf("span record block %q, want bspan", s.Block)
+		}
+		if s.Start.IsZero() || s.Duration < 0 {
+			t.Errorf("span record %+v has bad bounds", s)
+		}
+		if passes[s.Stage] == nil {
+			passes[s.Stage] = map[int]int{}
+		}
+		passes[s.Stage][s.Pass]++
+	}
+	for _, stage := range []string{StageDeps, StageWeights, StageSchedule} {
+		if passes[stage][1] != 1 || passes[stage][2] != 1 {
+			t.Errorf("stage %s pass counts %v, want one record per pass", stage, passes[stage])
+		}
+	}
+	if passes[StageRegalloc][0] != 1 {
+		t.Errorf("regalloc pass counts %v, want one record at pass 0", passes[StageRegalloc])
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: renders a TraceView as the JSON object
+// format understood by Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Spans become complete ("X") events; span events become instant ("i")
+// markers; thread-name metadata labels the lanes.
+//
+// The viewers nest "X" events on one thread row by time containment, so
+// spans that genuinely overlap — parallel block compilations inside one
+// request — must not share a row. assignLanes places each span on the
+// first lane where it is either properly nested inside the still-open
+// span or starts after everything there ended, which renders the
+// request's span tree correctly however many blocks compiled at once.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TsUS  float64        `json:"ts"`            // microseconds from trace start
+	DurUS float64        `json:"dur,omitempty"` // microseconds, "X" events only
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders v as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, v TraceView) error {
+	const pid = 1
+	lanes := assignLanes(v.Spans)
+	nLanes := 0
+	for _, l := range lanes {
+		if l+1 > nLanes {
+			nLanes = l + 1
+		}
+	}
+
+	events := make([]chromeEvent, 0, 2*len(v.Spans)+nLanes+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Phase: "M", PID: pid, TID: 0,
+		Args: map[string]any{"name": "bschedd " + v.Name},
+	})
+	for lane := 0; lane < nLanes; lane++ {
+		name := "request"
+		if lane > 0 {
+			name = "workers"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pid, TID: lane,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	for i, s := range v.Spans {
+		ts := float64(s.Start.Sub(v.Start).Nanoseconds()) / 1e3
+		dur := float64(s.Duration.Nanoseconds()) / 1e3
+		if dur <= 0 {
+			dur = 0.001 // zero-width spans are invisible in the viewers
+		}
+		args := map[string]any{"span_id": s.ID}
+		if s.Parent != "" {
+			args["parent"] = s.Parent
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		if s.Err != "" {
+			args["error"] = s.Err
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: "span", Phase: "X",
+			TsUS: ts, DurUS: dur, PID: pid, TID: lanes[i], Args: args,
+		})
+		for _, ev := range s.Events {
+			events = append(events, chromeEvent{
+				Name: ev.Name, Cat: "event", Phase: "i", Scope: "t",
+				TsUS: float64(ev.Time.Sub(v.Start).Nanoseconds()) / 1e3,
+				PID:  pid, TID: lanes[i],
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"trace_id":   v.ID,
+			"request_id": v.RequestID,
+			"status":     v.Status,
+			"degraded":   v.Degraded,
+		},
+	})
+}
+
+// assignLanes maps each span (by index into spans) to a lane (tid) such
+// that within a lane, spans only nest — never partially overlap — so
+// the trace viewers draw the tree correctly.
+func assignLanes(spans []SpanView) []int {
+	type bounds struct {
+		start, end int64 // nanoseconds
+		idx        int
+	}
+	bs := make([]bounds, len(spans))
+	for i, s := range spans {
+		start := s.Start.UnixNano()
+		bs[i] = bounds{start: start, end: start + s.Duration.Nanoseconds(), idx: i}
+	}
+	// Sort by start time, longer spans first on ties so a parent with the
+	// same start as its child is placed before it.
+	sort.Slice(bs, func(i, j int) bool {
+		if bs[i].start != bs[j].start {
+			return bs[i].start < bs[j].start
+		}
+		return bs[i].end > bs[j].end
+	})
+
+	lanes := make([]int, len(spans))
+	var open [][]bounds // per lane: stack of still-open spans
+	for _, b := range bs {
+		placed := false
+		for lane := 0; lane < len(open) && !placed; lane++ {
+			stack := open[lane]
+			for len(stack) > 0 && stack[len(stack)-1].end <= b.start {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 || b.end <= stack[len(stack)-1].end {
+				open[lane] = append(stack, b)
+				lanes[b.idx] = lane
+				placed = true
+			} else {
+				open[lane] = stack
+			}
+		}
+		if !placed {
+			open = append(open, []bounds{b})
+			lanes[b.idx] = len(open) - 1
+		}
+	}
+	return lanes
+}

@@ -298,6 +298,34 @@ func (r *Registry) Gauge(name, help string, fn func() float64) {
 	r.register(name, &gaugeFamily{name: name, help: help, fn: fn})
 }
 
+// infoFamily renders one info-style gauge: a constant 1 whose labels
+// carry the information (the `build_info` idiom).
+type infoFamily struct {
+	name, help     string
+	labels, values []string
+}
+
+func (f *infoFamily) render(w io.Writer) {
+	writeHeader(w, f.name, f.help, "gauge")
+	fmt.Fprintf(w, "%s%s 1\n", f.name, formatLabels(f.labels, f.values))
+}
+
+// Info registers an info-style gauge — a constant 1 whose label values
+// identify the process (`bschedd_build_info{go_version=...} 1`), so
+// scrapes can join metrics to a binary version.
+func (r *Registry) Info(name, help string, labels, values []string) {
+	for _, l := range labels {
+		if !validLabel(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l))
+		}
+	}
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("obs: %d label values for %d labels", len(values), len(labels)))
+	}
+	r.register(name, &infoFamily{name: name, help: help,
+		labels: append([]string(nil), labels...), values: append([]string(nil), values...)})
+}
+
 // ---------------------------------------------------------------------
 // Histogram
 
@@ -321,6 +349,15 @@ type Histogram struct {
 	counts  []atomic.Int64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
 	count   atomic.Int64
+	ex      atomic.Pointer[exemplar]
+}
+
+// exemplar is the last observation annotated with a trace id — the
+// histogram→trace link: a scrape that shows a latency spike also names
+// one concrete trace to open.
+type exemplar struct {
+	value   float64
+	traceID string
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -351,6 +388,25 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records one sample and remembers it, tagged with a
+// trace id, as the histogram's last exemplar. The exemplar renders as a
+// `# EXEMPLAR` comment after the family (comments are ignored by strict
+// text-format 0.0.4 parsers, so the exposition stays compatible) and is
+// also surfaced in the /stats JSON.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	h.ex.Store(&exemplar{value: v, traceID: traceID})
+}
+
+// Exemplar returns the last exemplar-tagged observation, if any.
+func (h *Histogram) Exemplar() (value float64, traceID string, ok bool) {
+	e := h.ex.Load()
+	if e == nil {
+		return 0, "", false
+	}
+	return e.value, e.traceID, true
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -425,6 +481,9 @@ type histogramFamily struct {
 func (f *histogramFamily) render(w io.Writer) {
 	writeHeader(w, f.name, f.help, "histogram")
 	f.h.renderSeries(w, f.name, nil, nil)
+	if v, id, ok := f.h.Exemplar(); ok {
+		fmt.Fprintf(w, "# EXEMPLAR %s trace_id=\"%s\" %s\n", f.name, escapeLabel(id), formatFloat(v))
+	}
 }
 
 // Histogram registers and returns an unlabeled histogram. Nil or empty

@@ -309,7 +309,14 @@ func TestMetricsExpositionFormat(t *testing.T) {
 	postCompile(t, ts.URL, CompileRequest{Program: demoProgram,
 		Options: RequestOptions{Budget: TierSmall}})
 
-	families := parseExposition(t, scrapeMetrics(t, ts.URL))
+	text := scrapeMetrics(t, ts.URL)
+	families := parseExposition(t, text)
+	// The request-duration histogram carries its last trace id as an
+	// exemplar comment line — ignored by 0.0.4 parsers (this one
+	// included), chased by humans.
+	if !strings.Contains(text, "# EXEMPLAR bschedd_request_duration_seconds trace_id=\"") {
+		t.Error("no EXEMPLAR comment for bschedd_request_duration_seconds")
+	}
 	required := map[string]string{
 		"bschedd_requests_total":           "counter",
 		"bschedd_responses_total":          "counter",
@@ -323,6 +330,10 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		"bschedd_workers":                  "gauge",
 		"bschedd_cache_entries":            "gauge",
 		"bschedd_uptime_seconds":           "gauge",
+		"bschedd_traces_retained":          "gauge",
+		"bschedd_build_info":               "gauge",
+		"go_goroutines":                    "gauge",
+		"go_memstats_heap_alloc_bytes":     "gauge",
 	}
 	for name, typ := range required {
 		f := families[name]
@@ -332,6 +343,15 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		}
 		if f.typ != typ {
 			t.Errorf("%s has type %s, want %s", name, f.typ, typ)
+		}
+	}
+	// build_info follows the info-gauge idiom: constant 1, identity in
+	// the labels.
+	if f := families["bschedd_build_info"]; f != nil {
+		if len(f.samples) != 1 || f.samples[0].value != 1 {
+			t.Errorf("bschedd_build_info samples = %+v, want one sample of 1", f.samples)
+		} else if f.samples[0].labels["go_version"] == "" {
+			t.Error("bschedd_build_info missing go_version label")
 		}
 	}
 	// Spot-check a few values against what the traffic above implies.

@@ -75,9 +75,17 @@ type Config struct {
 	MaxTimeout time.Duration
 	// Logger, when non-nil, receives one structured line per HTTP
 	// request (event "http": request ID, method, path, status, duration,
-	// response bytes, plus cache disposition / tier / fingerprint for
-	// compiles). Nil disables request logging.
+	// response bytes, trace ID, plus cache disposition / tier /
+	// fingerprint for compiles). Nil disables request logging.
 	Logger *obs.Logger
+	// TraceCapacity bounds the in-memory store of completed request
+	// traces (tail-based retention: errors and degradations always kept,
+	// plus the slowest tail; the rest sampled — see internal/obs). Zero
+	// means obs.DefaultTraceCapacity; negative disables tracing.
+	TraceCapacity int
+	// TraceSampleEvery keeps 1 in N healthy fast traces. Zero means
+	// obs.DefaultTraceSampleEvery.
+	TraceSampleEvery int
 }
 
 // Defaults for Config's zero fields.
@@ -145,17 +153,24 @@ type job struct {
 	// feeds the queue-wait stage timing.
 	tier     string
 	enqueued time.Time
+	// tr is the leader request's trace and queueSpan its open
+	// queue-wait span; the worker closes the span at pickup and hangs
+	// the compile (and per-block stage) spans off the same trace. Both
+	// nil when tracing is disabled.
+	tr        *obs.Trace
+	queueSpan *obs.Span
 }
 
 // Server is the compilation service. Create with New, serve via
 // Handler, stop with Close.
 type Server struct {
-	cfg   Config
-	queue chan *job
-	cache *cache
-	stats *Stats
-	log   *obs.Logger
-	start time.Time
+	cfg    Config
+	queue  chan *job
+	cache  *cache
+	stats  *Stats
+	log    *obs.Logger
+	tracer *obs.Tracer // nil when Config.TraceCapacity < 0
+	start  time.Time
 	// blockPar is the per-job block parallelism: GOMAXPROCS split across
 	// the worker pool, so a saturated pool runs ~one block compilation
 	// per CPU instead of Workers × GOMAXPROCS goroutines.
@@ -191,6 +206,9 @@ func New(cfg Config) *Server {
 		cancel:    cancel,
 		compileFn: compile.Run,
 	}
+	if cfg.TraceCapacity >= 0 {
+		s.tracer = obs.NewTracer(obs.NewTraceStore(cfg.TraceCapacity, cfg.TraceSampleEvery))
+	}
 	// Gauges are function-backed: sampled at scrape time from the state
 	// the server owns, so they can never drift from the truth.
 	reg := s.stats.reg
@@ -209,6 +227,10 @@ func New(cfg Config) *Server {
 	reg.Gauge("bschedd_uptime_seconds",
 		"Seconds since the service started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	reg.Gauge("bschedd_traces_retained",
+		"Completed request traces currently retained by the tail-based sampler.",
+		func() float64 { return float64(s.tracer.Store().Len()) })
+	registerRuntimeMetrics(reg)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -253,18 +275,41 @@ func (s *Server) worker() {
 // complete the entry so coalesced waiters observe them.
 func (s *Server) runJob(j *job) {
 	s.stats.stages.With(stageQueue).ObserveDuration(time.Since(j.enqueued))
+	j.queueSpan.End()
 	ctx, cancel := context.WithTimeout(s.ctx, j.timeout)
 	defer cancel()
+	opts := j.opts
+	compileSpan := j.tr.StartSpan(nil, "compile")
+	if j.tr != nil {
+		// Per-block per-stage spans: the compiler reports each stage's
+		// block, pass, start and duration through the SpanObserver seam;
+		// each record becomes a child of the compile span. Observations
+		// arrive concurrently when blocks compile in parallel — the trace
+		// serializes appends internally.
+		opts.SpanObserver = func(rec compile.StageSpan) {
+			sp := j.tr.SpanAt(compileSpan, rec.Stage, rec.Start, rec.Duration)
+			sp.SetAttr("block", rec.Block)
+			if rec.Pass > 0 {
+				sp.SetAttr("pass", fmt.Sprint(rec.Pass))
+			}
+		}
+	}
 	compileStart := time.Now()
-	res, err := s.compileFn(ctx, j.prog, j.opts)
+	res, err := s.compileFn(ctx, j.prog, opts)
 	elapsed := time.Since(compileStart)
 	s.stats.stages.With(stageCompile).ObserveDuration(elapsed)
 	s.stats.tiers.With(j.tier).ObserveDuration(elapsed)
 	if err != nil {
+		compileSpan.EndErr(err)
 		s.cache.remove(j.key, j.e)
 		j.e.complete(nil, err)
 		return
 	}
+	if len(res.Degradations) > 0 {
+		compileSpan.Event("degraded")
+		j.tr.SetDegraded()
+	}
+	compileSpan.End()
 	s.stats.degradations.Add(int64(len(res.Degradations)))
 	if deadlineDegraded(res) {
 		// The schedule is valid for the request whose deadline forced the
@@ -294,6 +339,8 @@ func deadlineDegraded(res *compile.Result) bool {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.handleCompile)
+	mux.HandleFunc("/v1/traces", s.handleTraces)
+	mux.HandleFunc("/v1/traces/", s.handleTraceByID)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.stats.reg.Handler())
@@ -346,27 +393,63 @@ func (w *statusWriter) status() int {
 	return w.code
 }
 
-// logged stamps every request with a process-unique X-Request-ID and,
-// when a logger is configured, emits one structured "http" event per
-// request after the handler returns.
+// logged is the per-request middleware: it stamps every request with a
+// process-unique X-Request-ID, opens the request's root trace span
+// (honoring an incoming W3C traceparent header, minting a fresh trace
+// id otherwise) and returns the trace id in X-Trace-ID, emits one
+// structured "http" event per request when a logger is configured, and
+// converts handler panics into logged 500s (without it, a recovered
+// panic would ride statusWriter's 200-by-default into the access log).
 func (s *Server) logged(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := obs.RequestID()
 		w.Header().Set("X-Request-ID", id)
-		if s.log == nil {
-			h.ServeHTTP(w, r)
-			return
-		}
+		tr := s.tracer.Start(r.Method+" "+r.URL.Path, id, r.Header.Get("traceparent"))
 		n := &requestNote{}
-		r = r.WithContext(context.WithValue(r.Context(), noteKey{}, n))
+		ctx := context.WithValue(r.Context(), noteKey{}, n)
+		if tr != nil {
+			w.Header().Set("X-Trace-ID", tr.ID.String())
+			ctx = obs.ContextWithTrace(ctx, tr)
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		defer func() {
+			p := recover()
+			if p != nil && p != http.ErrAbortHandler {
+				// Respond 500 if nothing was written yet; a panic after an
+				// explicit WriteHeader keeps the status the client actually
+				// saw, with the panic recorded alongside it.
+				if sw.code == 0 {
+					writeError(sw, http.StatusInternalServerError,
+						&ErrorResponse{Error: "internal server error"})
+				}
+				n.kv = append(n.kv, "panic", fmt.Sprint(p))
+				tr.SetError()
+			}
+			status := sw.status()
+			if tr != nil {
+				tr.Root().SetAttr("status", fmt.Sprint(status))
+				if status >= 400 {
+					tr.SetError()
+				}
+				s.tracer.Finish(tr)
+			}
+			if s.log != nil {
+				kv := []any{
+					"id", id, "method", r.Method, "path", r.URL.Path,
+					"status", status, "dur_ms", time.Since(start), "bytes", sw.bytes,
+				}
+				if tr != nil {
+					kv = append(kv, "trace", tr.ID.String())
+				}
+				s.log.Log("http", append(kv, n.kv...)...)
+			}
+			if p == http.ErrAbortHandler {
+				panic(p) // preserve net/http's deliberate-abort contract
+			}
+		}()
 		h.ServeHTTP(sw, r)
-		kv := append([]any{
-			"id", id, "method", r.Method, "path", r.URL.Path,
-			"status", sw.status(), "dur_ms", time.Since(start), "bytes", sw.bytes,
-		}, n.kv...)
-		s.log.Log("http", kv...)
 	})
 }
 
@@ -377,6 +460,7 @@ func (s *Server) Stats() Snapshot {
 	snap.QueueCapacity = cap(s.queue)
 	snap.Workers = s.cfg.Workers
 	snap.CacheEntries = s.cache.len()
+	snap.TracesRetained = s.tracer.Store().Len()
 	return snap
 }
 
@@ -410,6 +494,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	started := time.Now()
+	tr := obs.TraceFrom(r.Context())
 
 	var req CompileRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
@@ -429,14 +514,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, &ErrorResponse{Error: fmt.Sprintf("options: %v", err), Stage: "options"})
 		return
 	}
+	parseSpan := tr.StartSpan(nil, "parse")
 	parseStart := time.Now()
 	prog, err := ir.Parse(req.Program)
 	s.stats.stages.With(stageParse).ObserveDuration(time.Since(parseStart))
 	if err != nil {
+		parseSpan.EndErr(err)
 		s.stats.clientErrors.Add(1)
 		writeError(w, http.StatusBadRequest, &ErrorResponse{Error: fmt.Sprintf("parse program: %v", err), Stage: "parse"})
 		return
 	}
+	parseSpan.End()
 
 	s.stats.requests.Add(1)
 	deadline := s.timeout(req.TimeoutMillis)
@@ -446,18 +534,25 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if tier == "" {
 		tier = TierDefault
 	}
+	lookupSpan := tr.StartSpan(nil, "cache-lookup")
 	lookupStart := time.Now()
 	key := Key{Prog: prog.Fingerprint(), Opts: req.Options.fingerprint()}
 	e, leader := s.cache.lookup(key)
 	s.stats.stages.With(stageLookup).ObserveDuration(time.Since(lookupStart))
+	lookupSpan.End()
 	note(r, "fingerprint", fmt.Sprintf("%016x", key.Prog), "tier", tier)
+	root := tr.Root()
+	root.SetAttr("fingerprint", fmt.Sprintf("%016x", key.Prog))
+	root.SetAttr("tier", tier)
 	coalesced := false
 	switch {
 	case leader:
 		s.stats.cacheMisses.Add(1)
 		note(r, "cache", "miss")
+		root.Event("cache-miss")
 		j := &job{prog: prog, opts: opts, timeout: deadline, key: key, e: e,
-			tier: tier, enqueued: time.Now()}
+			tier: tier, enqueued: time.Now(),
+			tr: tr, queueSpan: tr.StartSpan(nil, "queue-wait")}
 		select {
 		case s.queue <- j:
 		default:
@@ -465,6 +560,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			// capacity. Reject instead of queueing unboundedly, and fail
 			// the entry so coalesced requests that raced in behind us
 			// reject too instead of hanging.
+			j.queueSpan.EndErr(errBusy)
+			root.Event("503-backpressure")
 			s.cache.remove(key, e)
 			e.complete(nil, errBusy)
 			s.respondError(w, errBusy)
@@ -473,12 +570,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	case e.completed():
 		s.stats.cacheHits.Add(1)
 		note(r, "cache", "hit")
-		s.respond(w, e.resp.stamped(true, false, time.Since(started)))
+		root.Event("cache-hit")
+		s.respond(w, r, e.resp.stamped(true, false, time.Since(started)))
 		return
 	default:
 		coalesced = true
 		s.stats.coalesced.Add(1)
 		note(r, "cache", "coalesced")
+		root.Event("coalesced")
 	}
 
 	// A coalesced wait is bounded by this request's own clamped deadline,
@@ -488,33 +587,53 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// waiting. The leader itself gets no such timer: its job compiles
 	// under its own deadline and degrades rather than fails.
 	var waitC <-chan time.Time
+	var waitSpan *obs.Span
 	if coalesced {
 		wait := time.NewTimer(deadline - time.Since(started))
 		defer wait.Stop()
 		waitC = wait.C
+		waitSpan = tr.StartSpan(nil, "coalesced-wait")
 	}
 	select {
 	case <-e.done:
+		waitSpan.End()
 		if e.err != nil {
 			s.respondError(w, e.err)
 			return
 		}
-		s.respond(w, e.resp.stamped(!leader, coalesced, time.Since(started)))
+		s.respond(w, r, e.resp.stamped(!leader, coalesced, time.Since(started)))
 	case <-waitC:
+		waitSpan.EndErr(errDeadline)
 		s.respondError(w, errDeadline)
 	case <-r.Context().Done():
 		// Client gone; the compilation (if any) still completes and
-		// populates the cache for the next asker.
+		// populates the cache for the next asker. The leader's compile
+		// and stage spans keep appending to this trace after the root
+		// finishes — the trace serializes that, and the late spans are
+		// simply absent from the stored snapshot (best-effort).
+		waitSpan.EndErr(r.Context().Err())
 		s.stats.clientErrors.Add(1)
 	case <-s.ctx.Done():
+		waitSpan.EndErr(errShutdown)
 		s.respondError(w, errShutdown)
 	}
 }
 
-// respond writes a 200 and records its service time.
-func (s *Server) respond(w http.ResponseWriter, resp *CompileResponse) {
+// respond writes a 200 and records its service time. The histogram
+// observation carries the request's trace id as an exemplar so a slow
+// bucket can be chased to a concrete retained trace; a degraded
+// compilation marks the trace so tail-based retention always keeps it.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, resp *CompileResponse) {
 	s.stats.ok.Add(1)
-	s.stats.hist.Observe(resp.ServiceMillis / 1000) // histogram samples are seconds
+	sec := resp.ServiceMillis / 1000 // histogram samples are seconds
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		if len(resp.Degradations) > 0 {
+			tr.SetDegraded()
+		}
+		s.stats.hist.ObserveExemplar(sec, tr.ID.String())
+	} else {
+		s.stats.hist.Observe(sec)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"bsched/internal/obs"
@@ -77,6 +79,37 @@ func newStats() *Stats {
 	}
 }
 
+// registerRuntimeMetrics adds process-identity and Go-runtime health
+// instruments: a build_info gauge (the Prometheus info idiom — constant
+// 1, identity in the labels) plus goroutine count and heap residency,
+// sampled at scrape time.
+func registerRuntimeMetrics(reg *obs.Registry) {
+	goVersion, modVersion, modPath := runtime.Version(), "(devel)", "bsched"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		if bi.Main.Path != "" {
+			modPath = bi.Main.Path
+		}
+		if bi.Main.Version != "" {
+			modVersion = bi.Main.Version
+		}
+	}
+	reg.Info("bschedd_build_info",
+		"Build identity of the running bschedd binary; constant 1, identity in the labels.",
+		[]string{"go_version", "path", "version"},
+		[]string{goVersion, modPath, modVersion})
+	reg.Gauge("go_goroutines",
+		"Goroutines currently live in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.Gauge("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+}
+
 // observeStage records one per-stage latency sample; its signature
 // matches compile.StageObserver, so it is handed directly to the
 // pipeline via compile.Options.Observer. Safe for concurrent use.
@@ -122,13 +155,25 @@ type Snapshot struct {
 	// until the first request flows through.
 	Stages map[string]LatencySummary `json:"stages,omitempty"`
 	Tiers  map[string]LatencySummary `json:"tiers,omitempty"`
+	// LastTraceID is the trace id of the most recent successful compile
+	// response (the request-duration histogram's exemplar) — a concrete
+	// GET /v1/traces/{id} starting point. TracesRetained counts traces
+	// currently held by the tail-based sampler. Empty/zero when tracing
+	// is disabled.
+	LastTraceID    string `json:"last_trace_id,omitempty"`
+	TracesRetained int    `json:"traces_retained,omitempty"`
 }
 
 // snapshot copies the counters and summarizes the histograms;
-// queue/worker/cache gauges are filled in by the server, which owns
-// them.
+// queue/worker/cache/trace gauges are filled in by the server, which
+// owns them.
 func (s *Stats) snapshot() Snapshot {
+	lastTrace := ""
+	if _, id, ok := s.hist.Exemplar(); ok {
+		lastTrace = id
+	}
 	return Snapshot{
+		LastTraceID:   lastTrace,
 		Requests:      s.requests.Value(),
 		OK:            s.ok.Value(),
 		ClientErrors:  s.clientErrors.Value(),

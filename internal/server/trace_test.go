@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bsched/internal/obs"
+)
+
+// getJSON GETs a URL and decodes the body into out, returning the
+// status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s (%d): %v\n%s", url, resp.StatusCode, err, raw)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestTraceEndToEnd: one compile request yields a retrievable trace
+// whose span tree covers the whole request path — the root request
+// span, parse, cache-lookup, queue-wait and compile spans, and inside
+// compile one span per pipeline stage per block (deps, weights,
+// schedule twice for the two passes; regalloc once).
+func TestTraceEndToEnd(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, TraceSampleEvery: 1})
+	body, _ := json.Marshal(CompileRequest{Program: demoProgram})
+	resp, err := http.Post(ts.URL+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	traceID := resp.Header.Get("X-Trace-ID")
+	if len(traceID) != 32 {
+		t.Fatalf("X-Trace-ID = %q, want 32 hex digits", traceID)
+	}
+
+	var tree obs.TraceView
+	if code := getJSON(t, ts.URL+"/v1/traces/"+traceID+"?format=tree", &tree); code != http.StatusOK {
+		t.Fatalf("GET trace tree: status %d", code)
+	}
+	if tree.ID != traceID {
+		t.Fatalf("tree id = %q, want %q", tree.ID, traceID)
+	}
+	if tree.Status != "ok" {
+		t.Fatalf("tree status = %q, want ok", tree.Status)
+	}
+	byName := map[string][]obs.SpanView{}
+	for _, sp := range tree.Spans {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	if len(byName["POST /v1/compile"]) != 1 {
+		t.Fatalf("want exactly one root span, got %v", byName)
+	}
+	root := byName["POST /v1/compile"][0]
+	if root.Parent != "" {
+		t.Errorf("root span has parent %q", root.Parent)
+	}
+	for _, name := range []string{"parse", "cache-lookup", "queue-wait", "compile"} {
+		spans := byName[name]
+		if len(spans) != 1 {
+			t.Fatalf("want one %q span, got %d", name, len(spans))
+		}
+		if spans[0].Parent != root.ID {
+			t.Errorf("%q span parented on %q, want root %q", name, spans[0].Parent, root.ID)
+		}
+	}
+	compileSpan := byName["compile"][0]
+	// The two scheduling passes run deps, weights and schedule once each;
+	// regalloc runs once between them.
+	for name, want := range map[string]int{"deps": 2, "weights": 2, "schedule": 2, "regalloc": 1} {
+		spans := byName[name]
+		if len(spans) != want {
+			t.Fatalf("want %d %q stage spans, got %d", want, name, len(spans))
+		}
+		for _, sp := range spans {
+			if sp.Parent != compileSpan.ID {
+				t.Errorf("%q span parented on %q, want compile span %q", name, sp.Parent, compileSpan.ID)
+			}
+			var hasBlock bool
+			for _, a := range sp.Attrs {
+				hasBlock = hasBlock || a.Key == "block"
+			}
+			if !hasBlock {
+				t.Errorf("%q span missing block attr", name)
+			}
+		}
+	}
+	var evs []string
+	for _, e := range root.Events {
+		evs = append(evs, e.Name)
+	}
+	if !contains(evs, "cache-miss") {
+		t.Errorf("root events %v missing cache-miss", evs)
+	}
+
+	// The default rendering is Chrome trace-event JSON: every span shows
+	// up as a complete ("X") event and the envelope names the trace.
+	var chrome struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces/"+traceID, &chrome); code != http.StatusOK {
+		t.Fatalf("GET chrome trace: status %d", code)
+	}
+	if chrome.OtherData["trace_id"] != traceID {
+		t.Errorf("otherData.trace_id = %v, want %q", chrome.OtherData["trace_id"], traceID)
+	}
+	complete := map[string]int{}
+	for _, e := range chrome.TraceEvents {
+		if e.Phase == "X" {
+			complete[e.Name]++
+		}
+	}
+	for _, name := range []string{"POST /v1/compile", "parse", "cache-lookup", "queue-wait", "compile", "deps", "schedule", "regalloc"} {
+		if complete[name] == 0 {
+			t.Errorf("chrome trace has no %q complete event", name)
+		}
+	}
+
+	// The trace index lists it (the GETs above traced themselves too, so
+	// search rather than assume position), and the exemplar surfaces it
+	// in /stats.
+	var index struct {
+		Traces []obs.TraceIndexEntry `json:"traces"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/traces", &index); code != http.StatusOK {
+		t.Fatalf("GET trace index: status %d", code)
+	}
+	indexed := false
+	for _, e := range index.Traces {
+		indexed = indexed || e.ID == traceID
+	}
+	if !indexed {
+		t.Errorf("trace index %v missing %q", index.Traces, traceID)
+	}
+	var snap Snapshot
+	getJSON(t, ts.URL+"/stats", &snap)
+	if snap.LastTraceID != traceID {
+		t.Errorf("stats last_trace_id = %q, want %q", snap.LastTraceID, traceID)
+	}
+	if snap.TracesRetained == 0 {
+		t.Error("stats traces_retained = 0")
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTraceparentPropagation: a valid incoming W3C traceparent header
+// pins the trace id; malformed ones are ignored and a fresh id minted.
+func TestTraceparentPropagation(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, TraceSampleEvery: 1})
+	const incoming = "4bf92f3577b34da6a3ce929d0e0e4736"
+	cases := []struct {
+		header string
+		honor  bool
+	}{
+		{"00-" + incoming + "-00f067aa0ba902b7-01", true},
+		{"cd-" + incoming + "-00f067aa0ba902b7-01-extra", true}, // future version
+		{"00-" + strings.ToUpper(incoming) + "-00f067aa0ba902b7-01", false},
+		{"00-" + incoming + "-0000000000000000-01", false},
+		{"ff-" + incoming + "-00f067aa0ba902b7-01", false},
+		{"garbage", false},
+		{"", false},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if tc.header != "" {
+			req.Header.Set("traceparent", tc.header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		got := resp.Header.Get("X-Trace-ID")
+		if tc.honor && got != incoming {
+			t.Errorf("traceparent %q: X-Trace-ID = %q, want honored %q", tc.header, got, incoming)
+		}
+		if !tc.honor {
+			if got == incoming {
+				t.Errorf("traceparent %q: malformed header was honored", tc.header)
+			}
+			if len(got) != 32 {
+				t.Errorf("traceparent %q: fresh X-Trace-ID = %q not 32 hex", tc.header, got)
+			}
+		}
+	}
+}
+
+// TestErrorTraceAlwaysRetained: with healthy-trace sampling effectively
+// off, an erroring request's trace must still be retrievable — errors
+// bypass sampling entirely (tail-based retention).
+func TestErrorTraceAlwaysRetained(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, TraceSampleEvery: 1 << 20})
+	status, _, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram})
+	if status != http.StatusOK {
+		t.Fatalf("healthy compile: status %d", status)
+	}
+
+	body, _ := json.Marshal(CompileRequest{Program: "func broken\nnot ir at all\n"})
+	resp, err := http.Post(ts.URL+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken compile: status %d, want 400", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trace-ID")
+
+	var tree obs.TraceView
+	if code := getJSON(t, ts.URL+"/v1/traces/"+traceID+"?format=tree", &tree); code != http.StatusOK {
+		t.Fatalf("erroring request's trace not retained: status %d", code)
+	}
+	if tree.Status != "error" {
+		t.Errorf("trace status = %q, want error", tree.Status)
+	}
+	var errIndex struct {
+		Traces []obs.TraceIndexEntry `json:"traces"`
+	}
+	getJSON(t, ts.URL+"/v1/traces?status=error", &errIndex)
+	found := false
+	for _, e := range errIndex.Traces {
+		if e.ID == traceID {
+			found = true
+			if e.Retention != obs.RetentionError {
+				t.Errorf("retention = %q, want %q", e.Retention, obs.RetentionError)
+			}
+		}
+		if e.Status != "error" {
+			t.Errorf("status=error filter leaked %q trace %s", e.Status, e.ID)
+		}
+	}
+	if !found {
+		t.Errorf("trace %s missing from ?status=error index", traceID)
+	}
+}
+
+// TestTracingDisabled: TraceCapacity < 0 switches tracing off — no
+// X-Trace-ID header, 404 from the trace endpoints, and the request path
+// must not mind the nil tracer.
+func TestTracingDisabled(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, TraceCapacity: -1})
+	status, resp, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram})
+	if status != http.StatusOK || resp == nil {
+		t.Fatalf("compile with tracing disabled: status %d", status)
+	}
+	r, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/traces with tracing disabled: status %d, want 404", r.StatusCode)
+	}
+}
+
+// TestPanicLoggsActualStatus: the access-log middleware must log the
+// status the client actually observed on a panic — 500 when the
+// handler dies before writing, the written status otherwise — never
+// statusWriter's 200-by-default.
+func TestPanicLogsActualStatus(t *testing.T) {
+	var buf strings.Builder
+	sw := &syncWriter{b: &buf}
+	s := New(Config{Workers: 1, Logger: obs.NewLogger(sw, obs.FormatKV)})
+	defer s.Close()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	mux.HandleFunc("/teapot-boom", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		panic("kaboom after write")
+	})
+	ts := httptest.NewServer(s.logged(mux))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/teapot-boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("post-write panic: status %d, want 418", resp.StatusCode)
+	}
+
+	lines := strings.Split(strings.TrimSpace(sw.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 log lines, got %d:\n%s", len(lines), sw.String())
+	}
+	if !strings.Contains(lines[0], "status=500") || !strings.Contains(lines[0], "panic=kaboom") {
+		t.Errorf("panic line wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], fmt.Sprintf("status=%d", http.StatusTeapot)) {
+		t.Errorf("post-write panic line wrong: %q", lines[1])
+	}
+
+	// Both panicking requests erred, so both traces are retained.
+	var errCount int
+	for _, e := range s.tracer.Store().List() {
+		if e.Status == "error" {
+			errCount++
+		}
+	}
+	if errCount != 2 {
+		t.Errorf("want 2 retained error traces, got %d", errCount)
+	}
+}
