@@ -352,7 +352,10 @@ end
 	b.Run("miss", func(b *testing.B) {
 		// Large cache so eviction cost is not part of the measurement;
 		// every program is distinct, so every request is a cold compile.
-		srv := server.New(server.Config{CacheCapacity: 1 << 20})
+		srv, err := server.New(server.Config{CacheCapacity: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
 		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
@@ -362,7 +365,10 @@ end
 		}
 	})
 	b.Run("hit", func(b *testing.B) {
-		srv := server.New(server.Config{})
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		defer srv.Close()
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()

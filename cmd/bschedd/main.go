@@ -7,6 +7,7 @@
 // Usage:
 //
 //	bschedd [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
+//	        [-cache-dir DIR] [-cache-max-bytes N]
 //	        [-timeout D] [-max-timeout D] [-max-bytes N]
 //	        [-traces N] [-trace-sample N]
 //	        [-log-format kv|json|none] [-pprof]
@@ -33,6 +34,16 @@
 // a bounded in-memory store under tail-based retention (errors and
 // degradations always, the slowest tail, 1-in-N of the healthy rest —
 // see docs/OBSERVABILITY.md).
+//
+// With -cache-dir the schedule cache is persistent: cacheable
+// compilations are appended, write-behind, to CRC-checksummed segment
+// files under the directory, and a restarted daemon replays them at
+// startup so previously compiled programs are served warm (a disk hit)
+// instead of recompiled. -cache-max-bytes bounds the directory;
+// past it, compaction drops the coldest entries. Torn or corrupt
+// records are skipped individually and counted in
+// bschedd_diskcache_corrupt_records_total, never served. See
+// docs/SERVER.md, "Persistent cache".
 //
 // The daemon prints "bschedd: listening on ADDR" once the socket is
 // bound (so scripts can start it with -addr 127.0.0.1:0 and scrape the
@@ -74,6 +85,8 @@ func main() {
 	workers := flag.Int("workers", 0, "compilation worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", server.DefaultQueueDepth, "bounded request queue depth; past it requests get 503 + Retry-After")
 	cache := flag.Int("cache", server.DefaultCacheCapacity, "schedule cache capacity in entries (negative disables)")
+	cacheDir := flag.String("cache-dir", "", "persistent schedule-cache directory, replayed at startup for a warm restart (empty disables)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", server.DefaultCacheMaxBytes, "on-disk bound of the persistent cache; past it compaction drops the coldest entries")
 	timeout := flag.Duration("timeout", server.DefaultCompileTimeout, "default per-compilation deadline")
 	maxTimeout := flag.Duration("max-timeout", server.MaxCompileTimeout, "upper clamp on request-supplied deadlines")
 	maxBytes := flag.Int64("max-bytes", server.DefaultMaxRequestBytes, "maximum request body size")
@@ -93,6 +106,8 @@ func main() {
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		CacheCapacity:    *cache,
+		CacheDir:         *cacheDir,
+		CacheMaxBytes:    *cacheMaxBytes,
 		MaxRequestBytes:  *maxBytes,
 		DefaultTimeout:   *timeout,
 		MaxTimeout:       *maxTimeout,
@@ -150,7 +165,10 @@ func serve(cfg server.Config, addr string, pprofOn bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	svc := server.New(cfg)
+	svc, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 
 	handler := svc.Handler()
@@ -195,7 +213,10 @@ func runSmoke(cfg server.Config, path string, metrics bool) error {
 	if err != nil {
 		return err
 	}
-	svc := server.New(cfg)
+	svc, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -314,6 +335,12 @@ var requiredMetrics = []string{
 	"bschedd_queue_capacity",
 	"bschedd_workers",
 	"bschedd_cache_entries",
+	"bschedd_diskcache_events_total",
+	"bschedd_diskcache_records_loaded_total",
+	"bschedd_diskcache_corrupt_records_total",
+	"bschedd_diskcache_entries",
+	"bschedd_diskcache_bytes",
+	"bschedd_diskcache_warm_entries",
 	"bschedd_uptime_seconds",
 	"bschedd_traces_retained",
 	"bschedd_build_info",

@@ -1,0 +1,592 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bsched/internal/compile"
+	"bsched/internal/ir"
+)
+
+// openTestDiskCache opens a store backed by fresh metrics and returns
+// both, failing the test on error.
+func openTestDiskCache(t *testing.T, dir string, maxBytes int64) (*diskCache, *Stats) {
+	t.Helper()
+	st := newStats()
+	d, err := openDiskCache(dir, maxBytes, st.disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, st
+}
+
+func diskResp(i int) *CompileResponse {
+	return &CompileResponse{
+		Program:     fmt.Sprintf("func f%d\nblock b freq=1\nend\n", i),
+		Fingerprint: fmt.Sprintf("%016x", i),
+	}
+}
+
+// waitFlushed polls until the store has written (at least) want records
+// or the deadline passes — put is write-behind, so tests that reopen
+// the directory must first let the flusher catch up.
+func waitFlushed(t *testing.T, st *Stats, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for st.disk.writes.Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("flusher wrote %d records, want %d", st.disk.writes.Value(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDiskCachePutGetReopen is the basic persistence round trip: what
+// was put can be got, and can still be got by a second store opened on
+// the same directory after the first closed.
+func TestDiskCachePutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, st := openTestDiskCache(t, dir, 1<<20)
+	const n = 10
+	for i := 0; i < n; i++ {
+		d.put(Key{Prog: uint64(i), Opts: 1}, diskResp(i))
+	}
+	waitFlushed(t, st, n)
+	for i := 0; i < n; i++ {
+		resp, ok := d.get(Key{Prog: uint64(i), Opts: 1})
+		if !ok || resp.Program != diskResp(i).Program {
+			t.Fatalf("get(%d) = %v, %v", i, resp, ok)
+		}
+	}
+	if _, ok := d.get(Key{Prog: 999}); ok {
+		t.Error("get of a never-put key hit")
+	}
+	d.close()
+
+	d2, st2 := openTestDiskCache(t, dir, 1<<20)
+	defer d2.close()
+	if got := st2.disk.loaded.Value(); got != n {
+		t.Fatalf("replay loaded %d records, want %d", got, n)
+	}
+	if got := st2.disk.corrupt.Value(); got != 0 {
+		t.Fatalf("replay counted %d corrupt records in a clean directory", got)
+	}
+	if d2.warmEntries() != n {
+		t.Fatalf("warm entries %d, want %d", d2.warmEntries(), n)
+	}
+	for i := 0; i < n; i++ {
+		resp, ok := d2.get(Key{Prog: uint64(i), Opts: 1})
+		if !ok || resp.Program != diskResp(i).Program {
+			t.Fatalf("after reopen, get(%d) = %v, %v", i, resp, ok)
+		}
+	}
+}
+
+// newestSegment returns the path of the most recently created segment
+// file in dir.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, segNamePrefix+"*"+segNameSuffix))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segment files in %s (err=%v)", dir, err)
+	}
+	var newest string
+	for _, n := range names {
+		if n > newest {
+			newest = n
+		}
+	}
+	return newest
+}
+
+// TestDiskCacheCrashRecovery simulates the daemon dying mid-flush: N
+// records land fully, then the process is "killed" with a record only
+// partially written (the write-behind store never fsyncs, so a torn
+// tail is exactly what a crash leaves). Reopening must load every
+// complete record, skip the torn tail, count it corrupt — and neither
+// error nor panic.
+func TestDiskCacheCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, st := openTestDiskCache(t, dir, 1<<20)
+	const n = 8
+	for i := 0; i < n; i++ {
+		d.put(Key{Prog: uint64(i)}, diskResp(i))
+	}
+	waitFlushed(t, st, n)
+	d.close()
+
+	// Tear the tail: append the first half of a valid record, as if the
+	// crash cut the final write short.
+	payload, _ := json.Marshal(diskResp(999))
+	rec := appendRecord(nil, Key{Prog: 999}, payload)
+	f, err := os.OpenFile(newestSegment(t, dir), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(rec[:len(rec)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2, st2 := openTestDiskCache(t, dir, 1<<20)
+	defer d2.close()
+	if got := st2.disk.loaded.Value(); got != n {
+		t.Errorf("loaded %d records, want %d", got, n)
+	}
+	if got := st2.disk.corrupt.Value(); got != 1 {
+		t.Errorf("corrupt counter %d, want 1 (the torn tail)", got)
+	}
+	for i := 0; i < n; i++ {
+		resp, ok := d2.get(Key{Prog: uint64(i)})
+		if !ok || resp.Program != diskResp(i).Program {
+			t.Fatalf("fully-flushed record %d lost after crash recovery", i)
+		}
+	}
+	if _, ok := d2.get(Key{Prog: 999}); ok {
+		t.Error("torn record was served")
+	}
+}
+
+// TestDiskCacheCorruptMiddleRecordSkipped proves records are skipped
+// *individually*: a bit flip in the middle of a segment costs exactly
+// that record — everything before and after it still loads.
+func TestDiskCacheCorruptMiddleRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-build one segment with three records.
+	var seg []byte
+	seg = appendSegmentHeader(seg)
+	offs := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		offs[i] = len(seg)
+		payload, _ := json.Marshal(diskResp(i))
+		seg = appendRecord(seg, Key{Prog: uint64(i)}, payload)
+	}
+	seg[offs[1]+recHeaderLen+3] ^= 0x01 // corrupt record 1's body
+	path := filepath.Join(dir, segNamePrefix+"00000000"+segNameSuffix)
+	if err := os.WriteFile(path, seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d, st := openTestDiskCache(t, dir, 1<<20)
+	defer d.close()
+	if got := st.disk.loaded.Value(); got != 2 {
+		t.Errorf("loaded %d records, want 2", got)
+	}
+	if got := st.disk.corrupt.Value(); got != 1 {
+		t.Errorf("corrupt counter %d, want 1", got)
+	}
+	for _, i := range []int{0, 2} {
+		if _, ok := d.get(Key{Prog: uint64(i)}); !ok {
+			t.Errorf("healthy record %d around the corruption was lost", i)
+		}
+	}
+	if _, ok := d.get(Key{Prog: 1}); ok {
+		t.Error("bit-flipped record was served")
+	}
+}
+
+// TestDiskCacheGarbageFileTolerated: a file of pure garbage under the
+// cache directory must not break startup or poison lookups.
+func TestDiskCacheGarbageFileTolerated(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, segNamePrefix+"00000007"+segNameSuffix)
+	if err := os.WriteFile(garbage, bytes.Repeat([]byte{0xa5}, 4096), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, st := openTestDiskCache(t, dir, 1<<20)
+	defer d.close()
+	if got := st.disk.corrupt.Value(); got == 0 {
+		t.Error("garbage segment not counted corrupt")
+	}
+	if got := st.disk.loaded.Value(); got != 0 {
+		t.Errorf("loaded %d records from garbage", got)
+	}
+	d.put(Key{Prog: 1}, diskResp(1))
+	// The store must still function for writes after meeting garbage.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.disk.writes.Value() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := d.get(Key{Prog: 1}); !ok {
+		t.Error("write after garbage replay did not stick")
+	}
+}
+
+// TestDiskCacheEviction fills a tiny store far past its byte bound and
+// checks compaction kicks in: evictions counted, the directory brought
+// back under the bound, the hottest key preferentially retained. Writes
+// are write-behind, so the test synchronizes with the flusher before
+// every access-order-sensitive step.
+func TestDiskCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	const maxBytes = 32 << 10
+	d, st := openTestDiskCache(t, dir, maxBytes)
+	big := strings.Repeat("x", 512)
+	put := func(i int) {
+		d.put(Key{Prog: uint64(i)}, &CompileResponse{Program: big, Fingerprint: fmt.Sprint(i)})
+	}
+	// Seed well under the bound so nothing is evicted yet.
+	const seed = 20
+	for i := 0; i < seed; i++ {
+		put(i)
+	}
+	waitFlushed(t, st, seed)
+	if _, ok := d.get(Key{Prog: 0}); !ok {
+		t.Fatal("seeded key missing before any eviction")
+	}
+	// Churn far past the bound, re-touching key 0 every few writes so
+	// LRU-by-access keeps it within a compaction survivor set that holds
+	// dozens of records.
+	const last = 220
+	writes := int64(seed)
+	for i := seed; i < last; i++ {
+		put(i)
+		writes++
+		if i%5 == 0 {
+			waitFlushed(t, st, writes)
+			if _, ok := d.get(Key{Prog: 0}); !ok {
+				t.Fatalf("hot key evicted mid-churn at write %d", i)
+			}
+		}
+	}
+	waitFlushed(t, st, writes)
+	d.close()
+	if st.disk.evictions.Value() == 0 {
+		t.Fatal("no evictions despite writing far past the byte bound")
+	}
+	var total int64
+	names, _ := filepath.Glob(filepath.Join(dir, segNamePrefix+"*"+segNameSuffix))
+	for _, name := range names {
+		fi, err := os.Stat(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	// The directory may sit slightly above liveBytes (segment headers,
+	// not-yet-compacted dead records) but must be in the bound's
+	// neighborhood, not 220×512 bytes.
+	if total > maxBytes*2 {
+		t.Errorf("directory holds %d bytes, bound %d", total, maxBytes)
+	}
+	if d.bytes() > maxBytes {
+		t.Errorf("live bytes %d above bound %d", d.bytes(), maxBytes)
+	}
+	// Recency must matter: the repeatedly-touched key and the most
+	// recently written key survive; an ancient cold key is gone.
+	if _, ok := d.get(Key{Prog: 0}); !ok {
+		t.Error("hottest key was evicted")
+	}
+	if _, ok := d.get(Key{Prog: last - 1}); !ok {
+		t.Error("most recently written key was evicted")
+	}
+	if _, ok := d.get(Key{Prog: 1}); ok {
+		t.Error("cold seed key survived 200 records of churn in a ~60-record store")
+	}
+}
+
+// TestDiskCacheConcurrent hammers one store from parallel writers and
+// readers with a byte bound small enough to force compactions mid-test,
+// then reopens the directory and checks every surviving record decodes
+// to exactly what its key's writer stored. Run under `make test-race`
+// this is the disk layer's race-freedom proof.
+func TestDiskCacheConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	d, st := openTestDiskCache(t, dir, 64<<10)
+	const keys = 64
+	const writers = 4
+	const readers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (w*7 + i) % keys
+				d.put(Key{Prog: uint64(k)}, diskResp(k))
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 400; i++ {
+				k := rnd.Intn(keys)
+				if resp, ok := d.get(Key{Prog: uint64(k)}); ok && resp.Program != diskResp(k).Program {
+					t.Errorf("key %d served another key's schedule", k)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	d.close()
+	if st.disk.corrupt.Value() != 0 {
+		t.Errorf("%d corrupt records during a clean concurrent run", st.disk.corrupt.Value())
+	}
+
+	d2, st2 := openTestDiskCache(t, dir, 64<<10)
+	defer d2.close()
+	if st2.disk.corrupt.Value() != 0 {
+		t.Errorf("%d corrupt records at replay after clean close", st2.disk.corrupt.Value())
+	}
+	hits := 0
+	for k := 0; k < keys; k++ {
+		if resp, ok := d2.get(Key{Prog: uint64(k)}); ok {
+			hits++
+			if resp.Program != diskResp(k).Program {
+				t.Errorf("after reopen, key %d served another key's schedule", k)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("nothing survived the concurrent run")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Server-level persistence tests
+
+// stripStamps zeroes the per-request stamp fields so responses served
+// via different dispositions can be compared byte-for-byte.
+func stripStamps(r *CompileResponse) []byte {
+	c := *r
+	c.Cached = false
+	c.Coalesced = false
+	c.ServiceMillis = 0
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// TestDiskCacheEquivalence is the differential proof of the cache/
+// scheduler contract: for a corpus of programs, the response served by
+// a cold compile, by a memory hit, and by a disk-warmed hit after a
+// server restart must be byte-identical once the cached/service stamps
+// are stripped.
+func TestDiskCacheEquivalence(t *testing.T) {
+	var corpus []CompileRequest
+	for i := 0; i < 5; i++ {
+		corpus = append(corpus, CompileRequest{
+			Program: strings.Replace(demoProgram, "const 8", fmt.Sprintf("const %d", 8+16*i), 1),
+		})
+	}
+	// Multi-block program and non-default (but cacheable) options.
+	corpus = append(corpus,
+		CompileRequest{Program: "func g\nblock a freq=10\n  v0 = const 1\n  v1 = load x[v0+0]\n  store y[v0+0], v1\nend\nblock b freq=90\n  v2 = const 2\n  v3 = load y[v2+0]\n  v4 = fadd v3, v3\n  store z[v2+0], v4\nend\n"},
+		CompileRequest{Program: demoProgram, Options: RequestOptions{Scheduler: "traditional", TradLatency: 3}},
+		CompileRequest{Program: demoProgram, Options: RequestOptions{Chances: "unionfind", Budget: TierSmall}},
+	)
+
+	dir := t.TempDir()
+	s1, ts1 := startServer(t, Config{CacheDir: dir})
+	cold := make([]*CompileResponse, len(corpus))
+	warm := make([]*CompileResponse, len(corpus))
+	for i, req := range corpus {
+		status, resp, errResp := postCompile(t, ts1.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("corpus[%d]: cold compile status %d (%+v)", i, status, errResp)
+		}
+		cold[i] = resp
+		if _, warmResp, _ := postCompile(t, ts1.URL, req); warmResp == nil || !warmResp.Cached {
+			t.Fatalf("corpus[%d]: second request was not a memory hit", i)
+		} else {
+			warm[i] = warmResp
+		}
+	}
+	ts1.Close()
+	s1.Close() // flushes the write-behind queue
+
+	s2, ts2 := startServer(t, Config{CacheDir: dir})
+	if s2.Stats().DiskWarmEntries != len(corpus) {
+		t.Fatalf("warm entries %d, want %d", s2.Stats().DiskWarmEntries, len(corpus))
+	}
+	for i, req := range corpus {
+		status, disk, errResp := postCompile(t, ts2.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("corpus[%d]: disk-warmed status %d (%+v)", i, status, errResp)
+		}
+		if !disk.Cached {
+			t.Errorf("corpus[%d]: restarted server recompiled instead of serving from disk", i)
+		}
+		c, w, dk := stripStamps(cold[i]), stripStamps(warm[i]), stripStamps(disk)
+		if !bytes.Equal(c, w) {
+			t.Errorf("corpus[%d]: memory hit differs from cold compile:\n%s\n%s", i, c, w)
+		}
+		if !bytes.Equal(c, dk) {
+			t.Errorf("corpus[%d]: disk-warmed response differs from cold compile:\n%s\n%s", i, c, dk)
+		}
+	}
+	if hits := s2.Stats().DiskHits; hits != int64(len(corpus)) {
+		t.Errorf("disk hits %d, want %d", hits, len(corpus))
+	}
+}
+
+// TestDiskCacheWarmRestart is the end-to-end warm-restart check at the
+// server level: compile, restart on the same directory, and the next
+// identical request must be a disk hit — visible in /stats
+// (disk_hits >= 1) and in the request's trace (a disk-hit span event).
+func TestDiskCacheWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := startServer(t, Config{CacheDir: dir})
+	if status, _, _ := postCompile(t, ts1.URL, CompileRequest{Program: demoProgram}); status != http.StatusOK {
+		t.Fatal("seed compile failed")
+	}
+	ts1.Close()
+	s1.Close()
+
+	_, ts2 := startServer(t, Config{CacheDir: dir})
+	body, _ := json.Marshal(CompileRequest{Program: demoProgram})
+	hresp, err := http.Post(ts2.URL+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted compile: %s\n%s", hresp.Status, raw)
+	}
+	var resp CompileResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Error("restarted server did not mark the disk-served response cached")
+	}
+
+	// /stats must show the disk hit.
+	sresp, err := http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	err = json.NewDecoder(sresp.Body).Decode(&snap)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.DiskHits < 1 {
+		t.Errorf("stats disk_hits = %d, want >= 1", snap.DiskHits)
+	}
+	if snap.CacheMisses != 0 {
+		t.Errorf("disk hit also counted as a compile miss (misses=%d)", snap.CacheMisses)
+	}
+
+	// The trace must carry the disk-hit event on the root span.
+	traceID := hresp.Header.Get("X-Trace-ID")
+	if traceID == "" {
+		t.Fatal("no X-Trace-ID on the disk-served response")
+	}
+	tresp, err := http.Get(ts2.URL + "/v1/traces/" + traceID + "?format=tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %s\n%s", tresp.Status, tree)
+	}
+	if !strings.Contains(string(tree), `"disk-hit"`) {
+		t.Errorf("trace %s has no disk-hit event:\n%s", traceID, tree)
+	}
+	if !strings.Contains(string(tree), `"disk-lookup"`) {
+		t.Errorf("trace %s has no disk-lookup span:\n%s", traceID, tree)
+	}
+
+	// A second identical request is now a plain memory hit: the disk
+	// serve warmed the in-memory cache.
+	_, again, _ := postCompile(t, ts2.URL, CompileRequest{Program: demoProgram})
+	if again == nil || !again.Cached {
+		t.Error("request after the disk hit was not a memory hit")
+	}
+}
+
+// TestDiskCacheDeadlineDegradedNotPersisted: the persistent layer obeys
+// the same cacheability rule as memory — a deadline-degraded schedule
+// must not survive a restart.
+func TestDiskCacheDeadlineDegradedNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := startServer(t, Config{CacheDir: dir})
+	s1.compileFn = func(ctx context.Context, p *ir.Program, opts compile.Options) (*compile.Result, error) {
+		res, err := compile.Run(ctx, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Degradations = append(res.Degradations, compile.Event{
+			Block: "body", Pass: 1, Stage: "weights",
+			From: compile.RungChancesDP, To: compile.RungFixedLat,
+			Reason: "context deadline exceeded after 8192 units", Deadline: true,
+		})
+		return res, nil
+	}
+	status, first, _ := postCompile(t, ts1.URL, CompileRequest{Program: demoProgram})
+	if status != http.StatusOK || len(first.Degradations) != 1 {
+		t.Fatalf("degraded compile: status %d, degradations %+v", status, first)
+	}
+	ts1.Close()
+	s1.Close()
+
+	s2, _ := startServer(t, Config{CacheDir: dir})
+	if n := s2.Stats().DiskWarmEntries; n != 0 {
+		t.Errorf("deadline-degraded schedule was persisted (%d warm entries)", n)
+	}
+}
+
+// TestDiskCacheCorruptOnDiskNeverServed corrupts a record *after* the
+// index was built (between restarts) and checks the read path's
+// checksum catches it: the request recompiles instead of serving the
+// damaged schedule.
+func TestDiskCacheCorruptOnDiskNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := startServer(t, Config{CacheDir: dir})
+	status, clean, _ := postCompile(t, ts1.URL, CompileRequest{Program: demoProgram})
+	if status != http.StatusOK {
+		t.Fatal("seed compile failed")
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Flip one byte inside the record body (past header and key, i.e. in
+	// the JSON payload region).
+	seg := newestSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeaderLen+recHeaderLen+recBodyPrefixLen+10] ^= 0x08
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := startServer(t, Config{CacheDir: dir})
+	// Replay already rejects the record, so this is belt (replay CRC) and
+	// braces (read-path CRC): either way the served schedule must be a
+	// fresh, correct compile, never the damaged bytes.
+	status, resp, _ := postCompile(t, ts2.URL, CompileRequest{Program: demoProgram})
+	if status != http.StatusOK {
+		t.Fatalf("compile after corruption: status %d", status)
+	}
+	if resp.Cached {
+		t.Error("corrupted record was served as a cache hit")
+	}
+	if resp.Program != clean.Program {
+		t.Error("recompile after corruption produced a different schedule")
+	}
+	if s2.Stats().DiskCorruptRecords == 0 {
+		t.Error("corruption was not counted")
+	}
+}

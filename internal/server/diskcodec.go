@@ -1,0 +1,125 @@
+package server
+
+// The persistent schedule cache's on-disk format. A cache directory
+// holds append-only segment files; each segment is a fixed header
+// followed by length-prefixed, CRC32-checksummed records. The format is
+// deliberately dumb: no in-place updates, no cross-record state, every
+// record independently verifiable — so a torn tail (the daemon died
+// mid-write) or a flipped bit costs exactly the damaged records and
+// nothing else.
+//
+//	segment: magic "BSDC" (4) | format version u32 LE (4) | record*
+//	record:  body length u32 LE (4) | CRC32-IEEE(body) u32 LE (4) | body
+//	body:    record version u8 (1) | Key.Prog u64 LE (8) | Key.Opts u64 LE (8) | payload
+//
+// The payload is the JSON encoding of the shared (pre-stamp)
+// CompileResponse. Decoding rejects any record whose length is
+// implausible, whose checksum does not match, or whose version is
+// unknown — a corrupt record can never surface as a served schedule.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	segMagic         = "BSDC"
+	segFormatVersion = 1
+	// segHeaderLen is the segment preamble: magic plus format version.
+	segHeaderLen = 8
+	// recHeaderLen prefixes every record: body length plus checksum.
+	recHeaderLen = 8
+	// recBodyPrefixLen is the fixed part of a record body: the record
+	// version byte and the 128-bit cache key.
+	recBodyPrefixLen = 1 + 8 + 8
+	recVersion       = 1
+	// maxRecordBytes bounds a single record. Decoding treats anything
+	// larger as corruption rather than attempting a giant allocation from
+	// an attacker- (or bit-rot-) controlled length field.
+	maxRecordBytes = 16 << 20
+)
+
+// Decode failure classes. A torn record means the data ends mid-record
+// (the classic crash-mid-flush tail); a corrupt record means the bytes
+// are present but fail validation. decodeRecord additionally reports,
+// via its n result, whether a corrupt record can be skipped (its length
+// field was plausible) or ends the scan (the length itself is garbage,
+// so there is no next-record boundary to resync to).
+var (
+	errTornRecord    = errors.New("diskcache: torn record (data ends mid-record)")
+	errCorruptRecord = errors.New("diskcache: corrupt record")
+)
+
+// appendSegmentHeader appends the segment preamble to dst.
+func appendSegmentHeader(dst []byte) []byte {
+	dst = append(dst, segMagic...)
+	return binary.LittleEndian.AppendUint32(dst, segFormatVersion)
+}
+
+// checkSegmentHeader validates the preamble and returns the record
+// region that follows it.
+func checkSegmentHeader(data []byte) ([]byte, error) {
+	if len(data) < segHeaderLen || string(data[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("diskcache: bad segment magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[len(segMagic):segHeaderLen]); v != segFormatVersion {
+		return nil, fmt.Errorf("diskcache: unsupported segment format version %d", v)
+	}
+	return data[segHeaderLen:], nil
+}
+
+// recordSize is the full on-disk size of a record carrying payloadLen
+// payload bytes.
+func recordSize(payloadLen int) int {
+	return recHeaderLen + recBodyPrefixLen + payloadLen
+}
+
+// appendRecord encodes one record to dst. Encoding is deterministic, so
+// decode(encode(k, p)) round-trips to identical bytes — the fuzz
+// target's invariant.
+func appendRecord(dst []byte, k Key, payload []byte) []byte {
+	bodyLen := recBodyPrefixLen + len(payload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(bodyLen))
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // checksum back-patched below
+	bodyAt := len(dst)
+	dst = append(dst, recVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, k.Prog)
+	dst = binary.LittleEndian.AppendUint64(dst, k.Opts)
+	dst = append(dst, payload...)
+	binary.LittleEndian.PutUint32(dst[crcAt:], crc32.ChecksumIEEE(dst[bodyAt:]))
+	return dst
+}
+
+// decodeRecord parses one record at the start of data. On success it
+// returns the key, the payload (aliasing data — copy before retaining)
+// and the total bytes consumed. On failure err is errTornRecord or
+// errCorruptRecord; n is then the skip distance to the next candidate
+// record, or 0 when the scan cannot continue (torn tail, or a length
+// field too implausible to resync past). decodeRecord never panics on
+// arbitrary input.
+func decodeRecord(data []byte) (k Key, payload []byte, n int, err error) {
+	if len(data) < recHeaderLen {
+		return Key{}, nil, 0, errTornRecord
+	}
+	bodyLen := binary.LittleEndian.Uint32(data[0:4])
+	if bodyLen < recBodyPrefixLen || bodyLen > maxRecordBytes {
+		return Key{}, nil, 0, errCorruptRecord
+	}
+	total := recHeaderLen + int(bodyLen)
+	if total > len(data) {
+		return Key{}, nil, 0, errTornRecord
+	}
+	body := data[recHeaderLen:total]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[4:8]) {
+		return Key{}, nil, total, errCorruptRecord
+	}
+	if body[0] != recVersion {
+		return Key{}, nil, total, errCorruptRecord
+	}
+	k.Prog = binary.LittleEndian.Uint64(body[1:9])
+	k.Opts = binary.LittleEndian.Uint64(body[9:17])
+	return k, body[recBodyPrefixLen:], total, nil
+}

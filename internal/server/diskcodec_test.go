@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func TestDiskCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		key     Key
+		payload string
+	}{
+		{"empty-payload", Key{Prog: 1, Opts: 2}, ""},
+		{"json", Key{Prog: 0xdeadbeefcafef00d, Opts: 0x0123456789abcdef}, `{"program":"func f\n"}`},
+		{"zero-key", Key{}, "x"},
+		{"binary-ish", Key{Prog: ^uint64(0), Opts: ^uint64(0)}, "\x00\xff\x00\xff"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := appendRecord(nil, c.key, []byte(c.payload))
+			if len(rec) != recordSize(len(c.payload)) {
+				t.Fatalf("encoded %d bytes, recordSize says %d", len(rec), recordSize(len(c.payload)))
+			}
+			k, payload, n, err := decodeRecord(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(rec) || k != c.key || string(payload) != c.payload {
+				t.Fatalf("round trip: n=%d key=%+v payload=%q", n, k, payload)
+			}
+			// A record followed by more data decodes the same and reports
+			// the same consumed length.
+			_, _, n2, err := decodeRecord(append(append([]byte(nil), rec...), "trailing"...))
+			if err != nil || n2 != len(rec) {
+				t.Fatalf("decode with trailing data: n=%d err=%v", n2, err)
+			}
+		})
+	}
+}
+
+func TestDiskCodecRejectsDamage(t *testing.T) {
+	key := Key{Prog: 7, Opts: 9}
+	rec := appendRecord(nil, key, []byte(`{"program":"p"}`))
+
+	t.Run("truncated-is-torn", func(t *testing.T) {
+		for cut := 0; cut < len(rec); cut++ {
+			_, _, n, err := decodeRecord(rec[:cut])
+			if !errors.Is(err, errTornRecord) {
+				t.Fatalf("cut at %d: err=%v, want torn", cut, err)
+			}
+			if n != 0 {
+				t.Fatalf("cut at %d: torn record reported skip %d", cut, n)
+			}
+		}
+	})
+	t.Run("bit-flip-is-corrupt", func(t *testing.T) {
+		// Flipping any single bit anywhere in the record must be caught:
+		// in the header it breaks the length or checksum field, in the
+		// body it breaks the checksum.
+		for i := range rec {
+			bad := append([]byte(nil), rec...)
+			bad[i] ^= 0x10
+			_, _, _, err := decodeRecord(bad)
+			if err == nil {
+				t.Fatalf("flip at byte %d went undetected", i)
+			}
+		}
+	})
+	t.Run("wrong-version", func(t *testing.T) {
+		bad := append([]byte(nil), rec...)
+		bad[recHeaderLen] = recVersion + 1
+		// Re-checksum so only the version is wrong.
+		body := bad[recHeaderLen:]
+		binary.LittleEndian.PutUint32(bad[4:8], crc32.ChecksumIEEE(body))
+		_, _, n, err := decodeRecord(bad)
+		if !errors.Is(err, errCorruptRecord) || n != len(rec) {
+			t.Fatalf("unknown version: err=%v n=%d, want corrupt + skippable", err, n)
+		}
+	})
+	t.Run("absurd-length-is-unskippable", func(t *testing.T) {
+		bad := append([]byte(nil), rec...)
+		binary.LittleEndian.PutUint32(bad[0:4], maxRecordBytes+1)
+		_, _, n, err := decodeRecord(bad)
+		if !errors.Is(err, errCorruptRecord) || n != 0 {
+			t.Fatalf("absurd length: err=%v n=%d, want corrupt + unskippable", err, n)
+		}
+	})
+}
+
+func TestSegmentHeader(t *testing.T) {
+	hdr := appendSegmentHeader(nil)
+	rest, err := checkSegmentHeader(append(hdr, 1, 2, 3))
+	if err != nil || len(rest) != 3 {
+		t.Fatalf("valid header rejected: rest=%d err=%v", len(rest), err)
+	}
+	if _, err := checkSegmentHeader([]byte("BSDX\x01\x00\x00\x00")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := checkSegmentHeader([]byte("BSDC\x63\x00\x00\x00")); err == nil {
+		t.Error("future format version accepted")
+	}
+	if _, err := checkSegmentHeader(hdr[:5]); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+// FuzzDiskCacheCodec is the persistent cache's decode-anything proof:
+// arbitrary bytes must never panic and must be rejected unless they are
+// a bit-for-bit valid record, and any accepted record must re-encode to
+// exactly the bytes consumed (so encode and decode are inverses).
+func FuzzDiskCacheCodec(f *testing.F) {
+	valid := appendRecord(nil, Key{Prog: 0x1122334455667788, Opts: 0x99aabbccddeeff00},
+		[]byte(`{"program":"func f\nblock b freq=1\nend\n"}`))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	f.Add(valid[:recHeaderLen]) // header only
+	flipped := append([]byte(nil), valid...)
+	flipped[recHeaderLen+5] ^= 0x40 // bit flip inside the body
+	f.Add(flipped)
+	badLen := append([]byte(nil), valid...)
+	badLen[3] = 0xff // implausible length prefix
+	f.Add(badLen)
+	f.Add([]byte{})
+	f.Add(appendRecord(nil, Key{}, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, payload, n, err := decodeRecord(data)
+		if err != nil {
+			if n < 0 || n > len(data) {
+				t.Fatalf("error skip distance %d out of range [0,%d]", n, len(data))
+			}
+			return
+		}
+		if n < recordSize(0) || n > len(data) {
+			t.Fatalf("accepted record consumed %d of %d bytes", n, len(data))
+		}
+		re := appendRecord(nil, k, payload)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("decode→encode not identity:\n in=%x\nout=%x", data[:n], re)
+		}
+	})
+}

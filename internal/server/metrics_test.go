@@ -318,22 +318,31 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		t.Error("no EXEMPLAR comment for bschedd_request_duration_seconds")
 	}
 	required := map[string]string{
-		"bschedd_requests_total":           "counter",
-		"bschedd_responses_total":          "counter",
-		"bschedd_cache_events_total":       "counter",
-		"bschedd_degradations_total":       "counter",
-		"bschedd_request_duration_seconds": "histogram",
-		"bschedd_stage_duration_seconds":   "histogram",
-		"bschedd_compile_duration_seconds": "histogram",
-		"bschedd_queue_depth":              "gauge",
-		"bschedd_queue_capacity":           "gauge",
-		"bschedd_workers":                  "gauge",
-		"bschedd_cache_entries":            "gauge",
-		"bschedd_uptime_seconds":           "gauge",
-		"bschedd_traces_retained":          "gauge",
-		"bschedd_build_info":               "gauge",
-		"go_goroutines":                    "gauge",
-		"go_memstats_heap_alloc_bytes":     "gauge",
+		"bschedd_requests_total":     "counter",
+		"bschedd_responses_total":    "counter",
+		"bschedd_cache_events_total": "counter",
+		"bschedd_degradations_total": "counter",
+		// The persistent-cache catalog is registered (and scraped as zero)
+		// even when the daemon runs without -cache-dir, so dashboards keep
+		// one shape across deployments.
+		"bschedd_diskcache_events_total":          "counter",
+		"bschedd_diskcache_records_loaded_total":  "counter",
+		"bschedd_diskcache_corrupt_records_total": "counter",
+		"bschedd_diskcache_entries":               "gauge",
+		"bschedd_diskcache_bytes":                 "gauge",
+		"bschedd_diskcache_warm_entries":          "gauge",
+		"bschedd_request_duration_seconds":        "histogram",
+		"bschedd_stage_duration_seconds":          "histogram",
+		"bschedd_compile_duration_seconds":        "histogram",
+		"bschedd_queue_depth":                     "gauge",
+		"bschedd_queue_capacity":                  "gauge",
+		"bschedd_workers":                         "gauge",
+		"bschedd_cache_entries":                   "gauge",
+		"bschedd_uptime_seconds":                  "gauge",
+		"bschedd_traces_retained":                 "gauge",
+		"bschedd_build_info":                      "gauge",
+		"go_goroutines":                           "gauge",
+		"go_memstats_heap_alloc_bytes":            "gauge",
 	}
 	for name, typ := range required {
 		f := families[name]

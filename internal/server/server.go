@@ -7,10 +7,13 @@
 //	POST /v1/compile
 //	   ├─ decode + validate + parse (in the handler goroutine)
 //	   ├─ content-addressed lookup: Key{program fingerprint, options fingerprint}
-//	   │    ├─ completed entry  → cache hit, respond immediately
+//	   │    ├─ completed entry  → memory hit, respond immediately
 //	   │    ├─ in-flight entry  → coalesce: wait on the leader's result,
 //	   │    │                     bounded by this request's own deadline
-//	   │    └─ absent           → leader: enqueue a job
+//	   │    └─ absent           → leader: probe the persistent cache
+//	   │         ├─ valid disk record → disk hit: decode, complete the
+//	   │         │                      entry, respond (no compilation)
+//	   │         └─ none              → enqueue a job
 //	   ├─ bounded queue, fixed worker pool — the queue full is an explicit
 //	   │    503 + Retry-After (backpressure), never an unbounded goroutine
 //	   └─ worker compiles under the request deadline and budget tier,
@@ -18,7 +21,10 @@
 //
 // The cache is sharded and LRU-bounded; single-flight deduplication is
 // built into the lookup, so N concurrent identical requests cost exactly
-// one compilation.
+// one compilation. With Config.CacheDir set, a write-behind persistent
+// layer (checksummed append-only segments, replayed at startup) sits
+// under the memory cache, so a restarted daemon serves previously
+// compiled programs warm — see docs/SERVER.md, "Persistent cache".
 //
 // Observability (see docs/OBSERVABILITY.md for the full catalog): every
 // counter, gauge and latency histogram lives in an internal/obs
@@ -65,6 +71,16 @@ type Config struct {
 	// CacheShards splits the cache to keep lock hold times short. Zero
 	// means DefaultCacheShards.
 	CacheShards int
+	// CacheDir, when non-empty, enables the write-behind persistent
+	// schedule cache under this directory: cacheable compilations are
+	// appended to checksummed segment files by a background flusher, and
+	// on startup the segments are replayed so a restarted daemon serves
+	// previously compiled programs from disk instead of recompiling them
+	// (docs/SERVER.md, "Persistent cache"). Empty disables persistence.
+	CacheDir string
+	// CacheMaxBytes bounds the persistent cache on disk; past it,
+	// compaction drops the coldest keys. Zero means DefaultCacheMaxBytes.
+	CacheMaxBytes int64
 	// MaxRequestBytes bounds a request body. Zero means DefaultMaxRequestBytes.
 	MaxRequestBytes int64
 	// DefaultTimeout is the per-compilation deadline when the request
@@ -167,6 +183,7 @@ type Server struct {
 	cfg    Config
 	queue  chan *job
 	cache  *cache
+	disk   *diskCache // nil without Config.CacheDir
 	stats  *Stats
 	log    *obs.Logger
 	tracer *obs.Tracer // nil when Config.TraceCapacity < 0
@@ -186,8 +203,11 @@ type Server struct {
 	compileFn func(context.Context, *ir.Program, compile.Options) (*compile.Result, error)
 }
 
-// New builds the service and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds the service and starts its worker pool. The only failure
+// mode is an unusable persistent-cache directory (Config.CacheDir):
+// corrupt cache *data* never fails startup — damaged records are
+// counted and skipped during replay.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	blockPar := runtime.GOMAXPROCS(0) / cfg.Workers
@@ -205,6 +225,14 @@ func New(cfg Config) *Server {
 		ctx:       ctx,
 		cancel:    cancel,
 		compileFn: compile.Run,
+	}
+	if cfg.CacheDir != "" {
+		d, err := openDiskCache(cfg.CacheDir, cfg.CacheMaxBytes, s.stats.disk)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.disk = d
 	}
 	if cfg.TraceCapacity >= 0 {
 		s.tracer = obs.NewTracer(obs.NewTraceStore(cfg.TraceCapacity, cfg.TraceSampleEvery))
@@ -230,17 +258,28 @@ func New(cfg Config) *Server {
 	reg.Gauge("bschedd_traces_retained",
 		"Completed request traces currently retained by the tail-based sampler.",
 		func() float64 { return float64(s.tracer.Store().Len()) })
+	reg.Gauge("bschedd_diskcache_entries",
+		"Records currently indexed (servable) in the persistent schedule cache; 0 without -cache-dir.",
+		func() float64 { return float64(s.disk.entries()) })
+	reg.Gauge("bschedd_diskcache_bytes",
+		"Bytes of live (indexed) records in the persistent schedule cache; 0 without -cache-dir.",
+		func() float64 { return float64(s.disk.bytes()) })
+	reg.Gauge("bschedd_diskcache_warm_entries",
+		"Records indexed from segment replay when this process started — the warm-start figure; 0 without -cache-dir.",
+		func() float64 { return float64(s.disk.warmEntries()) })
 	registerRuntimeMetrics(reg)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// Close stops the worker pool and fails any still-queued jobs with a
-// shutdown error. In-flight compilations observe the cancelled context
-// and finish quickly through the degradation ladder. Safe to call twice.
+// Close stops the worker pool, fails any still-queued jobs with a
+// shutdown error, and flushes the persistent cache's write-behind queue
+// so completed compilations survive the restart. In-flight compilations
+// observe the cancelled context and finish quickly through the
+// degradation ladder. Safe to call twice.
 func (s *Server) Close() {
 	s.once.Do(func() {
 		s.cancel()
@@ -251,6 +290,7 @@ func (s *Server) Close() {
 				s.cache.remove(j.key, j.e)
 				j.e.complete(nil, errShutdown)
 			default:
+				s.disk.close()
 				return
 			}
 		}
@@ -311,14 +351,20 @@ func (s *Server) runJob(j *job) {
 	}
 	compileSpan.End()
 	s.stats.degradations.Add(int64(len(res.Degradations)))
+	resp := buildResponse(res, j.key)
 	if deadlineDegraded(res) {
 		// The schedule is valid for the request whose deadline forced the
 		// cheap rungs, but not for the key: the deadline is not part of
 		// the key, so caching it would serve the degraded schedule to
-		// later requests with generous deadlines. Serve it, don't cache it.
+		// later requests with generous deadlines. Serve it, don't cache
+		// it — in memory or on disk.
 		s.cache.remove(j.key, j.e)
+	} else {
+		// Same cacheability rule as the in-memory layer: only clean (or
+		// deterministically tier-degraded) results are persisted.
+		s.disk.put(j.key, resp)
 	}
-	j.e.complete(buildResponse(res, j.key), nil)
+	j.e.complete(resp, nil)
 }
 
 // deadlineDegraded reports whether any downgrade was forced by the wall
@@ -453,6 +499,30 @@ func (s *Server) logged(h http.Handler) http.Handler {
 	})
 }
 
+// diskServe completes a leader's entry from the persistent cache, when
+// there is one and it holds a valid record for the key. The served
+// response also becomes the completed in-memory entry, so subsequent
+// identical requests are plain memory hits; the root span gets a
+// disk-hit event so traces distinguish all three dispositions (memory
+// hit, disk hit, miss).
+func (s *Server) diskServe(key Key, e *entry, r *http.Request, tr *obs.Trace) (*CompileResponse, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	span := tr.StartSpan(nil, "disk-lookup")
+	start := time.Now()
+	resp, ok := s.disk.get(key)
+	s.stats.stages.With(stageDisk).ObserveDuration(time.Since(start))
+	span.End()
+	if !ok {
+		return nil, false
+	}
+	note(r, "cache", "disk")
+	tr.Root().Event("disk-hit")
+	e.complete(resp, nil)
+	return resp, true
+}
+
 // Stats returns a point-in-time snapshot of the service counters.
 func (s *Server) Stats() Snapshot {
 	snap := s.stats.snapshot()
@@ -461,6 +531,9 @@ func (s *Server) Stats() Snapshot {
 	snap.Workers = s.cfg.Workers
 	snap.CacheEntries = s.cache.len()
 	snap.TracesRetained = s.tracer.Store().Len()
+	snap.DiskEntries = s.disk.entries()
+	snap.DiskBytes = s.disk.bytes()
+	snap.DiskWarmEntries = s.disk.warmEntries()
 	return snap
 }
 
@@ -547,6 +620,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	coalesced := false
 	switch {
 	case leader:
+		// Memory miss. Probe the persistent layer before compiling: a
+		// record written by an earlier run (or evicted from memory since)
+		// costs one read + decode instead of a whole compilation. The
+		// probe happens under this request's single-flight leadership, so
+		// N concurrent identical requests still cost one disk read.
+		if resp, ok := s.diskServe(key, e, r, tr); ok {
+			s.respond(w, r, resp.stamped(true, false, time.Since(started)))
+			return
+		}
 		s.stats.cacheMisses.Add(1)
 		note(r, "cache", "miss")
 		root.Event("cache-miss")

@@ -14,6 +14,7 @@ import (
 const (
 	stageParse   = "parse"   // IR parsing in the handler goroutine
 	stageLookup  = "lookup"  // content-addressed cache lookup
+	stageDisk    = "disk"    // persistent-cache probe after a memory miss
 	stageQueue   = "queue"   // enqueue → worker pickup wait
 	stageCompile = "compile" // whole compileFn call inside a worker
 )
@@ -38,6 +39,7 @@ type Stats struct {
 	cacheMisses   *obs.Counter // bschedd_cache_events_total{event="miss"}
 	coalesced     *obs.Counter // bschedd_cache_events_total{event="coalesced"}
 	degradations  *obs.Counter // bschedd_degradations_total
+	disk          *diskMetrics // bschedd_diskcache_* counters
 	hist          *obs.Histogram
 	stages        *obs.HistogramVec
 	tiers         *obs.HistogramVec
@@ -55,6 +57,19 @@ func newStats() *Stats {
 	cacheEvents := reg.CounterVec("bschedd_cache_events_total",
 		"Schedule-cache lookups by result: hit, miss (became a compile leader) or coalesced (joined an in-flight compile).",
 		"event")
+	diskEvents := reg.CounterVec("bschedd_diskcache_events_total",
+		"Persistent schedule-cache operations: hit (record served from disk after a memory miss), miss (no valid disk record either), write (record persisted) or evict (cold record dropped at compaction). All zero without -cache-dir.",
+		"event")
+	disk := &diskMetrics{
+		hits:      diskEvents.With("hit"),
+		misses:    diskEvents.With("miss"),
+		writes:    diskEvents.With("write"),
+		evictions: diskEvents.With("evict"),
+		loaded: reg.Counter("bschedd_diskcache_records_loaded_total",
+			"Valid records indexed from persistent-cache segments during startup replay."),
+		corrupt: reg.Counter("bschedd_diskcache_corrupt_records_total",
+			"Torn or corrupt persistent-cache records skipped (at replay, on read, or at compaction) instead of being served."),
+	}
 	return &Stats{
 		reg: reg,
 		requests: reg.Counter("bschedd_requests_total",
@@ -68,6 +83,7 @@ func newStats() *Stats {
 		coalesced:     cacheEvents.With("coalesced"),
 		degradations: reg.Counter("bschedd_degradations_total",
 			"Degradation-ladder downgrade events across all compilations."),
+		disk: disk,
 		hist: reg.Histogram("bschedd_request_duration_seconds",
 			"End-to-end service time of successful compile requests.", nil),
 		stages: reg.HistogramVec("bschedd_stage_duration_seconds",
@@ -144,6 +160,20 @@ type Snapshot struct {
 	QueueCapacity int   `json:"queue_capacity"`
 	Workers       int   `json:"workers"`
 	CacheEntries  int   `json:"cache_entries"`
+	// Persistent (disk) schedule-cache counters — all zero when the
+	// daemon runs without -cache-dir. DiskHits counts requests served by
+	// decoding a record from disk after a memory miss; DiskWarmEntries is
+	// the warm-start figure: records indexed from segment replay when the
+	// process started.
+	DiskHits           int64 `json:"disk_hits"`
+	DiskMisses         int64 `json:"disk_misses"`
+	DiskWrites         int64 `json:"disk_writes"`
+	DiskEvictions      int64 `json:"disk_evictions"`
+	DiskRecordsLoaded  int64 `json:"disk_records_loaded"`
+	DiskCorruptRecords int64 `json:"disk_corrupt_records"`
+	DiskEntries        int   `json:"disk_entries"`
+	DiskBytes          int64 `json:"disk_bytes"`
+	DiskWarmEntries    int   `json:"disk_warm_entries"`
 	// P50/P99 service time of successful compilations, in milliseconds,
 	// estimated from a fixed-bucket histogram
 	// (obs.DefaultLatencyBuckets).
@@ -173,20 +203,26 @@ func (s *Stats) snapshot() Snapshot {
 		lastTrace = id
 	}
 	return Snapshot{
-		LastTraceID:   lastTrace,
-		Requests:      s.requests.Value(),
-		OK:            s.ok.Value(),
-		ClientErrors:  s.clientErrors.Value(),
-		CompileErrors: s.compileErrors.Value(),
-		Rejected:      s.rejected.Value(),
-		CacheHits:     s.cacheHits.Value(),
-		CacheMisses:   s.cacheMisses.Value(),
-		Coalesced:     s.coalesced.Value(),
-		Degradations:  s.degradations.Value(),
-		P50Millis:     s.hist.Quantile(0.50) * 1000,
-		P99Millis:     s.hist.Quantile(0.99) * 1000,
-		Stages:        summarize(s.stages),
-		Tiers:         summarize(s.tiers),
+		LastTraceID:        lastTrace,
+		Requests:           s.requests.Value(),
+		OK:                 s.ok.Value(),
+		ClientErrors:       s.clientErrors.Value(),
+		CompileErrors:      s.compileErrors.Value(),
+		Rejected:           s.rejected.Value(),
+		CacheHits:          s.cacheHits.Value(),
+		CacheMisses:        s.cacheMisses.Value(),
+		Coalesced:          s.coalesced.Value(),
+		Degradations:       s.degradations.Value(),
+		DiskHits:           s.disk.hits.Value(),
+		DiskMisses:         s.disk.misses.Value(),
+		DiskWrites:         s.disk.writes.Value(),
+		DiskEvictions:      s.disk.evictions.Value(),
+		DiskRecordsLoaded:  s.disk.loaded.Value(),
+		DiskCorruptRecords: s.disk.corrupt.Value(),
+		P50Millis:          s.hist.Quantile(0.50) * 1000,
+		P99Millis:          s.hist.Quantile(0.99) * 1000,
+		Stages:             summarize(s.stages),
+		Tiers:              summarize(s.tiers),
 	}
 }
 

@@ -294,7 +294,10 @@ func TestTracingDisabled(t *testing.T) {
 func TestPanicLogsActualStatus(t *testing.T) {
 	var buf strings.Builder
 	sw := &syncWriter{b: &buf}
-	s := New(Config{Workers: 1, Logger: obs.NewLogger(sw, obs.FormatKV)})
+	s, err := New(Config{Workers: 1, Logger: obs.NewLogger(sw, obs.FormatKV)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer s.Close()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {

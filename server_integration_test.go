@@ -166,6 +166,98 @@ func TestBscheddDaemon(t *testing.T) {
 	}
 }
 
+// TestBscheddWarmRestart is the ISSUE's acceptance check for the
+// persistent cache, against the real binary: compile under -cache-dir,
+// SIGTERM, restart on the same directory, and the previously compiled
+// program must come back as a hit — visible in the response (cached),
+// in /stats (disk_hits >= 1) and in the request's trace (a disk-hit
+// span event).
+func TestBscheddWarmRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	src, err := os.ReadFile("examples/ir/demo.ir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	cmd1, base1, exitc1 := startDaemon(t, "-cache-dir", dir)
+	if cold := postProgram(t, base1, string(src)); cold.Cached {
+		t.Error("first POST claims to be cached")
+	}
+	if err := cmd1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exitc1:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit within 10s of SIGTERM")
+	}
+
+	_, base2, _ := startDaemon(t, "-cache-dir", dir)
+	body, err := json.Marshal(map[string]any{"program": string(src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp, err := http.Post(base2+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted POST /v1/compile: %s\n%s", hresp.Status, raw)
+	}
+	var warm daemonResponse
+	if err := json.Unmarshal(raw, &warm); err != nil {
+		t.Fatalf("decode: %v\n%s", err, raw)
+	}
+	if !warm.Cached {
+		t.Error("restarted daemon recompiled instead of serving from the persistent cache")
+	}
+
+	sresp, err := http.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		DiskHits        int64 `json:"disk_hits"`
+		DiskWarmEntries int   `json:"disk_warm_entries"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&stats)
+	sresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DiskHits < 1 {
+		t.Errorf("stats disk_hits = %d, want >= 1", stats.DiskHits)
+	}
+	if stats.DiskWarmEntries < 1 {
+		t.Errorf("stats disk_warm_entries = %d, want >= 1", stats.DiskWarmEntries)
+	}
+
+	traceID := hresp.Header.Get("X-Trace-ID")
+	if traceID == "" {
+		t.Fatal("no X-Trace-ID on the disk-served response")
+	}
+	tresp, err := http.Get(base2 + "/v1/traces/" + traceID + "?format=tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: %s\n%s", tresp.Status, tree)
+	}
+	if !strings.Contains(string(tree), `"disk-hit"`) {
+		t.Errorf("trace %s has no disk-hit event:\n%s", traceID, tree)
+	}
+}
+
 // TestBscheddSmoke exercises the self-contained -smoke mode `make
 // serve-smoke` uses in CI.
 func TestBscheddSmoke(t *testing.T) {
