@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke doc-lint bench repro repro-quick examples vet fmt cover clean
+.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke chaos-smoke doc-lint bench bench-json repro repro-quick examples vet fmt cover clean
 
 all: build test
 
@@ -10,11 +10,13 @@ build:
 	$(GO) build ./...
 
 # The default test path runs go vet, the unit suites, the documentation
-# lint and the /metrics smoke check, so a vet, metric or doc regression
-# fails `make test` the same way a unit failure does.
+# lint, the /metrics smoke check and the chaos/overload smoke check, so
+# a vet, metric, doc or resilience regression fails `make test` the same
+# way a unit failure does.
 test: vet doc-lint
 	$(GO) test ./...
 	$(MAKE) metrics-smoke
+	$(MAKE) chaos-smoke
 
 race test-race:
 	$(GO) test -race ./...
@@ -38,6 +40,13 @@ serve-smoke:
 metrics-smoke:
 	$(GO) run ./cmd/bschedd -metrics-smoke examples/ir/demo.ir
 
+# Drive the overload-resilience machinery under injected disk faults:
+# the circuit breaker must trip and recover, tenant quotas must 429
+# with honest headers, and everything must show up in /stats and
+# /metrics. See docs/ROBUSTNESS.md, "Overload behavior".
+chaos-smoke:
+	$(GO) run ./cmd/bschedd -log-format none -chaos-smoke examples/ir/demo.ir
+
 # Documentation hygiene: source is gofmt-clean and the packages godoc
 # renders without error (a parse failure here means a malformed doc
 # comment). Vet runs as its own `make test` prerequisite.
@@ -49,6 +58,12 @@ doc-lint:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf baseline: run the serve-path and credit-pass
+# benchmarks programmatically and write BENCH_6.json (ns/op, allocs/op,
+# B/op per benchmark) so the perf trajectory can be diffed across PRs.
+bench-json:
+	$(GO) test -run '^TestBenchJSON$$' -bench-json BENCH_6.json .
 
 vet:
 	$(GO) vet ./...

@@ -8,11 +8,14 @@ package bsched
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"runtime"
 	"testing"
 
 	"bsched/internal/analytic"
@@ -141,17 +144,26 @@ func randomBlock(n int) *ir.Block {
 	return workload.Random(rng, workload.DefaultRandomParams(n))
 }
 
+// weightsBench returns the benchmark body for one credit-pass
+// configuration (the Fig. 6 weight analysis on an n-instruction random
+// block). Extracted so TestBenchJSON can run the same body through
+// testing.Benchmark, which does not support b.Run sub-benchmarks.
+func weightsBench(n int, opts core.Options) func(b *testing.B) {
+	blk := randomBlock(n)
+	g := deps.Build(blk, deps.BuildOptions{})
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.Weights(g, opts)
+		}
+	}
+}
+
 // BenchmarkBalancedWeights measures the Fig. 6 algorithm itself (the
 // O(n²·α(n)) analysis) at several block sizes.
 func BenchmarkBalancedWeights(b *testing.B) {
 	for _, n := range []int{32, 128, 512} {
-		blk := randomBlock(n)
-		g := deps.Build(blk, deps.BuildOptions{})
-		b.Run(sizeName(n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				core.Weights(g, core.Options{})
-			}
-		})
+		b.Run(sizeName(n), weightsBench(n, core.Options{}))
 	}
 }
 
@@ -159,14 +171,7 @@ func BenchmarkBalancedWeights(b *testing.B) {
 // variant for comparison (ablation A2's cost side).
 func BenchmarkBalancedWeightsUnionFind(b *testing.B) {
 	for _, n := range []int{32, 128, 512} {
-		blk := randomBlock(n)
-		g := deps.Build(blk, deps.BuildOptions{})
-		opts := core.Options{Chances: core.ChancesUnionFind}
-		b.Run(sizeName(n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				core.Weights(g, opts)
-			}
-		})
+		b.Run(sizeName(n), weightsBench(n, core.Options{Chances: core.ChancesUnionFind}))
 	}
 }
 
@@ -317,7 +322,11 @@ func BenchmarkOOO(b *testing.B) {
 // program every iteration so every request compiles; "hit" repeats one
 // program so every request after the first is served from cache.
 func BenchmarkServerCacheHitVsMiss(b *testing.B) {
-	const template = `func demo
+	b.Run("miss", serveMissBench)
+	b.Run("hit", serveHitBench)
+}
+
+const serveBenchTemplate = `func demo
 block body freq=100
   v0 = const %d
   v1 = load x[v0+0]
@@ -332,51 +341,125 @@ block body freq=100
   br v8, body
 end
 `
-	post := func(b *testing.B, url, program string) {
-		b.Helper()
-		body, err := json.Marshal(map[string]any{"program": program})
-		if err != nil {
-			b.Fatal(err)
-		}
-		resp, err := http.Post(url+"/v1/compile", "application/json", bytes.NewReader(body))
-		if err != nil {
-			b.Fatal(err)
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			b.Fatalf("status %s", resp.Status)
-		}
-	}
 
-	b.Run("miss", func(b *testing.B) {
-		// Large cache so eviction cost is not part of the measurement;
-		// every program is distinct, so every request is a cold compile.
-		srv, err := server.New(server.Config{CacheCapacity: 1 << 20})
-		if err != nil {
-			b.Fatal(err)
+func serveBenchPost(b *testing.B, url, program string) {
+	b.Helper()
+	body, err := json.Marshal(map[string]any{"program": program})
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %s", resp.Status)
+	}
+}
+
+// serveMissBench / serveHitBench are the serve-path benchmark bodies,
+// extracted (like weightsBench) so TestBenchJSON can run them under
+// testing.Benchmark.
+func serveMissBench(b *testing.B) {
+	// Large cache so eviction cost is not part of the measurement;
+	// every program is distinct, so every request is a cold compile.
+	srv, err := server.New(server.Config{CacheCapacity: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveBenchPost(b, ts.URL, fmt.Sprintf(serveBenchTemplate, i+1))
+	}
+}
+
+func serveHitBench(b *testing.B) {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	program := fmt.Sprintf(serveBenchTemplate, 8)
+	serveBenchPost(b, ts.URL, program) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveBenchPost(b, ts.URL, program)
+	}
+}
+
+// --- Machine-readable benchmark baseline ---------------------------------
+
+// benchJSONPath enables the `make bench-json` mode: when set,
+// TestBenchJSON runs the serve-path and credit-pass benchmarks under
+// testing.Benchmark and writes their ns/op, B/op and allocs/op to the
+// named JSON file (BENCH_6.json in CI), so performance can be diffed
+// across PRs without parsing go test's text output.
+var benchJSONPath = flag.String("bench-json", "", "write serve-path and credit-pass benchmark results to this JSON file")
+
+// benchJSONEntry is one benchmark's slice of the output file.
+type benchJSONEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// TestBenchJSON is a no-op without -bench-json (so `go test ./...`
+// never pays for it); with it, it benchmarks the serving hot path and
+// the credit (weight) pass and writes the machine-readable baseline.
+func TestBenchJSON(t *testing.T) {
+	if *benchJSONPath == "" {
+		t.Skip("enable with -bench-json <file> (make bench-json)")
+	}
+	cases := []struct {
+		name string
+		body func(b *testing.B)
+	}{
+		{"ServerCacheHitVsMiss/miss", serveMissBench},
+		{"ServerCacheHitVsMiss/hit", serveHitBench},
+		{"BalancedWeights/n32", weightsBench(32, core.Options{})},
+		{"BalancedWeights/n128", weightsBench(128, core.Options{})},
+		{"BalancedWeights/n512", weightsBench(512, core.Options{})},
+		{"BalancedWeightsUnionFind/n32", weightsBench(32, core.Options{Chances: core.ChancesUnionFind})},
+		{"BalancedWeightsUnionFind/n128", weightsBench(128, core.Options{Chances: core.ChancesUnionFind})},
+		{"BalancedWeightsUnionFind/n512", weightsBench(512, core.Options{Chances: core.ChancesUnionFind})},
+	}
+	out := struct {
+		GoVersion  string           `json:"go_version"`
+		Benchmarks []benchJSONEntry `json:"benchmarks"`
+	}{GoVersion: runtime.Version()}
+	for _, c := range cases {
+		r := testing.Benchmark(c.body)
+		if r.N == 0 {
+			t.Fatalf("%s: benchmark did not run", c.name)
 		}
-		defer srv.Close()
-		ts := httptest.NewServer(srv.Handler())
-		defer ts.Close()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			post(b, ts.URL, fmt.Sprintf(template, i+1))
+		e := benchJSONEntry{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
-	})
-	b.Run("hit", func(b *testing.B) {
-		srv, err := server.New(server.Config{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		defer srv.Close()
-		ts := httptest.NewServer(srv.Handler())
-		defer ts.Close()
-		program := fmt.Sprintf(template, 8)
-		post(b, ts.URL, program) // warm the cache
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			post(b, ts.URL, program)
-		}
-	})
+		t.Logf("%s: %d iters, %.0f ns/op, %d allocs/op, %d B/op",
+			e.Name, e.Iterations, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		out.Benchmarks = append(out.Benchmarks, e)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchJSONPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d benchmark entries to %s", len(out.Benchmarks), *benchJSONPath)
 }

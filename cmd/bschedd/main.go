@@ -10,9 +10,13 @@
 //	        [-cache-dir DIR] [-cache-max-bytes N]
 //	        [-timeout D] [-max-timeout D] [-max-bytes N]
 //	        [-traces N] [-trace-sample N]
+//	        [-interactive-weight N] [-codel-target D] [-codel-interval D]
+//	        [-tenant-rate R] [-tenant-burst B]
+//	        [-breaker-threshold N] [-breaker-cooldown D] [-chaos SPEC]
 //	        [-log-format kv|json|none] [-pprof]
 //	bschedd -smoke file.ir
 //	bschedd -metrics-smoke file.ir
+//	bschedd -chaos-smoke file.ir
 //
 // Endpoints:
 //
@@ -50,12 +54,26 @@
 // ephemeral port) and shuts down cleanly on SIGINT/SIGTERM: the listener
 // stops accepting, in-flight requests drain, then the worker pool stops.
 //
+// Overload resilience (docs/ROBUSTNESS.md, "Overload behavior"): the
+// request queue is two-priority (X-Priority: interactive|batch) with
+// weighted service, governed by a CoDel-style sojourn controller that
+// sheds newest arrivals with 503 + adaptive Retry-After before the
+// queue fills; -tenant-rate enables per-tenant token-bucket quotas
+// keyed by X-Tenant (429 + X-RateLimit-* headers); requests whose
+// deadline is below the tier's observed p99 compile estimate fail fast;
+// and a circuit breaker around the persistent cache degrades a sick
+// disk to memory-only serving. -chaos injects faults (slow-compile,
+// disk-error, latency-spike) for drills.
+//
 // With -smoke, bschedd instead starts itself on an ephemeral port, sends
 // one compile request for the given IR file through the full HTTP stack,
 // prints a summary and exits non-zero on any failure — a self-contained
 // round-trip check for CI (`make serve-smoke`). -metrics-smoke does the
 // same and then scrapes GET /metrics, asserting every cataloged metric
-// family is present (`make metrics-smoke`).
+// family is present (`make metrics-smoke`). -chaos-smoke drives the
+// overload machinery end to end under injected disk faults: the breaker
+// must trip and recover, quotas must 429, and the chaos hooks must fire
+// (`make chaos-smoke`).
 package main
 
 import (
@@ -75,6 +93,8 @@ import (
 	"syscall"
 	"time"
 
+	"bsched/internal/admission"
+	"bsched/internal/chaos"
 	"bsched/internal/cli"
 	"bsched/internal/obs"
 	"bsched/internal/server"
@@ -92,28 +112,52 @@ func main() {
 	maxBytes := flag.Int64("max-bytes", server.DefaultMaxRequestBytes, "maximum request body size")
 	traces := flag.Int("traces", obs.DefaultTraceCapacity, "retained request trace capacity (negative disables tracing)")
 	traceSample := flag.Int("trace-sample", obs.DefaultTraceSampleEvery, "keep 1 in N healthy fast traces (errors, degradations and the slow tail are always kept)")
+	interactiveWeight := flag.Int("interactive-weight", admission.DefaultInteractiveWeight, "interactive requests served per batch request when both priority classes are backlogged")
+	codelTarget := flag.Duration("codel-target", admission.DefaultCoDelTarget, "queue-sojourn target; sojourns persistently above it shed newest arrivals before the queue fills (negative disables)")
+	codelInterval := flag.Duration("codel-interval", admission.DefaultCoDelInterval, "how long sojourn must exceed -codel-target before shedding starts")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant sustained request rate in req/s, keyed by X-Tenant (0 disables quotas)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "per-tenant burst capacity in requests (0 = max(rate, 1))")
+	breakerThreshold := flag.Int("breaker-threshold", admission.DefaultBreakerThreshold, "consecutive disk I/O failures that trip the persistent-cache circuit breaker open")
+	breakerCooldown := flag.Duration("breaker-cooldown", admission.DefaultBreakerCooldown, "how long the tripped breaker waits before a half-open probe")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. 'disk-error:every=1,limit=6;slow-compile:p=0.1,delay=50ms' (names: slow-compile, disk-error, latency-spike; options: every, p, limit, delay)")
 	logFormat := flag.String("log-format", "kv", "structured request log format: kv, json or none")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	smoke := flag.String("smoke", "", "don't serve: round-trip one compile request for this IR file and exit")
 	metricsSmoke := flag.String("metrics-smoke", "", "don't serve: round-trip one compile for this IR file, scrape /metrics, verify the catalog, and exit")
+	chaosSmoke := flag.String("chaos-smoke", "", "don't serve: drive the admission/quota/breaker machinery for this IR file under injected disk faults and exit")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat)
 	if err != nil {
 		fatal(err)
 	}
+	inj, err := chaos.Parse(*chaosSpec)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := server.Config{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		CacheCapacity:    *cache,
-		CacheDir:         *cacheDir,
-		CacheMaxBytes:    *cacheMaxBytes,
-		MaxRequestBytes:  *maxBytes,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		Logger:           logger,
-		TraceCapacity:    *traces,
-		TraceSampleEvery: *traceSample,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheCapacity:     *cache,
+		CacheDir:          *cacheDir,
+		CacheMaxBytes:     *cacheMaxBytes,
+		MaxRequestBytes:   *maxBytes,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		Logger:            logger,
+		TraceCapacity:     *traces,
+		TraceSampleEvery:  *traceSample,
+		InteractiveWeight: *interactiveWeight,
+		CoDelTarget:       *codelTarget,
+		CoDelInterval:     *codelInterval,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
+		Chaos:             inj,
+	}
+	if inj != nil {
+		fmt.Printf("bschedd: chaos injection active: %s\n", inj)
 	}
 
 	switch {
@@ -123,6 +167,10 @@ func main() {
 		}
 	case *metricsSmoke != "":
 		if err := runSmoke(cfg, *metricsSmoke, true); err != nil {
+			fatal(err)
+		}
+	case *chaosSmoke != "":
+		if err := runChaosSmoke(cfg, *chaosSmoke); err != nil {
 			fatal(err)
 		}
 	default:
@@ -321,6 +369,177 @@ func checkTrace(base, traceID string) error {
 	return nil
 }
 
+// runChaosSmoke drives the overload-resilience machinery end to end
+// with fault injection wired in: disk I/O faults must trip the
+// persistent-cache circuit breaker and the daemon must recover once the
+// faults stop; a hot tenant must draw 429 + quota headers while other
+// tenants compile undisturbed; and every behavior must be visible in
+// /stats and /metrics. The `make chaos-smoke` CI check.
+func runChaosSmoke(cfg server.Config, path string) error {
+	src, err := cli.ReadInput(path)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "bschedd-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// Six injected write faults against a threshold of 3: the breaker
+	// must trip, burn through the remaining faults via failed half-open
+	// probes, then recover when a probe finally reaches the healthy disk.
+	inj, err := chaos.Parse("disk-error:every=1,limit=6;slow-compile:every=4,delay=2ms")
+	if err != nil {
+		return err
+	}
+	cfg.CacheDir = dir
+	cfg.CacheMaxBytes = 0
+	cfg.Chaos = inj
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = 50 * time.Millisecond
+	cfg.TenantRate = 1
+	cfg.TenantBurst = 2
+	svc, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	post := func(tenant string, regs int) (int, http.Header, error) {
+		req := server.CompileRequest{Program: src}
+		if regs > 0 {
+			req.Options = server.RequestOptions{Regs: regs, SpillPool: 6}
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		hreq, err := http.NewRequest(http.MethodPost, base+"/v1/compile", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, resp.Header, nil
+	}
+
+	// Quota: burst 2 at 1 req/s means the hot tenant's third immediate
+	// request must be refused with the full 429 contract.
+	var got429 bool
+	for i := 0; i < 3; i++ {
+		code, hdr, err := post("hog", 0)
+		if err != nil {
+			return err
+		}
+		if code == http.StatusTooManyRequests {
+			got429 = true
+			if hdr.Get("Retry-After") == "" {
+				return errors.New("chaos smoke: 429 without Retry-After")
+			}
+			if hdr.Get("X-RateLimit-Remaining") != "0" {
+				return fmt.Errorf("chaos smoke: 429 X-RateLimit-Remaining = %q, want 0", hdr.Get("X-RateLimit-Remaining"))
+			}
+		}
+	}
+	if !got429 {
+		return errors.New("chaos smoke: hot tenant was never refused with 429")
+	}
+
+	// Breaker: keep feeding distinct compilations (each a disk write)
+	// until the injected faults have tripped the breaker and been
+	// exhausted, and a half-open probe has closed it again.
+	type statsView struct {
+		BreakerState string `json:"breaker_state"`
+		BreakerTrips int64  `json:"breaker_trips"`
+		DiskIOErrors int64  `json:"disk_io_errors"`
+		DiskWrites   int64  `json:"disk_writes"`
+		RetryAfterS  int    `json:"retry_after_s"`
+	}
+	fetchStats := func() (statsView, error) {
+		var sv statsView
+		resp, err := http.Get(base + "/stats")
+		if err != nil {
+			return sv, err
+		}
+		defer resp.Body.Close()
+		return sv, json.NewDecoder(resp.Body).Decode(&sv)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var sv statsView
+	for i := 0; ; i++ {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos smoke: breaker never recovered (state %s, trips %d, io errors %d, %d/6 faults fired)",
+				sv.BreakerState, sv.BreakerTrips, sv.DiskIOErrors, inj.Fired(chaos.DiskError))
+		}
+		// One fresh tenant and one fresh register-file size per probe:
+		// distinct cache keys keep the disk writes flowing without
+		// tripping the quota.
+		code, _, err := post(fmt.Sprintf("ci-%d", i), 16+i%64)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("chaos smoke: compile under disk faults returned %d, want 200 (memory-only degradation)", code)
+		}
+		if sv, err = fetchStats(); err != nil {
+			return err
+		}
+		if sv.BreakerTrips >= 1 && sv.BreakerState == "closed" && inj.Fired(chaos.DiskError) >= 6 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sv.DiskIOErrors < 3 {
+		return fmt.Errorf("chaos smoke: only %d disk I/O errors recorded, want >= 3", sv.DiskIOErrors)
+	}
+	if sv.RetryAfterS < 1 {
+		return fmt.Errorf("chaos smoke: /stats retry_after_s = %d, want >= 1", sv.RetryAfterS)
+	}
+	if inj.Fired(chaos.SlowCompile) == 0 {
+		return errors.New("chaos smoke: slow-compile fault never fired")
+	}
+
+	// The whole episode must be visible in /metrics.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`bschedd_breaker_events_total{event="trip"}`,
+		`bschedd_breaker_events_total{event="recover"}`,
+		`bschedd_admission_total{outcome="quota"}`,
+		`bschedd_tenant_rejected_total{tenant="hog"}`,
+		"bschedd_diskcache_io_errors_total",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("chaos smoke: /metrics missing %s", want)
+		}
+	}
+	fmt.Printf("bschedd: chaos smoke ok — breaker tripped %d time(s) and recovered, %d disk faults injected, quota 429 honored\n",
+		sv.BreakerTrips, inj.Fired(chaos.DiskError))
+	return nil
+}
+
 // requiredMetrics is the CI contract with docs/OBSERVABILITY.md: every
 // family the catalog documents must appear in a scrape.
 var requiredMetrics = []string{
@@ -341,6 +560,15 @@ var requiredMetrics = []string{
 	"bschedd_diskcache_entries",
 	"bschedd_diskcache_bytes",
 	"bschedd_diskcache_warm_entries",
+	"bschedd_diskcache_io_errors_total",
+	"bschedd_admission_total",
+	"bschedd_queue_requests_total",
+	"bschedd_tenant_requests_total",
+	"bschedd_tenant_rejected_total",
+	"bschedd_breaker_events_total",
+	"bschedd_breaker_state",
+	"bschedd_retry_after_seconds",
+	"bschedd_quota_tenants",
 	"bschedd_uptime_seconds",
 	"bschedd_traces_retained",
 	"bschedd_build_info",

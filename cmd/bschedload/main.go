@@ -1,0 +1,104 @@
+// Command bschedload is an open-loop, Zipf-shaped load generator for a
+// running bschedd daemon. It exists to answer one question honestly:
+// what does the server do when offered MORE work than it can serve?
+// A closed-loop client (send, wait, send) can never ask that — it
+// self-throttles to the server's pace — so bschedload schedules
+// arrivals on a fixed clock and lets the responses land when they land.
+//
+// Usage:
+//
+//	bschedload -url http://127.0.0.1:8080 -rate 200 -duration 10s \
+//	    -batch-fraction 0.5 -tenants 8 prog1.ir prog2.ir ...
+//
+// Each positional argument is a textual-IR program file; selection
+// across them is Zipf(s=-zipf) with the FIRST file hottest, so order
+// your arguments hot-to-cold. The summary is printed as JSON: per
+// priority class sent/ok/shed(503)/quota(429)/errored, client-side
+// drops, the largest Retry-After observed, and achieved throughput.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"bsched/internal/loadgen"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8080", "base URL of the bschedd server")
+		rate      = flag.Float64("rate", 100, "open-loop arrival rate, requests/second")
+		duration  = flag.Duration("duration", 10*time.Second, "arrival phase length")
+		conc      = flag.Int("concurrency", loadgen.DefaultConcurrency, "max in-flight requests before client-side drops")
+		zipfS     = flag.Float64("zipf", loadgen.DefaultZipfS, "Zipf skew s (>1) across the program files")
+		batchFrac = flag.Float64("batch-fraction", 0, "fraction of requests sent with X-Priority: batch")
+		tenants   = flag.Int("tenants", 0, "number of distinct X-Tenant values to rotate (0 = no header)")
+		timeoutMS = flag.Int64("timeout-ms", loadgen.DefaultTimeoutMS, "per-request timeout_ms field")
+		seed      = flag.Int64("seed", 1, "RNG seed for the arrival mix")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "bschedload: at least one program file required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var programs []string
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bschedload: %v\n", err)
+			os.Exit(1)
+		}
+		programs = append(programs, string(src))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:       *url,
+		Rate:          *rate,
+		Duration:      *duration,
+		Concurrency:   *conc,
+		Programs:      programs,
+		ZipfS:         *zipfS,
+		BatchFraction: *batchFrac,
+		Tenants:       *tenants,
+		TimeoutMillis: *timeoutMS,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bschedload: %v\n", err)
+		os.Exit(1)
+	}
+
+	tot := res.Total()
+	out := struct {
+		*loadgen.Result
+		Total         loadgen.ClassResult `json:"total"`
+		AchievedRate  float64             `json:"achieved_rate_rps"`
+		GoodputRate   float64             `json:"goodput_rps"`
+		OfferedRate   float64             `json:"offered_rate_rps"`
+		ShedFraction  float64             `json:"shed_fraction"`
+		QuotaFraction float64             `json:"quota_fraction"`
+	}{Result: res, Total: tot, OfferedRate: *rate}
+	if res.ElapsedSeconds > 0 {
+		out.AchievedRate = float64(tot.Sent) / res.ElapsedSeconds
+		out.GoodputRate = float64(tot.OK) / res.ElapsedSeconds
+	}
+	if tot.Sent > 0 {
+		out.ShedFraction = float64(tot.Shed) / float64(tot.Sent)
+		out.QuotaFraction = float64(tot.Quota) / float64(tot.Sent)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "bschedload: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,157 @@
+package admission
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+)
+
+// Quota defaults.
+const (
+	// DefaultMaxTenants bounds how many tenant buckets are tracked at
+	// once; past it the least-recently-seen tenant's bucket is evicted
+	// (a returning evicted tenant starts with a full bucket — the bound
+	// protects memory, not fairness at the margin).
+	DefaultMaxTenants = 4096
+	// DefaultTenant is the bucket anonymous traffic (no X-Tenant header)
+	// draws from.
+	DefaultTenant = "default"
+)
+
+// QuotaConfig sizes the per-tenant token buckets.
+type QuotaConfig struct {
+	// Rate is each tenant's sustained request rate in tokens/second.
+	// Zero or negative disables quotas entirely (every Allow succeeds).
+	Rate float64
+	// Burst is the bucket capacity — how far a tenant can briefly exceed
+	// Rate. Zero means max(Rate, 1).
+	Burst float64
+	// MaxTenants bounds the tracked-tenant map. Zero means
+	// DefaultMaxTenants.
+	MaxTenants int
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// Decision is the outcome of one quota check, carrying everything the
+// HTTP layer needs for the 429 response and the quota headers.
+type Decision struct {
+	// OK is whether the request is admitted (one token was spent).
+	OK bool
+	// Remaining is the tenant's whole tokens left after this decision.
+	Remaining int
+	// Limit echoes the bucket capacity (the X-RateLimit-Limit header).
+	Limit int
+	// RetryAfter is how long until the tenant's next token exists; zero
+	// when OK.
+	RetryAfter time.Duration
+}
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tenant string
+	tokens float64
+	last   time.Time
+}
+
+// Quota is the per-tenant token-bucket table: each tenant refills at
+// Rate up to Burst, independently, so one hot tenant exhausts only its
+// own bucket. The table is LRU-bounded. Safe for concurrent use;
+// nil-safe (a nil Quota admits everything).
+type Quota struct {
+	rate, burst float64
+	maxTenants  int
+	now         func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*list.Element
+	ll *list.List // front = most recently seen; values are *bucket
+}
+
+// NewQuota builds the quota table, or returns nil when cfg.Rate
+// disables quotas (nil is the "no quotas" object: Allow always admits).
+func NewQuota(cfg QuotaConfig) *Quota {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(cfg.Rate, 1)
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = DefaultMaxTenants
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Quota{
+		rate:       cfg.Rate,
+		burst:      cfg.Burst,
+		maxTenants: cfg.MaxTenants,
+		now:        cfg.Now,
+		m:          make(map[string]*list.Element),
+		ll:         list.New(),
+	}
+}
+
+// Allow spends one token from tenant's bucket if it has one, refilling
+// by elapsed time first. A denied decision carries the wait until the
+// next token.
+func (q *Quota) Allow(tenant string) Decision {
+	if q == nil {
+		return Decision{OK: true, Remaining: -1}
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var b *bucket
+	if el, ok := q.m[tenant]; ok {
+		q.ll.MoveToFront(el)
+		b = el.Value.(*bucket)
+	} else {
+		b = &bucket{tenant: tenant, tokens: q.burst, last: now}
+		q.m[tenant] = q.ll.PushFront(b)
+		for q.ll.Len() > q.maxTenants {
+			oldest := q.ll.Back()
+			q.ll.Remove(oldest)
+			delete(q.m, oldest.Value.(*bucket).tenant)
+		}
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+dt*q.rate)
+	}
+	b.last = now
+	d := Decision{Limit: int(q.burst)}
+	if b.tokens >= 1 {
+		b.tokens--
+		d.OK = true
+		d.Remaining = int(b.tokens)
+		return d
+	}
+	d.Remaining = 0
+	d.RetryAfter = time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	if d.RetryAfter <= 0 {
+		d.RetryAfter = time.Second
+	}
+	return d
+}
+
+// Tenants reports how many tenant buckets are currently tracked.
+func (q *Quota) Tenants() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.ll.Len()
+}
+
+// RetryAfterSeconds rounds a Decision's wait up to whole seconds for
+// the Retry-After header, floored at 1.
+func (d Decision) RetryAfterSeconds() int {
+	s := int(math.Ceil(d.RetryAfter.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseEmpty(t *testing.T) {
+	inj, err := Parse("")
+	if err != nil || inj != nil {
+		t.Fatalf("Parse(\"\") = %v, %v; want nil, nil", inj, err)
+	}
+	// The nil injector is fully usable.
+	if err := inj.Err(DiskError); err != nil {
+		t.Fatalf("nil.Err = %v", err)
+	}
+	inj.Delay(SlowCompile)
+	if got := inj.Fired(DiskError); got != 0 {
+		t.Fatalf("nil.Fired = %d", got)
+	}
+	if got := inj.String(); got != "off" {
+		t.Fatalf("nil.String = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"disk-eror",                     // typo'd name
+		"disk-error:every=0",            // every < 1
+		"disk-error:p=1.5",              // p out of range
+		"disk-error:limit=-1",           // negative limit
+		"disk-error:delay=banana",       // unparseable duration
+		"disk-error:nope=1",             // unknown option
+		"disk-error:every",              // not key=val
+		"disk-error:every=2,p=0.5",      // mutually exclusive
+		"disk-error;disk-error:every=2", // duplicate fault
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestEveryAndLimit(t *testing.T) {
+	inj, err := Parse("disk-error:every=2,limit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 20; i++ {
+		if errors.Is(inj.Err(DiskError), ErrInjected) {
+			fired++
+		}
+	}
+	// every=2 fires on hits 2, 4, 6; limit=3 stops it there.
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+	if got := inj.Fired(DiskError); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+	// Unconfigured hooks stay silent.
+	if err := inj.Err(SlowCompile); err != nil {
+		t.Fatalf("unconfigured Err = %v", err)
+	}
+}
+
+func TestBareNameFiresAlways(t *testing.T) {
+	inj, err := Parse("disk-error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if inj.Err(DiskError) == nil {
+			t.Fatalf("hit %d: bare fault did not fire", i)
+		}
+	}
+}
+
+func TestProbabilisticDeterministicUnderSeed(t *testing.T) {
+	run := func() int {
+		inj, err := parseSeeded("disk-error:p=0.5", 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := 0; i < 1000; i++ {
+			if inj.Err(DiskError) != nil {
+				n++
+			}
+		}
+		return n
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a < 400 || a > 600 {
+		t.Fatalf("p=0.5 fired %d/1000, want ~500", a)
+	}
+}
+
+func TestDelayFault(t *testing.T) {
+	inj, err := Parse("slow-compile:every=2,delay=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	inj.sleep = func(d time.Duration) { slept = append(slept, d) }
+	inj.Delay(SlowCompile) // hit 1: no fire
+	inj.Delay(SlowCompile) // hit 2: fire
+	inj.Delay(SlowCompile) // hit 3: no fire
+	inj.Delay(SlowCompile) // hit 4: fire
+	if len(slept) != 2 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("slept = %v, want two 50ms sleeps", slept)
+	}
+}
+
+func TestMultiFaultSpec(t *testing.T) {
+	inj, err := Parse("disk-error:every=1,limit=2; slow-compile:every=1,delay=1ms; latency-spike:every=3,delay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.sleep = func(time.Duration) {}
+	if got := inj.String(); got != "disk-error,latency-spike,slow-compile" {
+		t.Fatalf("String = %q", got)
+	}
+	inj.Err(DiskError)
+	inj.Err(DiskError)
+	inj.Err(DiskError) // capped by limit
+	inj.Delay(SlowCompile)
+	inj.Delay(LatencySpike)
+	inj.Delay(LatencySpike)
+	inj.Delay(LatencySpike)
+	if d, s, l := inj.Fired(DiskError), inj.Fired(SlowCompile), inj.Fired(LatencySpike); d != 2 || s != 1 || l != 1 {
+		t.Fatalf("Fired = disk:%d slow:%d spike:%d, want 2,1,1", d, s, l)
+	}
+}
+
+func TestConcurrentFiring(t *testing.T) {
+	inj, err := Parse("disk-error:every=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				inj.Err(DiskError)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := inj.Fired(DiskError); got != 2000 {
+		t.Fatalf("Fired = %d, want 2000 (every=2 over 4000 hits)", got)
+	}
+}

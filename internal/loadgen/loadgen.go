@@ -1,0 +1,307 @@
+// Package loadgen is an open-loop HTTP load generator for bschedd's
+// POST /v1/compile endpoint, used by cmd/bschedload and the overload
+// e2e tests.
+//
+// The generator is deliberately open loop: arrivals are driven by a
+// ticker at the configured rate regardless of how fast the server
+// responds, which is the arrival process that actually produces
+// overload (a closed loop self-throttles and can never push a server
+// past its capacity). Program selection follows a Zipf distribution —
+// a small number of hot programs and a long cold tail — which is the
+// shape that exercises both the result cache (hot keys coalesce and
+// hit) and the admission queue (cold keys each cost a real compile).
+//
+// The package intentionally does not import internal/server: it
+// constructs the request JSON itself, so it can be linked into a
+// standalone binary without dragging in the daemon, and so the e2e
+// tests in internal/server can use it without an import cycle.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for the knobs a caller is most likely to leave unset.
+const (
+	DefaultZipfS       = 1.1 // the issue's α for the overload scenario
+	DefaultConcurrency = 256
+	DefaultTimeoutMS   = 5000
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080"; the
+	// generator appends /v1/compile.
+	BaseURL string
+	// Rate is the open-loop arrival rate in requests per second.
+	Rate float64
+	// Duration bounds the arrival phase; in-flight requests are still
+	// awaited after it elapses.
+	Duration time.Duration
+	// Concurrency caps the number of in-flight requests. An arrival
+	// that finds every slot busy is dropped client-side and counted in
+	// Result.Dropped — under a true overload the server, not the
+	// client, should be the thing shedding, so a nonzero Dropped means
+	// the cap is too low for the offered rate.
+	Concurrency int
+	// Programs are the textual IR bodies to choose between; selection
+	// is Zipf-distributed with index 0 hottest. At least one program
+	// is required.
+	Programs []string
+	// ZipfS is the Zipf skew parameter s (>1); 0 means DefaultZipfS.
+	ZipfS float64
+	// BatchFraction in [0,1] is the fraction of arrivals sent with
+	// X-Priority: batch; the rest are interactive.
+	BatchFraction float64
+	// Tenants is the number of distinct X-Tenant values to rotate
+	// through (uniformly); 0 sends no tenant header at all.
+	Tenants int
+	// TimeoutMillis is the per-request timeout_ms field; 0 means
+	// DefaultTimeoutMS.
+	TimeoutMillis int64
+	// Seed seeds the arrival-side randomness so runs are reproducible.
+	Seed int64
+	// Client overrides the HTTP client (tests); nil uses a dedicated
+	// client with a per-request timeout slightly above TimeoutMillis.
+	Client *http.Client
+}
+
+// ClassResult is the per-priority slice of a Result.
+type ClassResult struct {
+	Sent    int64 `json:"sent"`
+	OK      int64 `json:"ok"`      // 200
+	Shed    int64 `json:"shed"`    // 503 (queue full, CoDel, infeasible deadline)
+	Quota   int64 `json:"quota"`   // 429 (tenant over rate)
+	Errored int64 `json:"errored"` // transport errors and every other status
+}
+
+// Result summarizes a run.
+type Result struct {
+	Interactive ClassResult `json:"interactive"`
+	Batch       ClassResult `json:"batch"`
+	// Dropped counts arrivals abandoned client-side because every
+	// concurrency slot was busy (see Config.Concurrency).
+	Dropped int64 `json:"dropped"`
+	// MaxRetryAfter is the largest Retry-After (seconds) observed on
+	// any 429/503 response.
+	MaxRetryAfter int64 `json:"max_retry_after_s"`
+	// Elapsed is the wall-clock span from first arrival to last
+	// response.
+	Elapsed time.Duration `json:"-"`
+	// ElapsedSeconds mirrors Elapsed for JSON output.
+	ElapsedSeconds float64 `json:"elapsed_s"`
+}
+
+// Total returns the aggregate across both priority classes.
+func (r *Result) Total() ClassResult {
+	return ClassResult{
+		Sent:    r.Interactive.Sent + r.Batch.Sent,
+		OK:      r.Interactive.OK + r.Batch.OK,
+		Shed:    r.Interactive.Shed + r.Batch.Shed,
+		Quota:   r.Interactive.Quota + r.Batch.Quota,
+		Errored: r.Interactive.Errored + r.Batch.Errored,
+	}
+}
+
+// arrival is one scheduled request, fully decided on the arrival
+// goroutine so the workers never touch the (unsynchronized) RNG.
+type arrival struct {
+	program string
+	batch   bool
+	tenant  string
+}
+
+// counters holds the atomic tallies a run accumulates into.
+type counters struct {
+	inter, batch struct {
+		sent, ok, shed, quota, errored atomic.Int64
+	}
+	dropped       atomic.Int64
+	maxRetryAfter atomic.Int64
+}
+
+// Run drives one load run and blocks until every in-flight request has
+// completed (or ctx is cancelled, which abandons the remainder).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if len(cfg.Programs) == 0 {
+		return nil, fmt.Errorf("loadgen: no programs configured")
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate %g must be positive", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration %v must be positive", cfg.Duration)
+	}
+	if cfg.BatchFraction < 0 || cfg.BatchFraction > 1 {
+		return nil, fmt.Errorf("loadgen: batch fraction %g out of [0,1]", cfg.BatchFraction)
+	}
+	s := cfg.ZipfS
+	if s == 0 {
+		s = DefaultZipfS
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("loadgen: zipf s %g must be > 1", s)
+	}
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = DefaultConcurrency
+	}
+	timeoutMS := cfg.TimeoutMillis
+	if timeoutMS <= 0 {
+		timeoutMS = DefaultTimeoutMS
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: time.Duration(timeoutMS)*time.Millisecond + 2*time.Second}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if len(cfg.Programs) > 1 {
+		zipf = rand.NewZipf(rng, s, 1, uint64(len(cfg.Programs)-1))
+	}
+	pick := func() arrival {
+		var a arrival
+		idx := 0
+		if zipf != nil {
+			idx = int(zipf.Uint64())
+		}
+		a.program = cfg.Programs[idx]
+		a.batch = rng.Float64() < cfg.BatchFraction
+		if cfg.Tenants > 0 {
+			a.tenant = "t" + strconv.Itoa(rng.Intn(cfg.Tenants))
+		}
+		return a
+	}
+
+	var (
+		cnt   counters
+		wg    sync.WaitGroup
+		slots = make(chan struct{}, conc)
+	)
+	url := cfg.BaseURL + "/v1/compile"
+	start := time.Now()
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(cfg.Duration)
+
+arrivals:
+	for {
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case <-deadline:
+			break arrivals
+		case <-ticker.C:
+			a := pick()
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-slots }()
+					fire(ctx, client, url, a, timeoutMS, &cnt)
+				}()
+			default:
+				cnt.dropped.Add(1)
+			}
+		}
+	}
+	wg.Wait()
+
+	res := &Result{
+		Interactive: ClassResult{
+			Sent: cnt.inter.sent.Load(), OK: cnt.inter.ok.Load(),
+			Shed: cnt.inter.shed.Load(), Quota: cnt.inter.quota.Load(),
+			Errored: cnt.inter.errored.Load(),
+		},
+		Batch: ClassResult{
+			Sent: cnt.batch.sent.Load(), OK: cnt.batch.ok.Load(),
+			Shed: cnt.batch.shed.Load(), Quota: cnt.batch.quota.Load(),
+			Errored: cnt.batch.errored.Load(),
+		},
+		Dropped:       cnt.dropped.Load(),
+		MaxRetryAfter: cnt.maxRetryAfter.Load(),
+		Elapsed:       time.Since(start),
+	}
+	res.ElapsedSeconds = res.Elapsed.Seconds()
+	return res, nil
+}
+
+// fire sends one request and files the outcome into cnt.
+func fire(ctx context.Context, client *http.Client, url string, a arrival, timeoutMS int64, cnt *counters) {
+	c := &cnt.inter
+	if a.batch {
+		c = &cnt.batch
+	}
+	c.sent.Add(1)
+
+	body, err := json.Marshal(map[string]any{
+		"program":    a.program,
+		"timeout_ms": timeoutMS,
+	})
+	if err != nil {
+		c.errored.Add(1)
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		c.errored.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if a.batch {
+		req.Header.Set("X-Priority", "batch")
+	} else {
+		req.Header.Set("X-Priority", "interactive")
+	}
+	if a.tenant != "" {
+		req.Header.Set("X-Tenant", a.tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		c.errored.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		c.ok.Add(1)
+	case http.StatusServiceUnavailable:
+		c.shed.Add(1)
+		noteRetryAfter(resp, cnt)
+	case http.StatusTooManyRequests:
+		c.quota.Add(1)
+		noteRetryAfter(resp, cnt)
+	default:
+		c.errored.Add(1)
+	}
+}
+
+// noteRetryAfter folds a response's Retry-After header into the
+// running maximum.
+func noteRetryAfter(resp *http.Response, cnt *counters) {
+	v, err := strconv.ParseInt(resp.Header.Get("Retry-After"), 10, 64)
+	if err != nil || v <= 0 {
+		return
+	}
+	for {
+		cur := cnt.maxRetryAfter.Load()
+		if v <= cur || cnt.maxRetryAfter.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 
+	"bsched/internal/admission"
+	"bsched/internal/chaos"
 	"bsched/internal/obs"
 )
 
@@ -25,7 +27,24 @@ type diskMetrics struct {
 	evictions *obs.Counter // cold record dropped at compaction
 	loaded    *obs.Counter // valid records indexed during startup replay
 	corrupt   *obs.Counter // torn or corrupt records skipped, never served
+	ioErrors  *obs.Counter // I/O-layer read/append failures (feeds the breaker)
+	rejects   *obs.Counter // disk operations skipped while the breaker was open
 }
+
+// breakerReject counts one skipped disk operation; nil-safe for tests
+// that build a bare diskMetrics.
+func (m *diskMetrics) breakerReject() {
+	if m.rejects != nil {
+		m.rejects.Inc()
+	}
+}
+
+// errDiskIO marks a failure at the I/O layer — the disk itself
+// misbehaving — as opposed to corrupt data on a healthy disk. Only
+// I/O failures feed the circuit breaker: corrupt records are a data
+// problem handled by dropping the record, not a reason to stop
+// trusting the device.
+var errDiskIO = errors.New("diskcache: i/o error")
 
 const (
 	// DefaultCacheMaxBytes bounds the persistent cache on disk when
@@ -78,6 +97,12 @@ type diskCache struct {
 	maxBytes    int64
 	segMaxBytes int64
 	met         *diskMetrics
+	// brk is the disk circuit breaker: repeated I/O failures trip it
+	// open and reads/appends are skipped (the daemon degrades to
+	// memory-only) until a half-open probe succeeds. chaos injects
+	// synthetic I/O errors under test. Both may be nil.
+	brk *admission.Breaker
+	inj *chaos.Injector
 
 	mu         sync.Mutex
 	index      map[Key]*list.Element
@@ -101,7 +126,7 @@ type diskCache struct {
 // segment into the index, and starts the write-behind flusher. Corrupt
 // data is never an error — damaged records are counted and skipped —
 // but an unusable directory is.
-func openDiskCache(dir string, maxBytes int64, met *diskMetrics) (*diskCache, error) {
+func openDiskCache(dir string, maxBytes int64, met *diskMetrics, brk *admission.Breaker, inj *chaos.Injector) (*diskCache, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultCacheMaxBytes
 	}
@@ -120,6 +145,8 @@ func openDiskCache(dir string, maxBytes int64, met *diskMetrics) (*diskCache, er
 		maxBytes:    maxBytes,
 		segMaxBytes: segMax,
 		met:         met,
+		brk:         brk,
+		inj:         inj,
 		index:       make(map[Key]*list.Element),
 		ll:          list.New(),
 		writes:      make(chan diskWrite, diskWriteQueue),
@@ -230,9 +257,13 @@ func (d *diskCache) dropLocked(el *list.Element) {
 	d.liveBytes -= it.size
 }
 
-// get serves one record from disk: locate, read, checksum, decode.
-// Any failure counts the record corrupt, drops it from the index and
-// reports a miss — damaged bytes are never served.
+// get serves one record from disk: locate, read, checksum, decode. A
+// corrupt record is counted, dropped from the index and reported as a
+// miss — damaged bytes are never served. An I/O failure reports a miss
+// too, but keeps the index entry (the record may be fine once the disk
+// recovers) and feeds the circuit breaker; while the breaker is open
+// the read is skipped entirely, so a sick disk costs a counter bump
+// instead of a stalled compile leader.
 func (d *diskCache) get(k Key) (*CompileResponse, bool) {
 	if d == nil {
 		return nil, false
@@ -244,8 +275,20 @@ func (d *diskCache) get(k Key) (*CompileResponse, bool) {
 		d.met.misses.Inc()
 		return nil, false
 	}
+	if !d.brk.Allow() {
+		d.met.breakerReject()
+		d.met.misses.Inc()
+		return nil, false
+	}
 	it := el.Value.(*diskItem)
 	raw, err := d.readRawLocked(it)
+	if errors.Is(err, errDiskIO) {
+		d.met.ioErrors.Inc()
+		d.brk.Failure()
+		d.met.misses.Inc()
+		return nil, false
+	}
+	d.brk.Success()
 	if err == nil {
 		var resp CompileResponse
 		_, payload, _, _ := decodeRecord(raw) // readRawLocked validated it
@@ -262,16 +305,22 @@ func (d *diskCache) get(k Key) (*CompileResponse, bool) {
 	return nil, false
 }
 
-// readRawLocked reads and validates one record's bytes from its segment.
+// readRawLocked reads and validates one record's bytes from its
+// segment. Failures at the file layer (open, read — including injected
+// chaos faults) come back wrapped in errDiskIO; validation failures on
+// successfully read bytes do not.
 func (d *diskCache) readRawLocked(it *diskItem) ([]byte, error) {
+	if err := d.inj.Err(chaos.DiskError); err != nil {
+		return nil, fmt.Errorf("%w: %v", errDiskIO, err)
+	}
 	f, err := os.Open(filepath.Join(d.dir, it.seg))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", errDiskIO, err)
 	}
 	defer f.Close()
 	buf := make([]byte, it.size)
 	if _, err := f.ReadAt(buf, it.off); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", errDiskIO, err)
 	}
 	k, _, _, err := decodeRecord(buf)
 	if err != nil {
@@ -333,8 +382,15 @@ func (d *diskCache) flush(batch []diskWrite) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, w := range batch {
-		d.appendLocked(w.key, appendRecord(nil, w.key, w.payload))
-		d.met.writes.Inc()
+		if !d.brk.Allow() {
+			// Breaker open: drop the write instead of poking the sick disk.
+			// This is a cache — the entry is still served from memory.
+			d.met.breakerReject()
+			continue
+		}
+		if d.appendLocked(w.key, appendRecord(nil, w.key, w.payload)) {
+			d.met.writes.Inc()
+		}
 	}
 	if d.totalBytes > d.maxBytes {
 		d.compactLocked()
@@ -342,14 +398,23 @@ func (d *diskCache) flush(batch []diskWrite) {
 }
 
 // appendLocked writes one encoded record to the active segment and
-// indexes it. A short or failed write abandons the segment (its torn
-// tail is exactly what replay knows how to skip) and starts a fresh
-// one; the record itself is dropped rather than indexed as garbage.
-func (d *diskCache) appendLocked(k Key, rec []byte) {
+// indexes it, reporting whether the record landed. A short or failed
+// write abandons the segment (its torn tail is exactly what replay
+// knows how to skip) and starts a fresh one; the record itself is
+// dropped rather than indexed as garbage. Write failures — real or
+// chaos-injected — feed the circuit breaker.
+func (d *diskCache) appendLocked(k Key, rec []byte) bool {
+	if err := d.inj.Err(chaos.DiskError); err != nil {
+		// Injected write fault: account it like a failed Write, but keep
+		// the segment — the bytes on disk are untouched.
+		d.met.ioErrors.Inc()
+		d.brk.Failure()
+		return false
+	}
 	if d.active == nil || d.activeSize >= d.segMaxBytes {
 		d.rotateLocked()
 		if d.active == nil {
-			return
+			return false
 		}
 	}
 	off := d.activeSize
@@ -357,10 +422,14 @@ func (d *diskCache) appendLocked(k Key, rec []byte) {
 	d.activeSize += int64(n)
 	d.totalBytes += int64(n)
 	if err != nil || n != len(rec) {
+		d.met.ioErrors.Inc()
+		d.brk.Failure()
 		d.rotateLocked()
-		return
+		return false
 	}
+	d.brk.Success()
 	d.indexLocked(&diskItem{key: k, seg: d.activeName, off: off, size: int64(len(rec))})
+	return true
 }
 
 // rotateLocked closes the active segment and opens the next one.
@@ -419,7 +488,12 @@ func (d *diskCache) compactLocked() {
 	for _, it := range items {
 		raw, err := d.readRawLocked(it)
 		if err != nil {
-			d.met.corrupt.Inc()
+			if errors.Is(err, errDiskIO) {
+				d.met.ioErrors.Inc()
+				d.brk.Failure()
+			} else {
+				d.met.corrupt.Inc()
+			}
 			continue
 		}
 		d.appendLocked(it.key, raw)

@@ -24,7 +24,7 @@ import (
 func openTestDiskCache(t *testing.T, dir string, maxBytes int64) (*diskCache, *Stats) {
 	t.Helper()
 	st := newStats()
-	d, err := openDiskCache(dir, maxBytes, st.disk)
+	d, err := openDiskCache(dir, maxBytes, st.disk, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

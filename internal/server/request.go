@@ -64,6 +64,11 @@ type CompileRequest struct {
 	// to reuse a faster one's schedule, and a result the deadline
 	// degraded is served to its own requester but never cached.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Priority is the admission class: "interactive" (default) or
+	// "batch". The X-Priority header, when present, wins over this
+	// field. Like the deadline it is not part of the cache key — only
+	// the queueing differs, never the schedule.
+	Priority string `json:"priority,omitempty"`
 }
 
 // RequestOptions is the JSON mirror of the schedule-relevant subset of

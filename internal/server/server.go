@@ -47,9 +47,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"bsched/internal/admission"
+	"bsched/internal/chaos"
 	"bsched/internal/compile"
 	"bsched/internal/ir"
 	"bsched/internal/obs"
@@ -102,6 +105,33 @@ type Config struct {
 	// TraceSampleEvery keeps 1 in N healthy fast traces. Zero means
 	// obs.DefaultTraceSampleEvery.
 	TraceSampleEvery int
+	// InteractiveWeight is the interactive:batch service ratio when both
+	// priority classes are backlogged (batch is guaranteed 1/(weight+1)
+	// of the service rate, so it never starves). Zero means
+	// admission.DefaultInteractiveWeight.
+	InteractiveWeight int
+	// CoDelTarget / CoDelInterval tune the admission queue's sojourn
+	// controller: sojourns above target for a full interval start
+	// shedding newest arrivals before the queue fills. Zeros mean the
+	// admission defaults; a negative target disables sojourn shedding
+	// (the hard depth bound remains).
+	CoDelTarget   time.Duration
+	CoDelInterval time.Duration
+	// TenantRate / TenantBurst size the per-tenant token buckets keyed
+	// by the X-Tenant header. TenantRate is tokens (requests) per second;
+	// zero disables quotas entirely. TenantBurst zero means
+	// max(TenantRate, 1).
+	TenantRate  float64
+	TenantBurst float64
+	// BreakerThreshold / BreakerCooldown tune the disk-cache circuit
+	// breaker (consecutive I/O failures to trip; time open before a
+	// half-open probe). Zeros mean the admission defaults.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Chaos, when non-nil, is the fault-injection seam (-chaos flag):
+	// slow-compile and latency-spike delays plus disk-error faults for
+	// exercising the breaker. Nil in production.
+	Chaos *chaos.Injector
 }
 
 // Defaults for Config's zero fields.
@@ -150,11 +180,14 @@ func (c Config) withDefaults() Config {
 }
 
 // Sentinel failures an entry can complete with, plus the per-request
-// deadline expiry (which never fails a shared entry).
+// deadline expiry (which never fails a shared entry). Queue rejections
+// surface as admission.ErrShed / admission.ErrFull; errBusy is the
+// generic queue-rejection failure coalesced waiters observe.
 var (
-	errBusy     = errors.New("compilation queue full")
-	errShutdown = errors.New("server shutting down")
-	errDeadline = errors.New("request deadline exceeded awaiting compilation")
+	errBusy       = errors.New("compilation queue full")
+	errShutdown   = errors.New("server shutting down")
+	errDeadline   = errors.New("request deadline exceeded awaiting compilation")
+	errInfeasible = errors.New("deadline below the current compile-time estimate for this tier")
 )
 
 // job is one queued compilation: the leader request's parsed program and
@@ -169,6 +202,11 @@ type job struct {
 	// feeds the queue-wait stage timing.
 	tier     string
 	enqueued time.Time
+	// priority is the admission class the job queued under; instrs is
+	// the parsed program's instruction count, which feeds the per-tier
+	// cost estimator after the compile.
+	priority admission.Priority
+	instrs   int
 	// tr is the leader request's trace and queueSpan its open
 	// queue-wait span; the worker closes the span at pickup and hangs
 	// the compile (and per-block stage) spans off the same trace. Both
@@ -180,14 +218,21 @@ type job struct {
 // Server is the compilation service. Create with New, serve via
 // Handler, stop with Close.
 type Server struct {
-	cfg    Config
-	queue  chan *job
-	cache  *cache
-	disk   *diskCache // nil without Config.CacheDir
-	stats  *Stats
-	log    *obs.Logger
-	tracer *obs.Tracer // nil when Config.TraceCapacity < 0
-	start  time.Time
+	cfg Config
+	// adm replaced the old single bounded FIFO channel: a two-priority
+	// weighted queue with CoDel-style sojourn shedding and a drain-rate
+	// estimate that makes every Retry-After honest.
+	adm     *admission.Queue[*job]
+	quota   *admission.Quota   // nil when Config.TenantRate == 0
+	breaker *admission.Breaker // disk-cache circuit breaker
+	est     *compile.CostEstimator
+	chaos   *chaos.Injector // nil without -chaos
+	cache   *cache
+	disk    *diskCache // nil without Config.CacheDir
+	stats   *Stats
+	log     *obs.Logger
+	tracer  *obs.Tracer // nil when Config.TraceCapacity < 0
+	start   time.Time
 	// blockPar is the per-job block parallelism: GOMAXPROCS split across
 	// the worker pool, so a saturated pool runs ~one block compilation
 	// per CPU instead of Workers × GOMAXPROCS goroutines.
@@ -215,8 +260,19 @@ func New(cfg Config) (*Server, error) {
 		blockPar = 1
 	}
 	s := &Server{
-		cfg:       cfg,
-		queue:     make(chan *job, cfg.QueueDepth),
+		cfg: cfg,
+		adm: admission.NewQueue[*job](admission.Config{
+			Depth:             cfg.QueueDepth,
+			InteractiveWeight: cfg.InteractiveWeight,
+			CoDelTarget:       cfg.CoDelTarget,
+			CoDelInterval:     cfg.CoDelInterval,
+		}),
+		quota: admission.NewQuota(admission.QuotaConfig{
+			Rate:  cfg.TenantRate,
+			Burst: cfg.TenantBurst,
+		}),
+		est:       compile.NewCostEstimator(),
+		chaos:     cfg.Chaos,
 		cache:     newCache(cfg.CacheCapacity, cfg.CacheShards),
 		stats:     newStats(),
 		log:       cfg.Logger,
@@ -226,8 +282,22 @@ func New(cfg Config) (*Server, error) {
 		cancel:    cancel,
 		compileFn: compile.Run,
 	}
+	s.breaker = admission.NewBreaker(admission.BreakerConfig{
+		Threshold: cfg.BreakerThreshold,
+		Cooldown:  cfg.BreakerCooldown,
+		OnTransition: func(from, to admission.BreakerState) {
+			switch {
+			case to == admission.BreakerOpen:
+				s.stats.breakerTrip.Inc()
+			case to == admission.BreakerHalfOpen:
+				s.stats.breakerProbe.Inc()
+			case to == admission.BreakerClosed && from == admission.BreakerHalfOpen:
+				s.stats.breakerClose.Inc()
+			}
+		},
+	})
 	if cfg.CacheDir != "" {
-		d, err := openDiskCache(cfg.CacheDir, cfg.CacheMaxBytes, s.stats.disk)
+		d, err := openDiskCache(cfg.CacheDir, cfg.CacheMaxBytes, s.stats.disk, s.breaker, s.chaos)
 		if err != nil {
 			cancel()
 			return nil, err
@@ -241,11 +311,20 @@ func New(cfg Config) (*Server, error) {
 	// the server owns, so they can never drift from the truth.
 	reg := s.stats.reg
 	reg.Gauge("bschedd_queue_depth",
-		"Accepted-but-unstarted compilations currently waiting in the bounded queue.",
-		func() float64 { return float64(len(s.queue)) })
+		"Accepted-but-unstarted compilations currently waiting, summed across both priority classes.",
+		func() float64 { return float64(s.adm.Len()) })
 	reg.Gauge("bschedd_queue_capacity",
-		"Capacity of the bounded compilation queue (-queue).",
-		func() float64 { return float64(cap(s.queue)) })
+		"Capacity of the admission queue: per-class depth (-queue) times the two priority classes.",
+		func() float64 { return float64(s.adm.Capacity()) })
+	reg.Gauge("bschedd_retry_after_seconds",
+		"The adaptive Retry-After a 503 rejection would carry right now, from the admission queue's drain-rate estimate.",
+		func() float64 { return float64(s.adm.RetryAfterSeconds()) })
+	reg.Gauge("bschedd_breaker_state",
+		"Disk-cache circuit-breaker position: 0 closed, 1 open, 2 half-open.",
+		func() float64 { return float64(s.breaker.State()) })
+	reg.Gauge("bschedd_quota_tenants",
+		"Tenant token buckets currently tracked; 0 with quotas disabled (-tenant-rate 0).",
+		func() float64 { return float64(s.quota.Tenants()) })
 	reg.Gauge("bschedd_workers",
 		"Size of the compilation worker pool (-workers).",
 		func() float64 { return float64(cfg.Workers) })
@@ -284,29 +363,29 @@ func (s *Server) Close() {
 	s.once.Do(func() {
 		s.cancel()
 		s.wg.Wait()
+		s.adm.Close()
 		for {
-			select {
-			case j := <-s.queue:
-				s.cache.remove(j.key, j.e)
-				j.e.complete(nil, errShutdown)
-			default:
-				s.disk.close()
-				return
+			j, _, ok := s.adm.TryPop()
+			if !ok {
+				break
 			}
+			s.cache.remove(j.key, j.e)
+			j.e.complete(nil, errShutdown)
 		}
+		s.disk.close()
 	})
 }
 
-// worker drains the queue until shutdown.
+// worker drains the admission queue until shutdown, taking jobs in
+// weighted-priority order.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.ctx.Done():
+		j, _, ok := s.adm.Pop(s.ctx)
+		if !ok {
 			return
-		case j := <-s.queue:
-			s.runJob(j)
 		}
+		s.runJob(j)
 	}
 }
 
@@ -334,11 +413,18 @@ func (s *Server) runJob(j *job) {
 			}
 		}
 	}
+	s.chaos.Delay(chaos.SlowCompile)
 	compileStart := time.Now()
 	res, err := s.compileFn(ctx, j.prog, opts)
 	elapsed := time.Since(compileStart)
 	s.stats.stages.With(stageCompile).ObserveDuration(elapsed)
 	s.stats.tiers.With(j.tier).ObserveDuration(elapsed)
+	if err == nil {
+		// Feed the per-tier cost model that deadline-aware admission
+		// compares deadlines against. Failed compiles are excluded: their
+		// elapsed time measures the failure, not the tier's cost.
+		s.est.Observe(j.tier, j.instrs, elapsed)
+	}
 	if err != nil {
 		compileSpan.EndErr(err)
 		s.cache.remove(j.key, j.e)
@@ -526,8 +612,15 @@ func (s *Server) diskServe(key Key, e *entry, r *http.Request, tr *obs.Trace) (*
 // Stats returns a point-in-time snapshot of the service counters.
 func (s *Server) Stats() Snapshot {
 	snap := s.stats.snapshot()
-	snap.QueueDepth = len(s.queue)
-	snap.QueueCapacity = cap(s.queue)
+	q := s.adm.Snapshot()
+	snap.QueueDepth = q.Interactive + q.Batch
+	snap.QueueCapacity = s.adm.Capacity()
+	snap.QueueInteractive = q.Interactive
+	snap.QueueBatch = q.Batch
+	snap.RetryAfterSeconds = q.RetryAfterSeconds
+	snap.BreakerState = s.breaker.State().String()
+	snap.BreakerTrips = s.breaker.Trips()
+	snap.QuotaTenants = s.quota.Tenants()
 	snap.Workers = s.cfg.Workers
 	snap.CacheEntries = s.cache.len()
 	snap.TracesRetained = s.tracer.Store().Len()
@@ -566,8 +659,40 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, &ErrorResponse{Error: "POST only"})
 		return
 	}
+	s.chaos.Delay(chaos.LatencySpike)
 	started := time.Now()
 	tr := obs.TraceFrom(r.Context())
+
+	// Tenant quota, before the body is even read: a tenant over its
+	// bucket costs the daemon a header lookup and a counter bump, not a
+	// megabyte of JSON decoding.
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = admission.DefaultTenant
+	}
+	tc := s.stats.tenant(tenant)
+	tc.requests.Inc()
+	note(r, "tenant", tenant)
+	if d := s.quota.Allow(tenant); !d.OK {
+		tc.rejected.Inc()
+		s.stats.quotaRejected.Inc()
+		s.stats.rejected.Add(1)
+		tr.Root().Event("429-quota")
+		retry := d.RetryAfterSeconds()
+		h := w.Header()
+		h.Set("X-RateLimit-Limit", strconv.Itoa(d.Limit))
+		h.Set("X-RateLimit-Remaining", strconv.Itoa(d.Remaining))
+		h.Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, &ErrorResponse{
+			Error:             fmt.Sprintf("tenant %q over quota (%d req/s sustained)", tenant, int(s.cfg.TenantRate)),
+			RetryAfterSeconds: retry,
+		})
+		return
+	} else if d.Remaining >= 0 {
+		h := w.Header()
+		h.Set("X-RateLimit-Limit", strconv.Itoa(d.Limit))
+		h.Set("X-RateLimit-Remaining", strconv.Itoa(d.Remaining))
+	}
 
 	var req CompileRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
@@ -585,6 +710,19 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.stats.clientErrors.Add(1)
 		writeError(w, http.StatusBadRequest, &ErrorResponse{Error: fmt.Sprintf("options: %v", err), Stage: "options"})
+		return
+	}
+	// Priority class: X-Priority header first, body field as fallback.
+	// Deliberately not part of the cache key — the schedule is identical
+	// either way; only the queueing differs.
+	prioTag := r.Header.Get("X-Priority")
+	if prioTag == "" {
+		prioTag = req.Priority
+	}
+	prio, err := admission.ParsePriority(prioTag)
+	if err != nil {
+		s.stats.clientErrors.Add(1)
+		writeError(w, http.StatusBadRequest, &ErrorResponse{Error: fmt.Sprintf("priority: %v", err)})
 		return
 	}
 	parseSpan := tr.StartSpan(nil, "parse")
@@ -613,10 +751,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	e, leader := s.cache.lookup(key)
 	s.stats.stages.With(stageLookup).ObserveDuration(time.Since(lookupStart))
 	lookupSpan.End()
-	note(r, "fingerprint", fmt.Sprintf("%016x", key.Prog), "tier", tier)
+	note(r, "fingerprint", fmt.Sprintf("%016x", key.Prog), "tier", tier, "priority", prio.String())
 	root := tr.Root()
 	root.SetAttr("fingerprint", fmt.Sprintf("%016x", key.Prog))
 	root.SetAttr("tier", tier)
+	root.SetAttr("priority", prio.String())
 	coalesced := false
 	switch {
 	case leader:
@@ -632,23 +771,47 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.stats.cacheMisses.Add(1)
 		note(r, "cache", "miss")
 		root.Event("cache-miss")
-		j := &job{prog: prog, opts: opts, timeout: deadline, key: key, e: e,
-			tier: tier, enqueued: time.Now(),
-			tr: tr, queueSpan: tr.StartSpan(nil, "queue-wait")}
-		select {
-		case s.queue <- j:
-		default:
-			// Backpressure: the pool is saturated and the queue is at
-			// capacity. Reject instead of queueing unboundedly, and fail
-			// the entry so coalesced requests that raced in behind us
-			// reject too instead of hanging.
-			j.queueSpan.EndErr(errBusy)
-			root.Event("503-backpressure")
+		instrs := countInstrs(prog)
+		// Deadline-aware admission: when the tier's observed p99 compile
+		// estimate already exceeds the request's remaining deadline,
+		// queueing it would only burn a worker on a result nobody waits
+		// for. Fail fast instead. The estimator reports zero (no opinion)
+		// until it has enough samples, so cold tiers always admit.
+		if est := s.est.Estimate(tier, instrs); est > 0 && est > deadline-time.Since(started) {
+			s.stats.infeasible.Inc()
+			root.Event("503-infeasible")
+			root.SetAttr("estimate_ms", fmt.Sprint(est.Milliseconds()))
 			s.cache.remove(key, e)
-			e.complete(nil, errBusy)
-			s.respondError(w, errBusy)
+			e.complete(nil, errInfeasible)
+			s.respondError(w, errInfeasible)
 			return
 		}
+		j := &job{prog: prog, opts: opts, timeout: deadline, key: key, e: e,
+			tier: tier, enqueued: time.Now(), priority: prio, instrs: instrs,
+			tr: tr, queueSpan: tr.StartSpan(nil, "queue-wait")}
+		if err := s.adm.Push(prio, j); err != nil {
+			// Rejected at admission: CoDel shedding (the queue has room but
+			// accepted work is already waiting past target) or the hard
+			// depth bound. Either way, fail the entry so coalesced requests
+			// that raced in behind us reject too instead of hanging — and
+			// record the queue-wait span *and* histogram for the shed
+			// request, so shedding is visible in traces and /stats rather
+			// than only in requests that eventually ran.
+			s.stats.stages.With(stageQueue).ObserveDuration(time.Since(j.enqueued))
+			j.queueSpan.EndErr(err)
+			if errors.Is(err, admission.ErrShed) {
+				s.stats.shedSojourn.Inc()
+				root.Event("503-shed")
+			} else {
+				s.stats.shedFull.Inc()
+				root.Event("503-backpressure")
+			}
+			s.cache.remove(key, e)
+			e.complete(nil, errBusy)
+			s.respondError(w, err)
+			return
+		}
+		s.stats.queueReqs.With(prio.String()).Inc()
 	case e.completed():
 		s.stats.cacheHits.Add(1)
 		note(r, "cache", "hit")
@@ -719,13 +882,27 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, resp *CompileRe
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// respondError maps a failure to a status code and error body.
+// countInstrs sizes a program for the cost estimator.
+func countInstrs(p *ir.Program) int {
+	n := 0
+	for _, b := range p.Blocks() {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// respondError maps a failure to a status code and error body. Every
+// 503 carries an adaptive Retry-After from the admission queue's
+// drain-rate estimate — backlog × observed per-item drain interval,
+// clamped — instead of a constant.
 func (s *Server) respondError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, errBusy), errors.Is(err, errShutdown), errors.Is(err, errDeadline):
+	case errors.Is(err, errBusy), errors.Is(err, errShutdown), errors.Is(err, errDeadline),
+		errors.Is(err, errInfeasible), errors.Is(err, admission.ErrShed), errors.Is(err, admission.ErrFull):
 		s.stats.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, &ErrorResponse{Error: err.Error(), RetryAfterSeconds: 1})
+		retry := s.adm.RetryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusServiceUnavailable, &ErrorResponse{Error: err.Error(), RetryAfterSeconds: retry})
 	default:
 		s.stats.compileErrors.Add(1)
 		resp := &ErrorResponse{Error: err.Error()}

@@ -3,6 +3,7 @@ package server
 import (
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"time"
 
 	"bsched/internal/obs"
@@ -43,6 +44,68 @@ type Stats struct {
 	hist          *obs.Histogram
 	stages        *obs.HistogramVec
 	tiers         *obs.HistogramVec
+
+	// Admission-control instruments (the overload-resilience PR).
+	shedSojourn   *obs.Counter    // bschedd_admission_total{outcome="shed_sojourn"}
+	shedFull      *obs.Counter    // bschedd_admission_total{outcome="shed_full"}
+	quotaRejected *obs.Counter    // bschedd_admission_total{outcome="quota"}
+	infeasible    *obs.Counter    // bschedd_admission_total{outcome="deadline_infeasible"}
+	queueReqs     *obs.CounterVec // bschedd_queue_requests_total{priority}
+	breakerTrip   *obs.Counter    // bschedd_breaker_events_total{event="trip"}
+	breakerProbe  *obs.Counter    // bschedd_breaker_events_total{event="probe"}
+	breakerClose  *obs.Counter    // bschedd_breaker_events_total{event="recover"}
+	breakerReject *obs.Counter    // bschedd_breaker_events_total{event="reject"}
+
+	// Per-tenant counters, label-bounded: the first maxTenantLabels
+	// distinct tenants get their own label value; the rest aggregate
+	// under "_other" so a tenant-id cardinality attack cannot balloon
+	// /metrics. The tenants map mirrors the vec children so /stats can
+	// enumerate them (CounterVec has no iterator).
+	tenantReqs     *obs.CounterVec // bschedd_tenant_requests_total{tenant}
+	tenantRejects  *obs.CounterVec // bschedd_tenant_rejected_total{tenant}
+	tenantMu       sync.Mutex
+	tenantCounters map[string]*tenantCounters
+}
+
+// maxTenantLabels bounds per-tenant metric cardinality.
+const maxTenantLabels = 64
+
+// tenantOverflow aggregates tenants past the label bound.
+const tenantOverflow = "_other"
+
+// tenantCounters is one tenant's pair of counters, cached so the hot
+// path is a map read plus an atomic add.
+type tenantCounters struct {
+	requests, rejected *obs.Counter
+}
+
+// tenant returns the (possibly overflow-aggregated) counters for a
+// tenant, creating them on first sight.
+func (s *Stats) tenant(name string) *tenantCounters {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if tc, ok := s.tenantCounters[name]; ok {
+		return tc
+	}
+	label := name
+	if len(s.tenantCounters) >= maxTenantLabels {
+		label = tenantOverflow
+	}
+	tc := &tenantCounters{
+		requests: s.tenantReqs.With(label),
+		rejected: s.tenantRejects.With(label),
+	}
+	if label == tenantOverflow {
+		// Don't grow the map per overflow tenant — that would defeat the
+		// bound; every overflow name shares the one "_other" entry.
+		if shared, ok := s.tenantCounters[tenantOverflow]; ok {
+			return shared
+		}
+		s.tenantCounters[tenantOverflow] = tc
+		return tc
+	}
+	s.tenantCounters[name] = tc
+	return tc
 }
 
 // newStats builds the registry and registers every request-driven
@@ -69,7 +132,16 @@ func newStats() *Stats {
 			"Valid records indexed from persistent-cache segments during startup replay."),
 		corrupt: reg.Counter("bschedd_diskcache_corrupt_records_total",
 			"Torn or corrupt persistent-cache records skipped (at replay, on read, or at compaction) instead of being served."),
+		ioErrors: reg.Counter("bschedd_diskcache_io_errors_total",
+			"Persistent-cache read/append failures at the I/O layer (as opposed to corrupt data) — the signal that trips the disk circuit breaker."),
 	}
+	adm := reg.CounterVec("bschedd_admission_total",
+		"Requests refused by admission control: shed_sojourn (CoDel sojourn over target), shed_full (bounded queue at capacity), quota (tenant over its token bucket) or deadline_infeasible (remaining deadline below the tier's p99 compile estimate).",
+		"outcome")
+	breaker := reg.CounterVec("bschedd_breaker_events_total",
+		"Disk-cache circuit-breaker events: trip (opened), probe (half-open probe admitted), recover (probe succeeded, closed again) or reject (disk I/O skipped while open).",
+		"event")
+	disk.rejects = breaker.With("reject")
 	return &Stats{
 		reg: reg,
 		requests: reg.Counter("bschedd_requests_total",
@@ -92,6 +164,24 @@ func newStats() *Stats {
 		tiers: reg.HistogramVec("bschedd_compile_duration_seconds",
 			"Worker-side compilation time by work-budget tier (small, default, large, unlimited).",
 			nil, "tier"),
+		shedSojourn:   adm.With("shed_sojourn"),
+		shedFull:      adm.With("shed_full"),
+		quotaRejected: adm.With("quota"),
+		infeasible:    adm.With("deadline_infeasible"),
+		queueReqs: reg.CounterVec("bschedd_queue_requests_total",
+			"Compilations enqueued by priority class (interactive, batch).",
+			"priority"),
+		breakerTrip:   breaker.With("trip"),
+		breakerProbe:  breaker.With("probe"),
+		breakerClose:  breaker.With("recover"),
+		breakerReject: breaker.With("reject"),
+		tenantReqs: reg.CounterVec("bschedd_tenant_requests_total",
+			"POST /v1/compile requests by tenant (X-Tenant header; \"default\" for anonymous traffic, \"_other\" past the label-cardinality bound).",
+			"tenant"),
+		tenantRejects: reg.CounterVec("bschedd_tenant_rejected_total",
+			"Requests refused with 429 because the tenant's token bucket was empty.",
+			"tenant"),
+		tenantCounters: make(map[string]*tenantCounters),
 	}
 }
 
@@ -192,6 +282,52 @@ type Snapshot struct {
 	// is disabled.
 	LastTraceID    string `json:"last_trace_id,omitempty"`
 	TracesRetained int    `json:"traces_retained,omitempty"`
+	// Admission-control counters (see docs/ROBUSTNESS.md, "Overload
+	// behavior"): ShedSojourn/ShedFull are 503s from the CoDel controller
+	// and the hard queue bound; QuotaRejected are 429s; DeadlineRejected
+	// are fail-fast 503s for requests whose remaining deadline was below
+	// the tier's p99 compile estimate.
+	ShedSojourn      int64 `json:"shed_sojourn"`
+	ShedFull         int64 `json:"shed_full"`
+	QuotaRejected    int64 `json:"quota_rejected"`
+	DeadlineRejected int64 `json:"deadline_rejected"`
+	// QueueInteractive/QueueBatch are the per-class backlogs behind
+	// QueueDepth (their sum); RetryAfterSeconds is the adaptive estimate
+	// a 503 would carry right now.
+	QueueInteractive  int `json:"queue_interactive"`
+	QueueBatch        int `json:"queue_batch"`
+	RetryAfterSeconds int `json:"retry_after_s"`
+	// Disk circuit breaker: state is "closed", "open" or "half-open";
+	// trips counts lifetime openings; DiskIOErrors counts the I/O
+	// failures that feed it.
+	BreakerState string `json:"breaker_state"`
+	BreakerTrips int64  `json:"breaker_trips"`
+	DiskIOErrors int64  `json:"disk_io_errors"`
+	// QuotaTenants is how many tenant token buckets are tracked; Tenants
+	// is the per-tenant request/rejection breakdown (label-bounded, so
+	// heavy cardinality aggregates under "_other").
+	QuotaTenants int                      `json:"quota_tenants"`
+	Tenants      map[string]TenantSummary `json:"tenants,omitempty"`
+}
+
+// TenantSummary is one tenant's slice of the Snapshot.
+type TenantSummary struct {
+	Requests int64 `json:"requests"`
+	Rejected int64 `json:"rejected"`
+}
+
+// tenantSummaries snapshots the per-tenant counters for /stats.
+func (s *Stats) tenantSummaries() map[string]TenantSummary {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if len(s.tenantCounters) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantSummary, len(s.tenantCounters))
+	for name, tc := range s.tenantCounters {
+		out[name] = TenantSummary{Requests: tc.requests.Value(), Rejected: tc.rejected.Value()}
+	}
+	return out
 }
 
 // snapshot copies the counters and summarizes the histograms;
@@ -219,6 +355,12 @@ func (s *Stats) snapshot() Snapshot {
 		DiskEvictions:      s.disk.evictions.Value(),
 		DiskRecordsLoaded:  s.disk.loaded.Value(),
 		DiskCorruptRecords: s.disk.corrupt.Value(),
+		DiskIOErrors:       s.disk.ioErrors.Value(),
+		ShedSojourn:        s.shedSojourn.Value(),
+		ShedFull:           s.shedFull.Value(),
+		QuotaRejected:      s.quotaRejected.Value(),
+		DeadlineRejected:   s.infeasible.Value(),
+		Tenants:            s.tenantSummaries(),
 		P50Millis:          s.hist.Quantile(0.50) * 1000,
 		P99Millis:          s.hist.Quantile(0.99) * 1000,
 		Stages:             summarize(s.stages),
