@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke chaos-smoke doc-lint bench bench-json repro repro-quick examples vet fmt cover clean
+.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke chaos-smoke cluster-smoke doc-lint bench bench-json repro repro-quick examples vet fmt cover clean
 
 all: build test
 
@@ -10,13 +10,14 @@ build:
 	$(GO) build ./...
 
 # The default test path runs go vet, the unit suites, the documentation
-# lint, the /metrics smoke check and the chaos/overload smoke check, so
-# a vet, metric, doc or resilience regression fails `make test` the same
-# way a unit failure does.
+# lint, the /metrics smoke check, the chaos/overload smoke check and the
+# multi-node cluster smoke check, so a vet, metric, doc, resilience or
+# fleet regression fails `make test` the same way a unit failure does.
 test: vet doc-lint
 	$(GO) test ./...
 	$(MAKE) metrics-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) cluster-smoke
 
 race test-race:
 	$(GO) test -race ./...
@@ -27,7 +28,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseCompile -fuzztime=$(FUZZTIME) ./internal/compile
 	$(GO) test -run='^$$' -fuzz=FuzzMemlatSpec -fuzztime=$(FUZZTIME) ./internal/memlat
-	$(GO) test -run='^$$' -fuzz=FuzzDiskCacheCodec -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzDiskCacheCodec -fuzztime=$(FUZZTIME) ./internal/engine
 
 # Build the bschedd compilation daemon and round-trip one request
 # through the full HTTP stack (plus a cache-hit check); exits non-zero
@@ -47,23 +48,30 @@ metrics-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/bschedd -log-format none -chaos-smoke examples/ir/demo.ir
 
+# Bring up an in-process 3-node fleet wired as mutual peers and spray a
+# Zipf-skewed request stream round-robin across it: every request must
+# succeed, peer probes must land hits, and no probe may error. See
+# docs/CLUSTER.md.
+cluster-smoke:
+	$(GO) run ./cmd/bschedd -log-format none -cluster-smoke examples/ir/demo.ir
+
 # Documentation hygiene: source is gofmt-clean and the packages godoc
 # renders without error (a parse failure here means a malformed doc
 # comment). Vet runs as its own `make test` prerequisite.
 doc-lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
-	@for pkg in ./internal/obs ./internal/server ./internal/compile; do \
+	@for pkg in ./internal/obs ./internal/server ./internal/engine ./internal/cluster ./internal/compile; do \
 		$(GO) doc $$pkg >/dev/null || exit 1; done
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable perf baseline: run the serve-path and credit-pass
-# benchmarks programmatically and write BENCH_6.json (ns/op, allocs/op,
+# benchmarks programmatically and write BENCH_7.json (ns/op, allocs/op,
 # B/op per benchmark) so the perf trajectory can be diffed across PRs.
 bench-json:
-	$(GO) test -run '^TestBenchJSON$$' -bench-json BENCH_6.json .
+	$(GO) test -run '^TestBenchJSON$$' -bench-json BENCH_7.json .
 
 vet:
 	$(GO) vet ./...

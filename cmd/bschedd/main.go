@@ -13,15 +13,19 @@
 //	        [-interactive-weight N] [-codel-target D] [-codel-interval D]
 //	        [-tenant-rate R] [-tenant-burst B]
 //	        [-breaker-threshold N] [-breaker-cooldown D] [-chaos SPEC]
+//	        [-peers URL,URL,...] [-node-id URL] [-ring-replicas N]
 //	        [-log-format kv|json|none] [-pprof]
 //	bschedd -smoke file.ir
 //	bschedd -metrics-smoke file.ir
 //	bschedd -chaos-smoke file.ir
+//	bschedd -cluster-smoke file.ir
 //
 // Endpoints:
 //
 //	POST /v1/compile      compile a program (JSON body, see docs/SERVER.md)
-//	GET  /healthz         liveness probe
+//	GET  /v1/peer/lookup/{key}  peer-cache read (fleet protocol, docs/CLUSTER.md)
+//	PUT  /v1/peer/offer/{key}   peer-cache write-behind fill (fleet protocol)
+//	GET  /healthz         liveness probe (degraded field under fleet/disk trouble)
 //	GET  /stats           service counters and latency breakdowns (JSON)
 //	GET  /metrics         Prometheus text exposition (docs/OBSERVABILITY.md)
 //	GET  /v1/traces       index of retained request traces (JSON)
@@ -65,6 +69,17 @@
 // disk to memory-only serving. -chaos injects faults (slow-compile,
 // disk-error, latency-spike) for drills.
 //
+// Multi-node fleet (docs/CLUSTER.md): -peers joins this daemon to a
+// consistent-hash fleet over cache keys. -node-id is this node's
+// advertised base URL (its ring identity; peers must list exactly this
+// string), -ring-replicas the virtual-node count. On a local miss for a
+// key another node owns, the daemon probes the owner under a strict
+// budget before compiling; after compiling a foreign-owned key it
+// offers the result to the owner, write-behind. A dead peer costs a
+// failed probe and a breaker trip, never a client error; with no
+// -peers the daemon is a standalone node and behaves exactly as
+// before.
+//
 // With -smoke, bschedd instead starts itself on an ephemeral port, sends
 // one compile request for the given IR file through the full HTTP stack,
 // prints a summary and exits non-zero on any failure — a self-contained
@@ -73,7 +88,10 @@
 // family is present (`make metrics-smoke`). -chaos-smoke drives the
 // overload machinery end to end under injected disk faults: the breaker
 // must trip and recover, quotas must 429, and the chaos hooks must fire
-// (`make chaos-smoke`).
+// (`make chaos-smoke`). -cluster-smoke spins up a 3-node in-process
+// fleet on ephemeral ports, sprays a Zipf-skewed request stream
+// round-robin across it, and asserts the peer protocol carried traffic
+// (probe hits > 0) with zero failed requests (`make cluster-smoke`).
 package main
 
 import (
@@ -84,6 +102,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -120,11 +139,16 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", admission.DefaultBreakerThreshold, "consecutive disk I/O failures that trip the persistent-cache circuit breaker open")
 	breakerCooldown := flag.Duration("breaker-cooldown", admission.DefaultBreakerCooldown, "how long the tripped breaker waits before a half-open probe")
 	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. 'disk-error:every=1,limit=6;slow-compile:p=0.1,delay=50ms' (names: slow-compile, disk-error, latency-spike; options: every, p, limit, delay)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs; joins this daemon to a consistent-hash fleet (empty = standalone)")
+	nodeID := flag.String("node-id", "", "this node's advertised base URL — its identity on the ring; required with -peers and must match what the peers list")
+	ringReplicas := flag.Int("ring-replicas", 0, "virtual nodes per real node on the consistent-hash ring (0 = the cluster default)")
+	peerProbeTimeout := flag.Duration("peer-probe-timeout", 0, "budget for one peer-cache lookup before falling back to a local compile (0 = the cluster default)")
 	logFormat := flag.String("log-format", "kv", "structured request log format: kv, json or none")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	smoke := flag.String("smoke", "", "don't serve: round-trip one compile request for this IR file and exit")
 	metricsSmoke := flag.String("metrics-smoke", "", "don't serve: round-trip one compile for this IR file, scrape /metrics, verify the catalog, and exit")
 	chaosSmoke := flag.String("chaos-smoke", "", "don't serve: drive the admission/quota/breaker machinery for this IR file under injected disk faults and exit")
+	clusterSmoke := flag.String("cluster-smoke", "", "don't serve: spray a Zipf request stream across a 3-node in-process fleet for this IR file and exit")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat)
@@ -155,6 +179,19 @@ func main() {
 		BreakerThreshold:  *breakerThreshold,
 		BreakerCooldown:   *breakerCooldown,
 		Chaos:             inj,
+		SelfURL:           *nodeID,
+		RingReplicas:      *ringReplicas,
+		PeerProbeTimeout:  *peerProbeTimeout,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+		if cfg.SelfURL == "" {
+			fatal(errors.New("-peers requires -node-id (this node's advertised base URL)"))
+		}
 	}
 	if inj != nil {
 		fmt.Printf("bschedd: chaos injection active: %s\n", inj)
@@ -171,6 +208,10 @@ func main() {
 		}
 	case *chaosSmoke != "":
 		if err := runChaosSmoke(cfg, *chaosSmoke); err != nil {
+			fatal(err)
+		}
+	case *clusterSmoke != "":
+		if err := runClusterSmoke(cfg, *clusterSmoke); err != nil {
 			fatal(err)
 		}
 	default:
@@ -540,6 +581,105 @@ func runChaosSmoke(cfg server.Config, path string) error {
 	return nil
 }
 
+// runClusterSmoke brings up a 3-node in-process fleet on ephemeral
+// ports, sprays a Zipf-skewed stream of compile requests round-robin
+// across it (distinct register-file sizes give distinct cache keys),
+// and asserts the peer protocol carried traffic: zero failed requests,
+// at least one peer probe hit, at least one offer delivered, and a
+// fleet-wide compile count well below the request count. The
+// `make cluster-smoke` CI check.
+func runClusterSmoke(cfg server.Config, path string) error {
+	src, err := cli.ReadInput(path)
+	if err != nil {
+		return err
+	}
+	const nodes = 3
+	lns := make([]net.Listener, nodes)
+	urls := make([]string, nodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	svcs := make([]*server.Server, nodes)
+	httpSrvs := make([]*http.Server, nodes)
+	for i := range svcs {
+		ncfg := cfg
+		ncfg.SelfURL = urls[i]
+		ncfg.Peers = nil
+		for j, u := range urls {
+			if j != i {
+				ncfg.Peers = append(ncfg.Peers, u)
+			}
+		}
+		ncfg.PeerProbeTimeout = 2 * time.Second
+		svc, err := server.New(ncfg)
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		svcs[i] = svc
+		httpSrvs[i] = &http.Server{Handler: svc.Handler()}
+		go httpSrvs[i].Serve(lns[i])
+		defer httpSrvs[i].Close()
+	}
+
+	const requests = 200
+	const variants = 24
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, variants-1)
+	for i := 0; i < requests; i++ {
+		k := int(zipf.Uint64())
+		body, err := json.Marshal(server.CompileRequest{
+			Program: src,
+			// Distinct register-file sizes → distinct options fingerprints →
+			// distinct cache keys spread across the ring.
+			Options: server.RequestOptions{Regs: 16 + k, SpillPool: 6},
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(urls[i%nodes]+"/v1/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("cluster smoke: request %d: %w", i, err)
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code != http.StatusOK {
+			return fmt.Errorf("cluster smoke: request %d returned %d, want 200", i, code)
+		}
+	}
+
+	var probeHits, probeErrors, offersSent, offersDropped int64
+	for i, svc := range svcs {
+		snap := svc.Stats()
+		if snap.Cluster == nil {
+			return fmt.Errorf("cluster smoke: node %d /stats has no cluster section", i)
+		}
+		if snap.Cluster.RingNodes != nodes {
+			return fmt.Errorf("cluster smoke: node %d sees %d ring nodes, want %d", i, snap.Cluster.RingNodes, nodes)
+		}
+		probeHits += snap.Cluster.ProbeHits
+		probeErrors += snap.Cluster.ProbeErrors
+		offersSent += snap.Cluster.OffersSent
+		offersDropped += snap.Cluster.OffersDropped
+	}
+	if probeHits == 0 {
+		return errors.New("cluster smoke: no peer probe hits — the fleet never shared a schedule")
+	}
+	if probeErrors > 0 {
+		return fmt.Errorf("cluster smoke: %d probe errors inside a healthy fleet", probeErrors)
+	}
+	fmt.Printf("bschedd: cluster smoke ok — %d requests over %d nodes, %d probe hits, %d offers delivered (%d dropped), 0 errors\n",
+		requests, nodes, probeHits, offersSent, offersDropped)
+	return nil
+}
+
 // requiredMetrics is the CI contract with docs/OBSERVABILITY.md: every
 // family the catalog documents must appear in a scrape.
 var requiredMetrics = []string{
@@ -567,6 +707,9 @@ var requiredMetrics = []string{
 	"bschedd_tenant_rejected_total",
 	"bschedd_breaker_events_total",
 	"bschedd_breaker_state",
+	"bschedd_peer_probes_total",
+	"bschedd_peer_offers_total",
+	"bschedd_peer_ring_nodes",
 	"bschedd_retry_after_seconds",
 	"bschedd_quota_tenants",
 	"bschedd_uptime_seconds",

@@ -15,6 +15,15 @@
 // your arguments hot-to-cold. The summary is printed as JSON: per
 // priority class sent/ok/shed(503)/quota(429)/errored, client-side
 // drops, the largest Retry-After observed, and achieved throughput.
+//
+// Against a multi-node fleet (docs/CLUSTER.md), pass -peers with the
+// comma-separated base URLs of every node instead of -url; arrivals
+// are sprayed round-robin across the set, so every node sees every hot
+// key and the fleet's peer probe/offer dedup is what keeps the total
+// compile count near the unique-key count:
+//
+//	bschedload -peers http://10.0.0.1:8080,http://10.0.0.2:8080 \
+//	    -rate 200 -duration 10s prog1.ir prog2.ir ...
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"bsched/internal/loadgen"
@@ -32,6 +42,7 @@ import (
 func main() {
 	var (
 		url       = flag.String("url", "http://127.0.0.1:8080", "base URL of the bschedd server")
+		peerList  = flag.String("peers", "", "comma-separated base URLs of a bschedd fleet; arrivals are sprayed round-robin (overrides -url)")
 		rate      = flag.Float64("rate", 100, "open-loop arrival rate, requests/second")
 		duration  = flag.Duration("duration", 10*time.Second, "arrival phase length")
 		conc      = flag.Int("concurrency", loadgen.DefaultConcurrency, "max in-flight requests before client-side drops")
@@ -57,11 +68,21 @@ func main() {
 		programs = append(programs, string(src))
 	}
 
+	var peers []string
+	if *peerList != "" {
+		for _, p := range strings.Split(*peerList, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	res, err := loadgen.Run(ctx, loadgen.Config{
 		BaseURL:       *url,
+		BaseURLs:      peers,
 		Rate:          *rate,
 		Duration:      *duration,
 		Concurrency:   *conc,

@@ -1,0 +1,425 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bsched/internal/admission"
+	"bsched/internal/engine"
+)
+
+// Defaults for Config's zero fields.
+const (
+	// DefaultProbeTimeout bounds one peer lookup round trip. It is a
+	// strict budget, not a deadline to spend: a probe that misses it
+	// falls back to compiling locally, so the worst case a peer adds to
+	// a client request is this long.
+	DefaultProbeTimeout = 250 * time.Millisecond
+	// DefaultOfferQueue buffers the write-behind offer channel; when the
+	// drain goroutine falls behind, further offers are dropped (and
+	// counted) rather than blocking a compilation worker.
+	DefaultOfferQueue = 256
+	// DefaultOfferAttempts is how many times one offer is tried before
+	// it is dropped.
+	DefaultOfferAttempts = 3
+	// DefaultOfferBackoff separates an offer's retry attempts
+	// (multiplied by the attempt number).
+	DefaultOfferBackoff = 50 * time.Millisecond
+	// DefaultMaxInflightProbes bounds concurrent probes per peer — the
+	// load bound behind the ring's bounded-load walk. Probes over the
+	// bound are skipped (local compile) instead of queueing on a peer
+	// that is already saturated.
+	DefaultMaxInflightProbes = 32
+	// maxPeerResponseBytes bounds a peer lookup's response body; a
+	// legitimate CompileResponse fits far under the disk layer's record
+	// bound, so anything larger is treated as a protocol error.
+	maxPeerResponseBytes = 16 << 20
+)
+
+// ProbeOutcome classifies one Probe call for metrics and traces.
+type ProbeOutcome int
+
+const (
+	// ProbeOutcomeHit: the owner returned the compiled response.
+	ProbeOutcomeHit ProbeOutcome = iota
+	// ProbeOutcomeMiss: the owner answered 404 — it has no entry either.
+	ProbeOutcomeMiss
+	// ProbeOutcomeError: transport failure, unexpected status, or an
+	// invalid body; feeds the peer's circuit breaker.
+	ProbeOutcomeError
+	// ProbeOutcomeSkip: no request was sent — the peer's breaker was
+	// open or its in-flight probe bound was reached.
+	ProbeOutcomeSkip
+)
+
+func (o ProbeOutcome) String() string {
+	switch o {
+	case ProbeOutcomeHit:
+		return "hit"
+	case ProbeOutcomeMiss:
+		return "miss"
+	case ProbeOutcomeError:
+		return "error"
+	default:
+		return "skip"
+	}
+}
+
+// Counter is the metric seam — satisfied by *obs.Counter — so the
+// package needs no registry of its own. All Metrics fields are
+// optional; nil fields are simply not counted.
+type Counter interface{ Inc() }
+
+// Metrics receives the client's event counts.
+type Metrics struct {
+	ProbeHit, ProbeMiss, ProbeError, ProbeSkip Counter
+	OfferSent, OfferDropped                    Counter
+}
+
+func inc(c Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// Config wires one node into the fleet.
+type Config struct {
+	// Self is this node's advertised base URL — its identity on the
+	// ring. Required.
+	Self string
+	// Peers are the other nodes' base URLs. Required non-empty (a
+	// single-node fleet needs no cluster client at all).
+	Peers []string
+	// Replicas is the virtual-node count per node; zero means
+	// DefaultReplicas.
+	Replicas int
+	// ProbeTimeout bounds one peer lookup; zero means
+	// DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// OfferQueue / OfferAttempts / OfferBackoff tune the write-behind
+	// offer path; zeros mean the defaults above.
+	OfferQueue    int
+	OfferAttempts int
+	OfferBackoff  time.Duration
+	// MaxInflightProbes bounds concurrent probes per peer; zero means
+	// DefaultMaxInflightProbes.
+	MaxInflightProbes int
+	// BreakerThreshold / BreakerCooldown tune each peer's circuit
+	// breaker (consecutive failures to trip; time open before a
+	// half-open probe). Zeros mean the admission defaults.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HTTPClient overrides the transport (tests); nil builds one with
+	// the probe timeout.
+	HTTPClient *http.Client
+	// Metrics receives event counts; the zero value counts nothing.
+	Metrics Metrics
+}
+
+// peerState is one remote node's health: a circuit breaker fed by
+// probe/offer outcomes, and the in-flight probe count behind the
+// bounded-load veto.
+type peerState struct {
+	brk      *admission.Breaker
+	inflight atomic.Int64
+}
+
+// Client is a node's view of the fleet: the ring, one breaker per
+// peer, and the write-behind offer queue. It implements
+// engine.PeerCache (Offer), so it plugs straight into engine.Config.
+type Client struct {
+	cfg   Config
+	ring  *Ring
+	peers map[string]*peerState
+	hc    *http.Client
+
+	offers chan offerItem
+	done   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+type offerItem struct {
+	key  engine.Key
+	resp *engine.CompileResponse
+}
+
+// New validates the config, builds the ring over Self+Peers, and
+// starts the offer drain goroutine.
+func New(cfg Config) (*Client, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self (this node's advertised URL) is required")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: at least one peer is required")
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.OfferQueue <= 0 {
+		cfg.OfferQueue = DefaultOfferQueue
+	}
+	if cfg.OfferAttempts <= 0 {
+		cfg.OfferAttempts = DefaultOfferAttempts
+	}
+	if cfg.OfferBackoff <= 0 {
+		cfg.OfferBackoff = DefaultOfferBackoff
+	}
+	if cfg.MaxInflightProbes <= 0 {
+		cfg.MaxInflightProbes = DefaultMaxInflightProbes
+	}
+	c := &Client{
+		cfg:    cfg,
+		ring:   NewRing(cfg.Replicas),
+		peers:  make(map[string]*peerState, len(cfg.Peers)),
+		hc:     cfg.HTTPClient,
+		offers: make(chan offerItem, cfg.OfferQueue),
+		done:   make(chan struct{}),
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{Timeout: cfg.ProbeTimeout + time.Second}
+	}
+	c.ring.Add(cfg.Self)
+	for _, p := range cfg.Peers {
+		if p == cfg.Self || p == "" {
+			continue
+		}
+		if _, dup := c.peers[p]; dup {
+			continue
+		}
+		c.ring.Add(p)
+		c.peers[p] = &peerState{brk: admission.NewBreaker(admission.BreakerConfig{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+		})}
+	}
+	if len(c.peers) == 0 {
+		return nil, fmt.Errorf("cluster: peer list contains only this node")
+	}
+	c.wg.Add(1)
+	go c.drainOffers()
+	return c, nil
+}
+
+// Close stops the offer drain; queued offers not yet sent are dropped
+// (they are a cache optimization, not data).
+func (c *Client) Close() {
+	c.once.Do(func() {
+		close(c.done)
+		c.wg.Wait()
+	})
+}
+
+// veto is the bounded-load walk's exclusion rule: a peer whose breaker
+// is open does not own keys until it recovers. Self is never vetoed —
+// the local engine is always reachable.
+func (c *Client) veto(node string) bool {
+	ps, ok := c.peers[node]
+	return ok && ps.brk.State() == admission.BreakerOpen
+}
+
+// Owner resolves a key's owning node under the current health view;
+// self reports whether that owner is this node (no peer traffic
+// needed). Both the probe and the offer path use this one resolution,
+// so while a node is down every healthy node agrees on the stand-in.
+func (c *Client) Owner(key engine.Key) (node string, self bool) {
+	node = c.ring.Owner(key.Hash(), c.veto)
+	return node, node == c.cfg.Self
+}
+
+// Probe asks owner for key: GET /v1/peer/lookup/{key}. It never
+// returns an error to propagate — a failed probe is an outcome, and
+// the caller's fallback is always a local compile. traceparent, when
+// non-empty, rides the request so the owner's spans join the caller's
+// trace.
+func (c *Client) Probe(ctx context.Context, owner string, key engine.Key, traceparent string) (*engine.CompileResponse, ProbeOutcome) {
+	ps, ok := c.peers[owner]
+	if !ok {
+		return nil, ProbeOutcomeSkip
+	}
+	if ps.inflight.Load() >= int64(c.cfg.MaxInflightProbes) || !ps.brk.Allow() {
+		inc(c.cfg.Metrics.ProbeSkip)
+		return nil, ProbeOutcomeSkip
+	}
+	ps.inflight.Add(1)
+	defer ps.inflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	// Let the owner hold the request for most of the budget when the key
+	// is compiling there right now: a short in-flight wait beats a
+	// guaranteed duplicate compile.
+	waitMS := (c.cfg.ProbeTimeout * 3 / 4).Milliseconds()
+	url := fmt.Sprintf("%s/v1/peer/lookup/%s?wait_ms=%d", owner, key, waitMS)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		inc(c.cfg.Metrics.ProbeError)
+		ps.brk.Failure()
+		return nil, ProbeOutcomeError
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	httpResp, err := c.hc.Do(req)
+	if err != nil {
+		inc(c.cfg.Metrics.ProbeError)
+		ps.brk.Failure()
+		return nil, ProbeOutcomeError
+	}
+	defer func() {
+		io.Copy(io.Discard, httpResp.Body)
+		httpResp.Body.Close()
+	}()
+	switch httpResp.StatusCode {
+	case http.StatusOK:
+		var resp engine.CompileResponse
+		dec := json.NewDecoder(io.LimitReader(httpResp.Body, maxPeerResponseBytes))
+		if err := dec.Decode(&resp); err != nil || !resp.Matches(key) {
+			inc(c.cfg.Metrics.ProbeError)
+			ps.brk.Failure()
+			return nil, ProbeOutcomeError
+		}
+		ps.brk.Success()
+		inc(c.cfg.Metrics.ProbeHit)
+		return &resp, ProbeOutcomeHit
+	case http.StatusNotFound:
+		ps.brk.Success()
+		inc(c.cfg.Metrics.ProbeMiss)
+		return nil, ProbeOutcomeMiss
+	default:
+		inc(c.cfg.Metrics.ProbeError)
+		ps.brk.Failure()
+		return nil, ProbeOutcomeError
+	}
+}
+
+// Offer implements engine.PeerCache: called by a compilation worker for
+// every completed cacheable result. Self-owned keys are a no-op; for
+// foreign keys the offer is queued for the write-behind drain and
+// dropped (counted) when the queue is full. Never blocks.
+func (c *Client) Offer(key engine.Key, resp *engine.CompileResponse) {
+	if _, self := c.Owner(key); self {
+		return
+	}
+	select {
+	case <-c.done:
+		return
+	default:
+	}
+	select {
+	case c.offers <- offerItem{key: key, resp: resp}:
+	default:
+		inc(c.cfg.Metrics.OfferDropped)
+	}
+}
+
+// drainOffers sends queued offers to their owners with bounded retry
+// and backoff. One goroutine is deliberate: offers are a background
+// cache fill, and serializing them caps the extra load a node can put
+// on its peers.
+func (c *Client) drainOffers() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case it := <-c.offers:
+			c.sendOffer(it)
+		}
+	}
+}
+
+func (c *Client) sendOffer(it offerItem) {
+	// Resolve the owner at send time, not enqueue time: a breaker that
+	// tripped in between redirects the offer to the stand-in owner the
+	// probes now agree on.
+	owner, self := c.Owner(it.key)
+	if self {
+		return
+	}
+	ps, ok := c.peers[owner]
+	if !ok {
+		inc(c.cfg.Metrics.OfferDropped)
+		return
+	}
+	body, err := json.Marshal(it.resp)
+	if err != nil {
+		inc(c.cfg.Metrics.OfferDropped)
+		return
+	}
+	for attempt := 1; attempt <= c.cfg.OfferAttempts; attempt++ {
+		if attempt > 1 {
+			select {
+			case <-c.done:
+				return
+			case <-time.After(time.Duration(attempt-1) * c.cfg.OfferBackoff):
+			}
+		}
+		if !ps.brk.Allow() {
+			continue
+		}
+		if c.putOffer(owner, it.key, body) {
+			ps.brk.Success()
+			inc(c.cfg.Metrics.OfferSent)
+			return
+		}
+		ps.brk.Failure()
+	}
+	inc(c.cfg.Metrics.OfferDropped)
+}
+
+func (c *Client) putOffer(owner string, key engine.Key, body []byte) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/v1/peer/offer/%s", owner, key)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// Self returns this node's advertised URL.
+func (c *Client) Self() string { return c.cfg.Self }
+
+// Peers returns the configured peer URLs, sorted.
+func (c *Client) Peers() []string {
+	out := make([]string, 0, len(c.peers))
+	for p := range c.peers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RingNodes is the fleet size the ring currently places keys over
+// (self included).
+func (c *Client) RingNodes() int { return c.ring.Len() }
+
+// Unreachable returns the peers whose circuit breaker is currently
+// open — the health view behind /healthz's degraded field.
+func (c *Client) Unreachable() []string {
+	var out []string
+	for p, ps := range c.peers {
+		if ps.brk.State() == admission.BreakerOpen {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Key addresses one compilation by content: the program's fingerprint
+// and a fingerprint of every schedule-relevant option. Two requests with
+// equal keys are guaranteed (up to 64+64-bit hash collisions) to want
+// the same schedule. The same key identifies the compilation fleet-wide:
+// the cluster layer's consistent-hash ring hashes Keys to owner nodes.
+type Key struct {
+	Prog uint64
+	Opts uint64
+}
+
+// String renders the key in the canonical wire form used by the peer
+// protocol URLs: two 16-digit lowercase hex halves joined by a dash.
+func (k Key) String() string {
+	return fmt.Sprintf("%016x-%016x", k.Prog, k.Opts)
+}
+
+// ParseKey parses the wire form produced by Key.String.
+func ParseKey(s string) (Key, bool) {
+	var k Key
+	if len(s) != 33 || s[16] != '-' {
+		return k, false
+	}
+	for _, half := range []string{s[:16], s[17:]} {
+		for _, c := range half {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				return k, false
+			}
+		}
+	}
+	if _, err := fmt.Sscanf(s[:16], "%016x", &k.Prog); err != nil {
+		return k, false
+	}
+	if _, err := fmt.Sscanf(s[17:], "%016x", &k.Opts); err != nil {
+		return k, false
+	}
+	return k, true
+}
+
+// Hash mixes both halves of the key into one 64-bit value for consistent
+// hashing. The halves are already sha256-derived, but a final mix keeps
+// ring placement independent of either half alone.
+func (k Key) Hash() uint64 {
+	h := k.Prog ^ (k.Opts * 0x9e3779b97f4a7c15)
+	// splitmix64 finalizer
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Entry is one cache slot. It is created before the compilation runs and
+// completed exactly once; waiters block on Done. After Done is closed,
+// Resp/Err are immutable — concurrent readers need no lock.
+type Entry struct {
+	Done chan struct{}
+	Resp *CompileResponse
+	Err  error
+}
+
+func newEntry() *Entry { return &Entry{Done: make(chan struct{})} }
+
+// Complete publishes the outcome and releases every waiter.
+func (e *Entry) Complete(resp *CompileResponse, err error) {
+	e.Resp, e.Err = resp, err
+	close(e.Done)
+}
+
+// Completed reports whether the entry has already been published (used
+// to distinguish a cache hit from coalescing onto an in-flight leader).
+func (e *Entry) Completed() bool {
+	select {
+	case <-e.Done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cache is a sharded, capacity-bounded, content-addressed map from Key
+// to *Entry with built-in single-flight semantics: lookup either finds
+// an existing entry (completed → cache hit, in-flight → coalesce) or
+// atomically installs a fresh one and names the caller leader. Sharding
+// keeps lock hold times short under concurrent clients; each shard runs
+// an independent LRU.
+type cache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int        // max entries in this shard
+	ll  *list.List // front = most recent; values are *cacheItem
+	m   map[Key]*list.Element
+}
+
+type cacheItem struct {
+	key Key
+	e   *Entry
+}
+
+// newCache builds a cache of roughly capacity entries split over shards.
+// capacity <= 0 disables caching entirely (every lookup is a leader with
+// a detached entry — single-flight is off too, which is what a
+// cache-disabled benchmark wants).
+func newCache(capacity, shards int) *cache {
+	if capacity <= 0 {
+		return &cache{}
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &cache{shards: make([]cacheShard, shards)}
+	per := (capacity + shards - 1) / shards
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: per, ll: list.New(), m: make(map[Key]*list.Element)}
+	}
+	return c
+}
+
+func (c *cache) disabled() bool { return len(c.shards) == 0 }
+
+func (c *cache) shard(k Key) *cacheShard {
+	// Mix both halves so programs compiled under many option sets spread
+	// across shards.
+	h := k.Prog ^ (k.Opts * 0x9e3779b97f4a7c15)
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// lookup returns the entry for k, creating and installing a fresh one
+// when absent. leader is true when the caller installed the entry and
+// must therefore run (and publish) the compilation.
+func (c *cache) lookup(k Key) (e *Entry, leader bool) {
+	if c.disabled() {
+		return newEntry(), true
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*cacheItem).e, false
+	}
+	e = newEntry()
+	s.m[k] = s.ll.PushFront(&cacheItem{key: k, e: e})
+	s.evictLocked()
+	return e, true
+}
+
+// peek returns the entry for k if one is resident, never installing a
+// fresh one — the read the peer protocol's lookup endpoint needs, where
+// the caller holds no program text and so could never act as a leader.
+func (c *cache) peek(k Key) (*Entry, bool) {
+	if c.disabled() {
+		return nil, false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[k]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).e, true
+}
+
+// install inserts an already-completed entry for k — how a peer's
+// offered compilation lands in the owner's cache. It reports false
+// without touching the cache when any entry (completed or in-flight)
+// already exists for k: an in-flight leader will complete its own entry,
+// and racing a second Complete against it would panic.
+func (c *cache) install(k Key, resp *CompileResponse) bool {
+	if c.disabled() {
+		return false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	e := newEntry()
+	e.Complete(resp, nil)
+	s.m[k] = s.ll.PushFront(&cacheItem{key: k, e: e})
+	s.evictLocked()
+	return true
+}
+
+// evictLocked trims the shard back to capacity, oldest first.
+func (s *cacheShard) evictLocked() {
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// remove drops k if it still maps to e. Leaders call it on failure so an
+// error (or a backpressure rejection) is never served from cache; the
+// entry itself still completes, so coalesced waiters observe the error.
+func (c *cache) remove(k Key, e *Entry) {
+	if c.disabled() {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok && el.Value.(*cacheItem).e == e {
+		s.ll.Remove(el)
+		delete(s.m, k)
+	}
+}
+
+// len reports the number of resident entries across all shards.
+func (c *cache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,4 +1,4 @@
-package server
+package engine
 
 import (
 	"fmt"
@@ -21,12 +21,12 @@ func TestCacheSingleFlightSemantics(t *testing.T) {
 	if e1 != e2 {
 		t.Fatal("both lookups must share one entry")
 	}
-	if e2.completed() {
+	if e2.Completed() {
 		t.Fatal("entry completed before the leader published")
 	}
-	e1.complete(&CompileResponse{Program: "p"}, nil)
+	e1.Complete(&CompileResponse{Program: "p"}, nil)
 	e3, leader3 := c.lookup(k)
-	if leader3 || !e3.completed() || e3.resp.Program != "p" {
+	if leader3 || !e3.Completed() || e3.Resp.Program != "p" {
 		t.Fatal("completed entry not served to a later lookup")
 	}
 }
@@ -58,12 +58,12 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := newCache(2, 1)
 	a, b, d := Key{Prog: 1}, Key{Prog: 2}, Key{Prog: 3}
 	ea, _ := c.lookup(a)
-	ea.complete(&CompileResponse{}, nil)
+	ea.Complete(&CompileResponse{}, nil)
 	eb, _ := c.lookup(b)
-	eb.complete(&CompileResponse{}, nil)
+	eb.Complete(&CompileResponse{}, nil)
 	c.lookup(a)          // touch a: b is now the LRU
 	ed, _ := c.lookup(d) // evicts b
-	ed.complete(&CompileResponse{}, nil)
+	ed.Complete(&CompileResponse{}, nil)
 	if n := c.len(); n != 2 {
 		t.Fatalf("len=%d, want capacity 2", n)
 	}
@@ -109,10 +109,10 @@ func TestCacheConcurrentLookups(t *testing.T) {
 					mu.Lock()
 					leaders[k]++
 					mu.Unlock()
-					e.complete(&CompileResponse{Program: fmt.Sprint(k)}, nil)
+					e.Complete(&CompileResponse{Program: fmt.Sprint(k)}, nil)
 				} else {
-					<-e.done
-					if e.resp.Program != fmt.Sprint(k) {
+					<-e.Done
+					if e.Resp.Program != fmt.Sprint(k) {
 						t.Errorf("key %d: wrong entry", k)
 					}
 				}

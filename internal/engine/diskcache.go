@@ -1,4 +1,4 @@
-package server
+package engine
 
 import (
 	"container/list"
@@ -16,26 +16,26 @@ import (
 	"bsched/internal/obs"
 )
 
-// diskMetrics groups the persistent cache's instruments. The counters
-// are registered unconditionally (newStats), so the metric catalog is
-// identical with and without -cache-dir; they simply stay at zero when
-// the disk layer is off.
-type diskMetrics struct {
-	hits      *obs.Counter // record decoded from disk and served after a memory miss
-	misses    *obs.Counter // memory miss with no (valid) disk record either
-	writes    *obs.Counter // record appended to the active segment
-	evictions *obs.Counter // cold record dropped at compaction
-	loaded    *obs.Counter // valid records indexed during startup replay
-	corrupt   *obs.Counter // torn or corrupt records skipped, never served
-	ioErrors  *obs.Counter // I/O-layer read/append failures (feeds the breaker)
-	rejects   *obs.Counter // disk operations skipped while the breaker was open
+// DiskMetrics groups the persistent cache's instruments. The counters
+// are registered unconditionally by the frontend's stats layer, so the
+// metric catalog is identical with and without a cache directory; they
+// simply stay at zero when the disk layer is off.
+type DiskMetrics struct {
+	Hits      *obs.Counter // record decoded from disk and served after a memory miss
+	Misses    *obs.Counter // memory miss with no (valid) disk record either
+	Writes    *obs.Counter // record appended to the active segment
+	Evictions *obs.Counter // cold record dropped at compaction
+	Loaded    *obs.Counter // valid records indexed during startup replay
+	Corrupt   *obs.Counter // torn or corrupt records skipped, never served
+	IOErrors  *obs.Counter // I/O-layer read/append failures (feeds the breaker)
+	Rejects   *obs.Counter // disk operations skipped while the breaker was open
 }
 
 // breakerReject counts one skipped disk operation; nil-safe for tests
-// that build a bare diskMetrics.
-func (m *diskMetrics) breakerReject() {
-	if m.rejects != nil {
-		m.rejects.Inc()
+// that build a bare DiskMetrics.
+func (m *DiskMetrics) breakerReject() {
+	if m.Rejects != nil {
+		m.Rejects.Inc()
 	}
 }
 
@@ -51,8 +51,11 @@ const (
 	// Config.CacheMaxBytes is zero.
 	DefaultCacheMaxBytes = 256 << 20
 
-	segNamePrefix = "cache-"
-	segNameSuffix = ".seg"
+	// SegNamePrefix and SegNameSuffix frame the segment file names
+	// (cache-%08d.seg); exported so frontends and their tests can locate
+	// segments for inspection and fault injection.
+	SegNamePrefix = "cache-"
+	SegNameSuffix = ".seg"
 
 	// diskWriteQueue buffers the write-behind channel; when the flusher
 	// falls behind, further writes are dropped rather than blocking a
@@ -91,12 +94,12 @@ type diskItem struct {
 // Concurrency: one mutex guards the index, the access list and all file
 // handles. Reads are a single bounded ReadAt; the only long operation
 // under the lock is compaction, which is rare and bounded by maxBytes.
-// All methods are nil-safe so the server can call them unconditionally.
+// All methods are nil-safe so the engine can call them unconditionally.
 type diskCache struct {
 	dir         string
 	maxBytes    int64
 	segMaxBytes int64
-	met         *diskMetrics
+	met         *DiskMetrics
 	// brk is the disk circuit breaker: repeated I/O failures trip it
 	// open and reads/appends are skipped (the daemon degrades to
 	// memory-only) until a half-open probe succeeds. chaos injects
@@ -126,7 +129,7 @@ type diskCache struct {
 // segment into the index, and starts the write-behind flusher. Corrupt
 // data is never an error — damaged records are counted and skipped —
 // but an unusable directory is.
-func openDiskCache(dir string, maxBytes int64, met *diskMetrics, brk *admission.Breaker, inj *chaos.Injector) (*diskCache, error) {
+func openDiskCache(dir string, maxBytes int64, met *DiskMetrics, brk *admission.Breaker, inj *chaos.Injector) (*diskCache, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultCacheMaxBytes
 	}
@@ -184,7 +187,7 @@ func (d *diskCache) replay() error {
 	var names []string
 	for _, e := range ents {
 		name := e.Name()
-		if !e.IsDir() && strings.HasPrefix(name, segNamePrefix) && strings.HasSuffix(name, segNameSuffix) {
+		if !e.IsDir() && strings.HasPrefix(name, SegNamePrefix) && strings.HasSuffix(name, SegNameSuffix) {
 			names = append(names, name)
 		}
 	}
@@ -192,7 +195,7 @@ func (d *diskCache) replay() error {
 	for _, name := range names {
 		d.replaySegment(name)
 		var seq int
-		if _, err := fmt.Sscanf(name, segNamePrefix+"%d"+segNameSuffix, &seq); err == nil && seq >= d.segSeq {
+		if _, err := fmt.Sscanf(name, SegNamePrefix+"%d"+SegNameSuffix, &seq); err == nil && seq >= d.segSeq {
 			d.segSeq = seq + 1
 		}
 		d.segs = append(d.segs, name)
@@ -204,31 +207,31 @@ func (d *diskCache) replay() error {
 func (d *diskCache) replaySegment(name string) {
 	data, err := os.ReadFile(filepath.Join(d.dir, name))
 	if err != nil {
-		d.met.corrupt.Inc()
+		d.met.Corrupt.Inc()
 		return
 	}
 	d.totalBytes += int64(len(data))
 	rest, err := checkSegmentHeader(data)
 	if err != nil {
-		d.met.corrupt.Inc()
+		d.met.Corrupt.Inc()
 		return
 	}
-	off := int64(segHeaderLen)
+	off := int64(SegHeaderLen)
 	for len(rest) > 0 {
 		k, _, n, err := decodeRecord(rest)
 		switch {
 		case err == nil:
 			d.indexLocked(&diskItem{key: k, seg: name, off: off, size: int64(n)})
-			d.met.loaded.Inc()
+			d.met.Loaded.Inc()
 		case errors.Is(err, errTornRecord) || n == 0:
 			// Torn tail, or a length field too corrupt to resync past:
 			// everything from here on in this segment is unreachable.
-			d.met.corrupt.Inc()
+			d.met.Corrupt.Inc()
 			return
 		default:
 			// Bad checksum or unknown version under a plausible length:
 			// skip just this record and keep scanning.
-			d.met.corrupt.Inc()
+			d.met.Corrupt.Inc()
 		}
 		off += int64(n)
 		rest = rest[n:]
@@ -272,20 +275,20 @@ func (d *diskCache) get(k Key) (*CompileResponse, bool) {
 	defer d.mu.Unlock()
 	el, ok := d.index[k]
 	if !ok {
-		d.met.misses.Inc()
+		d.met.Misses.Inc()
 		return nil, false
 	}
 	if !d.brk.Allow() {
 		d.met.breakerReject()
-		d.met.misses.Inc()
+		d.met.Misses.Inc()
 		return nil, false
 	}
 	it := el.Value.(*diskItem)
 	raw, err := d.readRawLocked(it)
 	if errors.Is(err, errDiskIO) {
-		d.met.ioErrors.Inc()
+		d.met.IOErrors.Inc()
 		d.brk.Failure()
-		d.met.misses.Inc()
+		d.met.Misses.Inc()
 		return nil, false
 	}
 	d.brk.Success()
@@ -294,14 +297,14 @@ func (d *diskCache) get(k Key) (*CompileResponse, bool) {
 		_, payload, _, _ := decodeRecord(raw) // readRawLocked validated it
 		if jerr := json.Unmarshal(payload, &resp); jerr == nil {
 			d.ll.MoveToFront(el)
-			d.met.hits.Inc()
+			d.met.Hits.Inc()
 			return &resp, true
 		}
 		err = errCorruptRecord
 	}
-	d.met.corrupt.Inc()
+	d.met.Corrupt.Inc()
 	d.dropLocked(el)
-	d.met.misses.Inc()
+	d.met.Misses.Inc()
 	return nil, false
 }
 
@@ -389,7 +392,7 @@ func (d *diskCache) flush(batch []diskWrite) {
 			continue
 		}
 		if d.appendLocked(w.key, appendRecord(nil, w.key, w.payload)) {
-			d.met.writes.Inc()
+			d.met.Writes.Inc()
 		}
 	}
 	if d.totalBytes > d.maxBytes {
@@ -407,7 +410,7 @@ func (d *diskCache) appendLocked(k Key, rec []byte) bool {
 	if err := d.inj.Err(chaos.DiskError); err != nil {
 		// Injected write fault: account it like a failed Write, but keep
 		// the segment — the bytes on disk are untouched.
-		d.met.ioErrors.Inc()
+		d.met.IOErrors.Inc()
 		d.brk.Failure()
 		return false
 	}
@@ -422,7 +425,7 @@ func (d *diskCache) appendLocked(k Key, rec []byte) bool {
 	d.activeSize += int64(n)
 	d.totalBytes += int64(n)
 	if err != nil || n != len(rec) {
-		d.met.ioErrors.Inc()
+		d.met.IOErrors.Inc()
 		d.brk.Failure()
 		d.rotateLocked()
 		return false
@@ -440,7 +443,7 @@ func (d *diskCache) rotateLocked() {
 		d.activeName = ""
 		d.activeSize = 0
 	}
-	name := fmt.Sprintf("%s%08d%s", segNamePrefix, d.segSeq, segNameSuffix)
+	name := fmt.Sprintf("%s%08d%s", SegNamePrefix, d.segSeq, SegNameSuffix)
 	d.segSeq++
 	f, err := os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -468,7 +471,7 @@ func (d *diskCache) compactLocked() {
 	target := d.maxBytes * 3 / 4
 	for d.liveBytes > target && d.ll.Len() > 0 {
 		d.dropLocked(d.ll.Back())
-		d.met.evictions.Inc()
+		d.met.Evictions.Inc()
 	}
 	items := make([]*diskItem, 0, d.ll.Len())
 	for el := d.ll.Back(); el != nil; el = el.Prev() { // coldest first
@@ -489,10 +492,10 @@ func (d *diskCache) compactLocked() {
 		raw, err := d.readRawLocked(it)
 		if err != nil {
 			if errors.Is(err, errDiskIO) {
-				d.met.ioErrors.Inc()
+				d.met.IOErrors.Inc()
 				d.brk.Failure()
 			} else {
-				d.met.corrupt.Inc()
+				d.met.Corrupt.Inc()
 			}
 			continue
 		}
@@ -537,7 +540,7 @@ func (d *diskCache) close() {
 }
 
 // entries, bytes and warmEntries back the disk-cache gauges; all are
-// nil-safe so the server registers them unconditionally.
+// nil-safe so the frontend registers them unconditionally.
 func (d *diskCache) entries() int {
 	if d == nil {
 		return 0

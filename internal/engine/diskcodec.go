@@ -1,4 +1,4 @@
-package server
+package engine
 
 // The persistent schedule cache's on-disk format. A cache directory
 // holds append-only segment files; each segment is a fixed header
@@ -27,13 +27,15 @@ import (
 const (
 	segMagic         = "BSDC"
 	segFormatVersion = 1
-	// segHeaderLen is the segment preamble: magic plus format version.
-	segHeaderLen = 8
-	// recHeaderLen prefixes every record: body length plus checksum.
-	recHeaderLen = 8
-	// recBodyPrefixLen is the fixed part of a record body: the record
+	// SegHeaderLen is the segment preamble: magic plus format version.
+	// Exported (with the record-layout constants below) so frontend-level
+	// corruption tests can compute byte offsets into segment files.
+	SegHeaderLen = 8
+	// RecHeaderLen prefixes every record: body length plus checksum.
+	RecHeaderLen = 8
+	// RecBodyPrefixLen is the fixed part of a record body: the record
 	// version byte and the 128-bit cache key.
-	recBodyPrefixLen = 1 + 8 + 8
+	RecBodyPrefixLen = 1 + 8 + 8
 	recVersion       = 1
 	// maxRecordBytes bounds a single record. Decoding treats anything
 	// larger as corruption rather than attempting a giant allocation from
@@ -61,26 +63,26 @@ func appendSegmentHeader(dst []byte) []byte {
 // checkSegmentHeader validates the preamble and returns the record
 // region that follows it.
 func checkSegmentHeader(data []byte) ([]byte, error) {
-	if len(data) < segHeaderLen || string(data[:len(segMagic)]) != segMagic {
+	if len(data) < SegHeaderLen || string(data[:len(segMagic)]) != segMagic {
 		return nil, fmt.Errorf("diskcache: bad segment magic")
 	}
-	if v := binary.LittleEndian.Uint32(data[len(segMagic):segHeaderLen]); v != segFormatVersion {
+	if v := binary.LittleEndian.Uint32(data[len(segMagic):SegHeaderLen]); v != segFormatVersion {
 		return nil, fmt.Errorf("diskcache: unsupported segment format version %d", v)
 	}
-	return data[segHeaderLen:], nil
+	return data[SegHeaderLen:], nil
 }
 
 // recordSize is the full on-disk size of a record carrying payloadLen
 // payload bytes.
 func recordSize(payloadLen int) int {
-	return recHeaderLen + recBodyPrefixLen + payloadLen
+	return RecHeaderLen + RecBodyPrefixLen + payloadLen
 }
 
 // appendRecord encodes one record to dst. Encoding is deterministic, so
 // decode(encode(k, p)) round-trips to identical bytes — the fuzz
 // target's invariant.
 func appendRecord(dst []byte, k Key, payload []byte) []byte {
-	bodyLen := recBodyPrefixLen + len(payload)
+	bodyLen := RecBodyPrefixLen + len(payload)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(bodyLen))
 	crcAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // checksum back-patched below
@@ -101,18 +103,18 @@ func appendRecord(dst []byte, k Key, payload []byte) []byte {
 // field too implausible to resync past). decodeRecord never panics on
 // arbitrary input.
 func decodeRecord(data []byte) (k Key, payload []byte, n int, err error) {
-	if len(data) < recHeaderLen {
+	if len(data) < RecHeaderLen {
 		return Key{}, nil, 0, errTornRecord
 	}
 	bodyLen := binary.LittleEndian.Uint32(data[0:4])
-	if bodyLen < recBodyPrefixLen || bodyLen > maxRecordBytes {
+	if bodyLen < RecBodyPrefixLen || bodyLen > maxRecordBytes {
 		return Key{}, nil, 0, errCorruptRecord
 	}
-	total := recHeaderLen + int(bodyLen)
+	total := RecHeaderLen + int(bodyLen)
 	if total > len(data) {
 		return Key{}, nil, 0, errTornRecord
 	}
-	body := data[recHeaderLen:total]
+	body := data[RecHeaderLen:total]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[4:8]) {
 		return Key{}, nil, total, errCorruptRecord
 	}
@@ -121,5 +123,5 @@ func decodeRecord(data []byte) (k Key, payload []byte, n int, err error) {
 	}
 	k.Prog = binary.LittleEndian.Uint64(body[1:9])
 	k.Opts = binary.LittleEndian.Uint64(body[9:17])
-	return k, body[recBodyPrefixLen:], total, nil
+	return k, body[RecBodyPrefixLen:], total, nil
 }

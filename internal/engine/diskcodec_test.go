@@ -1,4 +1,4 @@
-package server
+package engine
 
 import (
 	"bytes"
@@ -72,9 +72,9 @@ func TestDiskCodecRejectsDamage(t *testing.T) {
 	})
 	t.Run("wrong-version", func(t *testing.T) {
 		bad := append([]byte(nil), rec...)
-		bad[recHeaderLen] = recVersion + 1
+		bad[RecHeaderLen] = recVersion + 1
 		// Re-checksum so only the version is wrong.
-		body := bad[recHeaderLen:]
+		body := bad[RecHeaderLen:]
 		binary.LittleEndian.PutUint32(bad[4:8], crc32.ChecksumIEEE(body))
 		_, _, n, err := decodeRecord(bad)
 		if !errors.Is(err, errCorruptRecord) || n != len(rec) {
@@ -117,9 +117,9 @@ func FuzzDiskCacheCodec(f *testing.F) {
 		[]byte(`{"program":"func f\nblock b freq=1\nend\n"}`))
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3]) // torn tail
-	f.Add(valid[:recHeaderLen]) // header only
+	f.Add(valid[:RecHeaderLen]) // header only
 	flipped := append([]byte(nil), valid...)
-	flipped[recHeaderLen+5] ^= 0x40 // bit flip inside the body
+	flipped[RecHeaderLen+5] ^= 0x40 // bit flip inside the body
 	f.Add(flipped)
 	badLen := append([]byte(nil), valid...)
 	badLen[3] = 0xff // implausible length prefix

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"bsched/internal/compile"
+)
+
+// BlockSummary is the per-block slice of a CompileResponse.
+type BlockSummary struct {
+	Label string `json:"label"`
+	// Instrs counts the final scheduled instructions (spill code
+	// included).
+	Instrs int `json:"instrs"`
+	// VNops1 is the number of starvation no-op slots in the pass-1
+	// schedule, the paper's latency-boundness diagnostic.
+	VNops1 int `json:"vnops_pass1"`
+	// Spill totals.
+	SpillLoads  int `json:"spill_loads"`
+	SpillStores int `json:"spill_stores"`
+	MaxPressure int `json:"max_pressure"`
+	// WorkUsed is the budget charge across all rungs.
+	WorkUsed int64 `json:"work_used"`
+	Degraded bool  `json:"degraded,omitempty"`
+}
+
+// DegradationEvent mirrors compile.Event for JSON.
+type DegradationEvent struct {
+	Block  string `json:"block"`
+	Pass   int    `json:"pass"`
+	Stage  string `json:"stage"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Reason string `json:"reason"`
+	// Deadline is true when the downgrade was forced by the request's
+	// wall-clock deadline rather than its budget tier; such results are
+	// served but never cached.
+	Deadline bool `json:"deadline,omitempty"`
+}
+
+// CompileResponse is the body of a successful POST /v1/compile — and,
+// unstamped, the unit the peer protocol carries between nodes. Cached
+// responses share the immutable compilation fields; the per-request
+// fields (Cached, Coalesced, ServiceMillis) are stamped on a copy.
+type CompileResponse struct {
+	// Program is the fully scheduled program, rendered in the same
+	// textual IR the request used.
+	Program string `json:"program"`
+	// Blocks summarizes each block in program order.
+	Blocks []BlockSummary `json:"blocks"`
+	// Degradations lists every ladder downgrade across the program.
+	Degradations []DegradationEvent `json:"degradations,omitempty"`
+	// Fingerprint and OptionsFingerprint echo the cache key (hex).
+	Fingerprint        string `json:"fingerprint"`
+	OptionsFingerprint string `json:"options_fingerprint"`
+	// Cached is true when the response was served from a completed cache
+	// entry; Coalesced when this request waited on an identical in-flight
+	// compilation instead of starting its own.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// ServiceMillis is this request's wall-clock service time.
+	ServiceMillis float64 `json:"service_ms"`
+}
+
+// buildResponse renders a hardened compile result as the shared
+// (cacheable) part of a response.
+func buildResponse(res *compile.Result, key Key) *CompileResponse {
+	out := &CompileResponse{
+		Program:            res.Program.String(),
+		Fingerprint:        fmt.Sprintf("%016x", key.Prog),
+		OptionsFingerprint: fmt.Sprintf("%016x", key.Opts),
+	}
+	for _, br := range res.Blocks {
+		s := BlockSummary{
+			Label:       br.Block.Label,
+			Instrs:      len(br.Block.Instrs),
+			SpillLoads:  br.Spill.SpillLoads,
+			SpillStores: br.Spill.SpillStores,
+			MaxPressure: br.Spill.MaxPressure,
+			WorkUsed:    br.WorkUsed,
+			Degraded:    br.Degraded(),
+		}
+		if br.Pass1 != nil {
+			s.VNops1 = br.Pass1.VNops
+		}
+		out.Blocks = append(out.Blocks, s)
+	}
+	for _, e := range res.Degradations {
+		out.Degradations = append(out.Degradations, DegradationEvent{
+			Block: e.Block, Pass: e.Pass, Stage: e.Stage,
+			From: e.From, To: e.To, Reason: e.Reason, Deadline: e.Deadline,
+		})
+	}
+	return out
+}
+
+// Stamped returns a copy of the shared response with the per-request
+// fields set; the shared slices stay aliased and must not be mutated.
+func (r *CompileResponse) Stamped(cached, coalesced bool, service time.Duration) *CompileResponse {
+	c := *r
+	c.Cached = cached
+	c.Coalesced = coalesced
+	c.ServiceMillis = float64(service.Microseconds()) / 1000
+	return &c
+}
+
+// Matches reports whether the response's embedded fingerprints agree
+// with key — the offer handler's cheap integrity check that a peer's
+// payload really is the compilation the URL claims it is.
+func (r *CompileResponse) Matches(key Key) bool {
+	return r.Fingerprint == fmt.Sprintf("%016x", key.Prog) &&
+		r.OptionsFingerprint == fmt.Sprintf("%016x", key.Opts)
+}
+
+// deadlineDegraded reports whether any downgrade was forced by the wall
+// clock (context deadline or shutdown) rather than the work-budget tier.
+// Tier-driven downgrades are deterministic and cacheable — the tier is
+// part of the cache key; wall-clock ones are not.
+func deadlineDegraded(res *compile.Result) bool {
+	for _, e := range res.Degradations {
+		if e.Deadline {
+			return true
+		}
+	}
+	return false
+}

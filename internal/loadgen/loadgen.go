@@ -42,6 +42,13 @@ type Config struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080"; the
 	// generator appends /v1/compile.
 	BaseURL string
+	// BaseURLs, when non-empty, overrides BaseURL with a set of server
+	// roots sprayed round-robin — one arrival to each in turn. This is
+	// how a multi-node fleet is loaded: the round-robin spray guarantees
+	// every node sees every hot key, so cross-node dedup (peer probes
+	// and offers, docs/CLUSTER.md) is actually exercised rather than
+	// each key sticking to one node.
+	BaseURLs []string
 	// Rate is the open-loop arrival rate in requests per second.
 	Rate float64
 	// Duration bounds the arrival phase; in-flight requests are still
@@ -115,6 +122,7 @@ func (r *Result) Total() ClassResult {
 // arrival is one scheduled request, fully decided on the arrival
 // goroutine so the workers never touch the (unsynchronized) RNG.
 type arrival struct {
+	url     string
 	program string
 	batch   bool
 	tenant  string
@@ -164,13 +172,25 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		client = &http.Client{Timeout: time.Duration(timeoutMS)*time.Millisecond + 2*time.Second}
 	}
 
+	urls := cfg.BaseURLs
+	if len(urls) == 0 {
+		urls = []string{cfg.BaseURL}
+	}
+	targets := make([]string, len(urls))
+	for i, u := range urls {
+		targets[i] = u + "/v1/compile"
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var zipf *rand.Zipf
 	if len(cfg.Programs) > 1 {
 		zipf = rand.NewZipf(rng, s, 1, uint64(len(cfg.Programs)-1))
 	}
+	next := 0
 	pick := func() arrival {
 		var a arrival
+		a.url = targets[next%len(targets)]
+		next++
 		idx := 0
 		if zipf != nil {
 			idx = int(zipf.Uint64())
@@ -188,7 +208,6 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		wg    sync.WaitGroup
 		slots = make(chan struct{}, conc)
 	)
-	url := cfg.BaseURL + "/v1/compile"
 	start := time.Now()
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
 	if interval <= 0 {
@@ -213,7 +232,7 @@ arrivals:
 				go func() {
 					defer wg.Done()
 					defer func() { <-slots }()
-					fire(ctx, client, url, a, timeoutMS, &cnt)
+					fire(ctx, client, a, timeoutMS, &cnt)
 				}()
 			default:
 				cnt.dropped.Add(1)
@@ -242,7 +261,7 @@ arrivals:
 }
 
 // fire sends one request and files the outcome into cnt.
-func fire(ctx context.Context, client *http.Client, url string, a arrival, timeoutMS int64, cnt *counters) {
+func fire(ctx context.Context, client *http.Client, a arrival, timeoutMS int64, cnt *counters) {
 	c := &cnt.inter
 	if a.batch {
 		c = &cnt.batch
@@ -257,7 +276,7 @@ func fire(ctx context.Context, client *http.Client, url string, a arrival, timeo
 		c.errored.Add(1)
 		return
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.url, bytes.NewReader(body))
 	if err != nil {
 		c.errored.Add(1)
 		return

@@ -204,6 +204,43 @@ func TestRunDeterministicArrivals(t *testing.T) {
 	}
 }
 
+// TestRunRoundRobinSpray: with BaseURLs set, arrivals land on every
+// target and the per-target counts stay within one of each other —
+// the strict round robin a fleet needs so every node sees the hot set.
+func TestRunRoundRobinSpray(t *testing.T) {
+	srvA, capA := newCaptureServer(t, func(int) int { return http.StatusOK })
+	srvB, capB := newCaptureServer(t, func(int) int { return http.StatusOK })
+	res, err := Run(context.Background(), Config{
+		BaseURL:  "http://unused.invalid", // BaseURLs must win
+		BaseURLs: []string{srvA.URL, srvB.URL},
+		Rate:     400,
+		Duration: 250 * time.Millisecond,
+		Programs: []string{"p:\n  nop\n"},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Total().Sent < 10 {
+		t.Fatalf("only %d requests sent", res.Total().Sent)
+	}
+	capA.mu.Lock()
+	a := capA.total
+	capA.mu.Unlock()
+	capB.mu.Lock()
+	b := capB.total
+	capB.mu.Unlock()
+	if a == 0 || b == 0 {
+		t.Fatalf("spray skipped a target: a=%d b=%d", a, b)
+	}
+	if diff := a - b; diff < -1 || diff > 1 {
+		t.Fatalf("round robin drifted: a=%d b=%d", a, b)
+	}
+	if int64(a+b) != res.Total().Sent {
+		t.Fatalf("targets saw %d requests, result says %d sent", a+b, res.Total().Sent)
+	}
+}
+
 // TestRunContextCancel: cancelling the context ends the run early.
 func TestRunContextCancel(t *testing.T) {
 	srv, _ := newCaptureServer(t, func(int) int { return http.StatusOK })

@@ -5,13 +5,30 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"time"
 
 	"bsched/internal/compile"
 	"bsched/internal/core"
 	"bsched/internal/deps"
+	"bsched/internal/engine"
 	"bsched/internal/pipeline"
 	"bsched/internal/regalloc"
+)
+
+// The cache key, entry and response shapes moved to internal/engine
+// with the compile kernel; the aliases keep this package's public
+// surface (and every existing test) unchanged.
+type (
+	// Key is the content-addressed cache key: program fingerprint plus
+	// options fingerprint.
+	Key = engine.Key
+	// Entry is one single-flight cache slot.
+	Entry = engine.Entry
+	// CompileResponse is the body of a successful POST /v1/compile.
+	CompileResponse = engine.CompileResponse
+	// BlockSummary is the per-block slice of a CompileResponse.
+	BlockSummary = engine.BlockSummary
+	// DegradationEvent mirrors compile.Event for JSON.
+	DegradationEvent = engine.DegradationEvent
 )
 
 // Budget tiers. A tier names a per-block work allowance so that clients
@@ -219,61 +236,6 @@ func (o *RequestOptions) fingerprint() uint64 {
 	return binary.LittleEndian.Uint64(out[:8])
 }
 
-// BlockSummary is the per-block slice of a CompileResponse.
-type BlockSummary struct {
-	Label string `json:"label"`
-	// Instrs counts the final scheduled instructions (spill code
-	// included).
-	Instrs int `json:"instrs"`
-	// VNops1 is the number of starvation no-op slots in the pass-1
-	// schedule, the paper's latency-boundness diagnostic.
-	VNops1 int `json:"vnops_pass1"`
-	// Spill totals.
-	SpillLoads  int `json:"spill_loads"`
-	SpillStores int `json:"spill_stores"`
-	MaxPressure int `json:"max_pressure"`
-	// WorkUsed is the budget charge across all rungs.
-	WorkUsed int64 `json:"work_used"`
-	Degraded bool  `json:"degraded,omitempty"`
-}
-
-// DegradationEvent mirrors compile.Event for JSON.
-type DegradationEvent struct {
-	Block  string `json:"block"`
-	Pass   int    `json:"pass"`
-	Stage  string `json:"stage"`
-	From   string `json:"from"`
-	To     string `json:"to"`
-	Reason string `json:"reason"`
-	// Deadline is true when the downgrade was forced by the request's
-	// wall-clock deadline rather than its budget tier; such results are
-	// served but never cached.
-	Deadline bool `json:"deadline,omitempty"`
-}
-
-// CompileResponse is the body of a successful POST /v1/compile. Cached
-// responses share the immutable compilation fields; the per-request
-// fields (Cached, Coalesced, ServiceMillis) are stamped on a copy.
-type CompileResponse struct {
-	// Program is the fully scheduled program, rendered in the same
-	// textual IR the request used.
-	Program string `json:"program"`
-	// Blocks summarizes each block in program order.
-	Blocks []BlockSummary `json:"blocks"`
-	// Degradations lists every ladder downgrade across the program.
-	Degradations []DegradationEvent `json:"degradations,omitempty"`
-	// Fingerprint and OptionsFingerprint echo the cache key (hex).
-	Fingerprint        string `json:"fingerprint"`
-	OptionsFingerprint string `json:"options_fingerprint"`
-	// Cached is true when the response was served from a completed cache
-	// entry; Coalesced when this request waited on an identical in-flight
-	// compilation instead of starting its own.
-	Cached    bool `json:"cached"`
-	Coalesced bool `json:"coalesced,omitempty"`
-	// ServiceMillis is this request's wall-clock service time.
-	ServiceMillis float64 `json:"service_ms"`
-}
-
 // ErrorResponse is the body of every non-200 response.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -284,46 +246,4 @@ type ErrorResponse struct {
 	Block string `json:"block,omitempty"`
 	// RetryAfterSeconds accompanies 503 backpressure rejections.
 	RetryAfterSeconds int `json:"retry_after_s,omitempty"`
-}
-
-// buildResponse renders a hardened compile result as the shared
-// (cacheable) part of a response.
-func buildResponse(res *compile.Result, key Key) *CompileResponse {
-	out := &CompileResponse{
-		Program:            res.Program.String(),
-		Fingerprint:        fmt.Sprintf("%016x", key.Prog),
-		OptionsFingerprint: fmt.Sprintf("%016x", key.Opts),
-	}
-	for _, br := range res.Blocks {
-		s := BlockSummary{
-			Label:       br.Block.Label,
-			Instrs:      len(br.Block.Instrs),
-			SpillLoads:  br.Spill.SpillLoads,
-			SpillStores: br.Spill.SpillStores,
-			MaxPressure: br.Spill.MaxPressure,
-			WorkUsed:    br.WorkUsed,
-			Degraded:    br.Degraded(),
-		}
-		if br.Pass1 != nil {
-			s.VNops1 = br.Pass1.VNops
-		}
-		out.Blocks = append(out.Blocks, s)
-	}
-	for _, e := range res.Degradations {
-		out.Degradations = append(out.Degradations, DegradationEvent{
-			Block: e.Block, Pass: e.Pass, Stage: e.Stage,
-			From: e.From, To: e.To, Reason: e.Reason, Deadline: e.Deadline,
-		})
-	}
-	return out
-}
-
-// stamped returns a copy of the shared response with the per-request
-// fields set; the shared slices stay aliased and must not be mutated.
-func (r *CompileResponse) stamped(cached, coalesced bool, service time.Duration) *CompileResponse {
-	c := *r
-	c.Cached = cached
-	c.Coalesced = coalesced
-	c.ServiceMillis = float64(service.Microseconds()) / 1000
-	return &c
 }

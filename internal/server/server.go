@@ -1,6 +1,8 @@
-// Package server turns the hardened compiler front door
-// (bsched/internal/compile) into a long-lived concurrent compilation
-// service: the engine behind the bschedd daemon.
+// Package server is the HTTP frontend of the bschedd daemon: it turns
+// the compile/cache/coalesce kernel (bsched/internal/engine) into a
+// long-lived concurrent compilation service, and — with Config.Peers
+// set — into one node of a consistent-hash fleet (bsched/internal/
+// cluster, docs/CLUSTER.md).
 //
 // Architecture, in one request's lifetime:
 //
@@ -10,9 +12,13 @@
 //	   │    ├─ completed entry  → memory hit, respond immediately
 //	   │    ├─ in-flight entry  → coalesce: wait on the leader's result,
 //	   │    │                     bounded by this request's own deadline
-//	   │    └─ absent           → leader: probe the persistent cache
+//	   │    └─ absent           → leader: probe the persistent cache,
 //	   │         ├─ valid disk record → disk hit: decode, complete the
 //	   │         │                      entry, respond (no compilation)
+//	   │         ├─ foreign-owned key → probe the ring owner under a
+//	   │         │    strict budget; a peer hit responds without
+//	   │         │    compiling, any peer failure falls back to a
+//	   │         │    local compile — never a client error
 //	   │         └─ none              → enqueue a job
 //	   ├─ bounded queue, fixed worker pool — the queue full is an explicit
 //	   │    503 + Retry-After (backpressure), never an unbounded goroutine
@@ -24,20 +30,25 @@
 // one compilation. With Config.CacheDir set, a write-behind persistent
 // layer (checksummed append-only segments, replayed at startup) sits
 // under the memory cache, so a restarted daemon serves previously
-// compiled programs warm — see docs/SERVER.md, "Persistent cache".
+// compiled programs warm — see docs/SERVER.md, "Persistent cache". All
+// of that lives in internal/engine; this package owns HTTP, the metrics
+// registry, tenant quotas, tracing and logging, plus the peer protocol
+// endpoints (GET /v1/peer/lookup/{key}, PUT /v1/peer/offer/{key}) the
+// cluster layer speaks.
 //
 // Observability (see docs/OBSERVABILITY.md for the full catalog): every
 // counter, gauge and latency histogram lives in an internal/obs
 // registry. GET /metrics renders it in Prometheus text exposition
 // format; GET /stats serves the same instruments as a JSON snapshot
 // (p50/p99 plus per-stage and per-tier latency breakdowns); GET
-// /healthz is a liveness probe. Per-stage timings cover the whole
-// request path — parse, cache lookup, queue wait, worker-side compile —
-// and, through compile.Options.Observer, the pipeline stages inside a
-// compilation (deps, weights, schedule, regalloc). When Config.Logger
-// is set, every request additionally emits one structured log line
-// carrying a process-unique request ID (also returned in the
-// X-Request-ID response header).
+// /healthz is a liveness probe that also reports fleet degradation.
+// Per-stage timings cover the whole request path — parse, cache lookup,
+// queue wait, worker-side compile — and, through
+// compile.Options.Observer, the pipeline stages inside a compilation
+// (deps, weights, schedule, regalloc). When Config.Logger is set, every
+// request additionally emits one structured log line carrying a
+// process-unique request ID (also returned in the X-Request-ID response
+// header).
 package server
 
 import (
@@ -48,12 +59,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"sync"
 	"time"
 
 	"bsched/internal/admission"
 	"bsched/internal/chaos"
+	"bsched/internal/cluster"
 	"bsched/internal/compile"
+	"bsched/internal/engine"
 	"bsched/internal/ir"
 	"bsched/internal/obs"
 )
@@ -132,18 +144,39 @@ type Config struct {
 	// slow-compile and latency-spike delays plus disk-error faults for
 	// exercising the breaker. Nil in production.
 	Chaos *chaos.Injector
+
+	// Peers, when non-empty, joins this daemon to a fleet: the listed
+	// base URLs plus SelfURL form a consistent-hash ring over cache keys
+	// (docs/CLUSTER.md). Empty runs a standalone node whose behavior is
+	// identical to a build without the cluster layer.
+	Peers []string
+	// SelfURL is this node's advertised base URL — its identity on the
+	// ring. Required when Peers is non-empty; peers must list exactly
+	// this string for the fleet to agree on ownership.
+	SelfURL string
+	// RingReplicas is the virtual-node count per node on the ring. Zero
+	// means cluster.DefaultReplicas.
+	RingReplicas int
+	// PeerProbeTimeout bounds one peer lookup round trip; a probe that
+	// misses it falls back to a local compile. Zero means
+	// cluster.DefaultProbeTimeout.
+	PeerProbeTimeout time.Duration
 }
 
-// Defaults for Config's zero fields.
+// Defaults for Config's zero fields. The sizing constants live with the
+// engine now; the aliases keep this package's public surface unchanged.
 const (
 	// DefaultQueueDepth is the bounded-queue capacity when
 	// Config.QueueDepth is zero.
-	DefaultQueueDepth = 64
+	DefaultQueueDepth = engine.DefaultQueueDepth
 	// DefaultCacheCapacity is the schedule-cache size, in entries, when
 	// Config.CacheCapacity is zero.
-	DefaultCacheCapacity = 1024
+	DefaultCacheCapacity = engine.DefaultCacheCapacity
 	// DefaultCacheShards is how many ways the schedule cache is sharded.
-	DefaultCacheShards = 16
+	DefaultCacheShards = engine.DefaultCacheShards
+	// DefaultCacheMaxBytes bounds the persistent cache on disk when
+	// Config.CacheMaxBytes is zero.
+	DefaultCacheMaxBytes = engine.DefaultCacheMaxBytes
 	// DefaultMaxRequestBytes caps the request body when
 	// Config.MaxRequestBytes is zero.
 	DefaultMaxRequestBytes = 1 << 20
@@ -183,109 +216,86 @@ func (c Config) withDefaults() Config {
 // deadline expiry (which never fails a shared entry). Queue rejections
 // surface as admission.ErrShed / admission.ErrFull; errBusy is the
 // generic queue-rejection failure coalesced waiters observe.
+// errShutdown is the engine's: the kernel fails queued entries with it
+// at Close, and the handlers map it to 503 like their own sentinels.
 var (
 	errBusy       = errors.New("compilation queue full")
-	errShutdown   = errors.New("server shutting down")
+	errShutdown   = engine.ErrShutdown
 	errDeadline   = errors.New("request deadline exceeded awaiting compilation")
 	errInfeasible = errors.New("deadline below the current compile-time estimate for this tier")
 )
 
-// job is one queued compilation: the leader request's parsed program and
-// lowered options, bound for the worker pool.
-type job struct {
-	prog    *ir.Program
-	opts    compile.Options
-	timeout time.Duration
-	key     Key
-	e       *entry
-	// tier labels the per-tier compile-duration histogram; enqueued
-	// feeds the queue-wait stage timing.
-	tier     string
-	enqueued time.Time
-	// priority is the admission class the job queued under; instrs is
-	// the parsed program's instruction count, which feeds the per-tier
-	// cost estimator after the compile.
-	priority admission.Priority
-	instrs   int
-	// tr is the leader request's trace and queueSpan its open
-	// queue-wait span; the worker closes the span at pickup and hangs
-	// the compile (and per-block stage) spans off the same trace. Both
-	// nil when tracing is disabled.
-	tr        *obs.Trace
-	queueSpan *obs.Span
-}
-
 // Server is the compilation service. Create with New, serve via
-// Handler, stop with Close.
+// Handler, stop with Close. The compile/cache/queue kernel lives in
+// s.eng; the Server owns everything HTTP-shaped around it.
 type Server struct {
-	cfg Config
-	// adm replaced the old single bounded FIFO channel: a two-priority
-	// weighted queue with CoDel-style sojourn shedding and a drain-rate
-	// estimate that makes every Retry-After honest.
-	adm     *admission.Queue[*job]
-	quota   *admission.Quota   // nil when Config.TenantRate == 0
-	breaker *admission.Breaker // disk-cache circuit breaker
-	est     *compile.CostEstimator
-	chaos   *chaos.Injector // nil without -chaos
-	cache   *cache
-	disk    *diskCache // nil without Config.CacheDir
+	cfg     Config
+	eng     *engine.Engine
+	cluster *cluster.Client  // nil without Config.Peers
+	quota   *admission.Quota // nil when Config.TenantRate == 0
 	stats   *Stats
 	log     *obs.Logger
 	tracer  *obs.Tracer // nil when Config.TraceCapacity < 0
 	start   time.Time
-	// blockPar is the per-job block parallelism: GOMAXPROCS split across
-	// the worker pool, so a saturated pool runs ~one block compilation
-	// per CPU instead of Workers × GOMAXPROCS goroutines.
-	blockPar int
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
-	once   sync.Once
-
-	// compileFn is the compilation the workers run; tests substitute it
-	// to count invocations and to block the pool at will.
+	// compileFn is the compilation the engine's workers run; tests
+	// substitute it to count invocations and to block the pool at will.
+	// The engine reads it through a closure at call time, so assigning
+	// the field after New (before traffic) takes effect.
 	compileFn func(context.Context, *ir.Program, compile.Options) (*compile.Result, error)
 }
 
-// New builds the service and starts its worker pool. The only failure
-// mode is an unusable persistent-cache directory (Config.CacheDir):
-// corrupt cache *data* never fails startup — damaged records are
-// counted and skipped during replay.
+// New builds the service and starts its worker pool. The failure modes
+// are an unusable persistent-cache directory (Config.CacheDir) and an
+// inconsistent cluster config (Peers without SelfURL): corrupt cache
+// *data* never fails startup — damaged records are counted and skipped
+// during replay.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	ctx, cancel := context.WithCancel(context.Background())
-	blockPar := runtime.GOMAXPROCS(0) / cfg.Workers
-	if blockPar < 1 {
-		blockPar = 1
-	}
 	s := &Server{
 		cfg: cfg,
-		adm: admission.NewQueue[*job](admission.Config{
-			Depth:             cfg.QueueDepth,
-			InteractiveWeight: cfg.InteractiveWeight,
-			CoDelTarget:       cfg.CoDelTarget,
-			CoDelInterval:     cfg.CoDelInterval,
-		}),
 		quota: admission.NewQuota(admission.QuotaConfig{
 			Rate:  cfg.TenantRate,
 			Burst: cfg.TenantBurst,
 		}),
-		est:       compile.NewCostEstimator(),
-		chaos:     cfg.Chaos,
-		cache:     newCache(cfg.CacheCapacity, cfg.CacheShards),
 		stats:     newStats(),
 		log:       cfg.Logger,
 		start:     time.Now(),
-		blockPar:  blockPar,
-		ctx:       ctx,
-		cancel:    cancel,
 		compileFn: compile.Run,
 	}
-	s.breaker = admission.NewBreaker(admission.BreakerConfig{
-		Threshold: cfg.BreakerThreshold,
-		Cooldown:  cfg.BreakerCooldown,
-		OnTransition: func(from, to admission.BreakerState) {
+	if len(cfg.Peers) > 0 {
+		cl, err := cluster.New(cluster.Config{
+			Self:         cfg.SelfURL,
+			Peers:        cfg.Peers,
+			Replicas:     cfg.RingReplicas,
+			ProbeTimeout: cfg.PeerProbeTimeout,
+			Metrics:      s.stats.clusterMetrics(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+	}
+	ecfg := engine.Config{
+		Workers:           cfg.Workers,
+		QueueDepth:        cfg.QueueDepth,
+		CacheCapacity:     cfg.CacheCapacity,
+		CacheShards:       cfg.CacheShards,
+		CacheDir:          cfg.CacheDir,
+		CacheMaxBytes:     cfg.CacheMaxBytes,
+		InteractiveWeight: cfg.InteractiveWeight,
+		CoDelTarget:       cfg.CoDelTarget,
+		CoDelInterval:     cfg.CoDelInterval,
+		BreakerThreshold:  cfg.BreakerThreshold,
+		BreakerCooldown:   cfg.BreakerCooldown,
+		Chaos:             cfg.Chaos,
+		DiskMetrics:       s.stats.disk,
+		ObserveStage:      s.stats.observeStage,
+		ObserveTier: func(tier string, d time.Duration) {
+			s.stats.tiers.With(tier).ObserveDuration(d)
+		},
+		OnDegradations: func(n int) { s.stats.degradations.Add(int64(n)) },
+		OnBreakerTransition: func(from, to admission.BreakerState) {
 			switch {
 			case to == admission.BreakerOpen:
 				s.stats.breakerTrip.Inc()
@@ -295,33 +305,41 @@ func New(cfg Config) (*Server, error) {
 				s.stats.breakerClose.Inc()
 			}
 		},
-	})
-	if cfg.CacheDir != "" {
-		d, err := openDiskCache(cfg.CacheDir, cfg.CacheMaxBytes, s.stats.disk, s.breaker, s.chaos)
-		if err != nil {
-			cancel()
-			return nil, err
-		}
-		s.disk = d
+		CompileFn: func(ctx context.Context, p *ir.Program, o compile.Options) (*compile.Result, error) {
+			return s.compileFn(ctx, p, o)
+		},
 	}
+	if s.cluster != nil {
+		// Assigned only when non-nil: a typed-nil *cluster.Client in the
+		// interface field would defeat the engine's Peers == nil check.
+		ecfg.Peers = s.cluster
+	}
+	eng, err := engine.New(ecfg)
+	if err != nil {
+		if s.cluster != nil {
+			s.cluster.Close()
+		}
+		return nil, err
+	}
+	s.eng = eng
 	if cfg.TraceCapacity >= 0 {
 		s.tracer = obs.NewTracer(obs.NewTraceStore(cfg.TraceCapacity, cfg.TraceSampleEvery))
 	}
 	// Gauges are function-backed: sampled at scrape time from the state
-	// the server owns, so they can never drift from the truth.
+	// the engine owns, so they can never drift from the truth.
 	reg := s.stats.reg
 	reg.Gauge("bschedd_queue_depth",
 		"Accepted-but-unstarted compilations currently waiting, summed across both priority classes.",
-		func() float64 { return float64(s.adm.Len()) })
+		func() float64 { return float64(s.eng.QueueLen()) })
 	reg.Gauge("bschedd_queue_capacity",
 		"Capacity of the admission queue: per-class depth (-queue) times the two priority classes.",
-		func() float64 { return float64(s.adm.Capacity()) })
+		func() float64 { return float64(s.eng.QueueCapacity()) })
 	reg.Gauge("bschedd_retry_after_seconds",
 		"The adaptive Retry-After a 503 rejection would carry right now, from the admission queue's drain-rate estimate.",
-		func() float64 { return float64(s.adm.RetryAfterSeconds()) })
+		func() float64 { return float64(s.eng.RetryAfterSeconds()) })
 	reg.Gauge("bschedd_breaker_state",
 		"Disk-cache circuit-breaker position: 0 closed, 1 open, 2 half-open.",
-		func() float64 { return float64(s.breaker.State()) })
+		func() float64 { return float64(s.eng.BreakerState()) })
 	reg.Gauge("bschedd_quota_tenants",
 		"Tenant token buckets currently tracked; 0 with quotas disabled (-tenant-rate 0).",
 		func() float64 { return float64(s.quota.Tenants()) })
@@ -330,7 +348,7 @@ func New(cfg Config) (*Server, error) {
 		func() float64 { return float64(cfg.Workers) })
 	reg.Gauge("bschedd_cache_entries",
 		"Entries resident in the schedule cache across all shards.",
-		func() float64 { return float64(s.cache.len()) })
+		func() float64 { return float64(s.eng.CacheLen()) })
 	reg.Gauge("bschedd_uptime_seconds",
 		"Seconds since the service started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -339,140 +357,46 @@ func New(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.tracer.Store().Len()) })
 	reg.Gauge("bschedd_diskcache_entries",
 		"Records currently indexed (servable) in the persistent schedule cache; 0 without -cache-dir.",
-		func() float64 { return float64(s.disk.entries()) })
+		func() float64 { return float64(s.eng.DiskEntries()) })
 	reg.Gauge("bschedd_diskcache_bytes",
 		"Bytes of live (indexed) records in the persistent schedule cache; 0 without -cache-dir.",
-		func() float64 { return float64(s.disk.bytes()) })
+		func() float64 { return float64(s.eng.DiskBytes()) })
 	reg.Gauge("bschedd_diskcache_warm_entries",
 		"Records indexed from segment replay when this process started — the warm-start figure; 0 without -cache-dir.",
-		func() float64 { return float64(s.disk.warmEntries()) })
+		func() float64 { return float64(s.eng.DiskWarmEntries()) })
+	reg.Gauge("bschedd_peer_ring_nodes",
+		"Real nodes on the consistent-hash ring this node places keys over; 1 for a standalone daemon (no -peers).",
+		func() float64 {
+			if s.cluster == nil {
+				return 1
+			}
+			return float64(s.cluster.RingNodes())
+		})
 	registerRuntimeMetrics(reg)
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
-	}
 	return s, nil
 }
 
-// Close stops the worker pool, fails any still-queued jobs with a
-// shutdown error, and flushes the persistent cache's write-behind queue
-// so completed compilations survive the restart. In-flight compilations
-// observe the cancelled context and finish quickly through the
-// degradation ladder. Safe to call twice.
+// Close stops the engine (worker pool, queued jobs failed with a
+// shutdown error, persistent cache flushed) and the cluster client's
+// offer drain. Safe to call twice.
 func (s *Server) Close() {
-	s.once.Do(func() {
-		s.cancel()
-		s.wg.Wait()
-		s.adm.Close()
-		for {
-			j, _, ok := s.adm.TryPop()
-			if !ok {
-				break
-			}
-			s.cache.remove(j.key, j.e)
-			j.e.complete(nil, errShutdown)
-		}
-		s.disk.close()
-	})
-}
-
-// worker drains the admission queue until shutdown, taking jobs in
-// weighted-priority order.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for {
-		j, _, ok := s.adm.Pop(s.ctx)
-		if !ok {
-			return
-		}
-		s.runJob(j)
+	s.eng.Close()
+	if s.cluster != nil {
+		s.cluster.Close()
 	}
-}
-
-// runJob compiles one job and publishes its entry. Errors are removed
-// from the cache (they must not be served to later requests) but still
-// complete the entry so coalesced waiters observe them.
-func (s *Server) runJob(j *job) {
-	s.stats.stages.With(stageQueue).ObserveDuration(time.Since(j.enqueued))
-	j.queueSpan.End()
-	ctx, cancel := context.WithTimeout(s.ctx, j.timeout)
-	defer cancel()
-	opts := j.opts
-	compileSpan := j.tr.StartSpan(nil, "compile")
-	if j.tr != nil {
-		// Per-block per-stage spans: the compiler reports each stage's
-		// block, pass, start and duration through the SpanObserver seam;
-		// each record becomes a child of the compile span. Observations
-		// arrive concurrently when blocks compile in parallel — the trace
-		// serializes appends internally.
-		opts.SpanObserver = func(rec compile.StageSpan) {
-			sp := j.tr.SpanAt(compileSpan, rec.Stage, rec.Start, rec.Duration)
-			sp.SetAttr("block", rec.Block)
-			if rec.Pass > 0 {
-				sp.SetAttr("pass", fmt.Sprint(rec.Pass))
-			}
-		}
-	}
-	s.chaos.Delay(chaos.SlowCompile)
-	compileStart := time.Now()
-	res, err := s.compileFn(ctx, j.prog, opts)
-	elapsed := time.Since(compileStart)
-	s.stats.stages.With(stageCompile).ObserveDuration(elapsed)
-	s.stats.tiers.With(j.tier).ObserveDuration(elapsed)
-	if err == nil {
-		// Feed the per-tier cost model that deadline-aware admission
-		// compares deadlines against. Failed compiles are excluded: their
-		// elapsed time measures the failure, not the tier's cost.
-		s.est.Observe(j.tier, j.instrs, elapsed)
-	}
-	if err != nil {
-		compileSpan.EndErr(err)
-		s.cache.remove(j.key, j.e)
-		j.e.complete(nil, err)
-		return
-	}
-	if len(res.Degradations) > 0 {
-		compileSpan.Event("degraded")
-		j.tr.SetDegraded()
-	}
-	compileSpan.End()
-	s.stats.degradations.Add(int64(len(res.Degradations)))
-	resp := buildResponse(res, j.key)
-	if deadlineDegraded(res) {
-		// The schedule is valid for the request whose deadline forced the
-		// cheap rungs, but not for the key: the deadline is not part of
-		// the key, so caching it would serve the degraded schedule to
-		// later requests with generous deadlines. Serve it, don't cache
-		// it — in memory or on disk.
-		s.cache.remove(j.key, j.e)
-	} else {
-		// Same cacheability rule as the in-memory layer: only clean (or
-		// deterministically tier-degraded) results are persisted.
-		s.disk.put(j.key, resp)
-	}
-	j.e.complete(resp, nil)
-}
-
-// deadlineDegraded reports whether any downgrade was forced by the wall
-// clock (context deadline or shutdown) rather than the work-budget tier.
-// Tier-driven downgrades are deterministic and cacheable — the tier is
-// part of the cache key; wall-clock ones are not.
-func deadlineDegraded(res *compile.Result) bool {
-	for _, e := range res.Degradations {
-		if e.Deadline {
-			return true
-		}
-	}
-	return false
 }
 
 // Handler returns the service's HTTP routes, wrapped in the
-// request-ID/logging middleware.
+// request-ID/logging middleware. The peer endpoints are always
+// registered — a standalone node answers peer lookups from its own
+// cache, which keeps the protocol testable without a fleet.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.handleCompile)
 	mux.HandleFunc("/v1/traces", s.handleTraces)
 	mux.HandleFunc("/v1/traces/", s.handleTraceByID)
+	mux.HandleFunc("/v1/peer/lookup/", s.handlePeerLookup)
+	mux.HandleFunc("/v1/peer/offer/", s.handlePeerOffer)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.stats.reg.Handler())
@@ -589,52 +513,108 @@ func (s *Server) logged(h http.Handler) http.Handler {
 // there is one and it holds a valid record for the key. The served
 // response also becomes the completed in-memory entry, so subsequent
 // identical requests are plain memory hits; the root span gets a
-// disk-hit event so traces distinguish all three dispositions (memory
-// hit, disk hit, miss).
-func (s *Server) diskServe(key Key, e *entry, r *http.Request, tr *obs.Trace) (*CompileResponse, bool) {
-	if s.disk == nil {
+// disk-hit event so traces distinguish the dispositions (memory hit,
+// disk hit, peer hit, miss).
+func (s *Server) diskServe(key Key, e *Entry, r *http.Request, tr *obs.Trace) (*CompileResponse, bool) {
+	if s.cfg.CacheDir == "" {
 		return nil, false
 	}
 	span := tr.StartSpan(nil, "disk-lookup")
-	start := time.Now()
-	resp, ok := s.disk.get(key)
-	s.stats.stages.With(stageDisk).ObserveDuration(time.Since(start))
+	resp, ok := s.eng.DiskGet(key)
 	span.End()
 	if !ok {
 		return nil, false
 	}
 	note(r, "cache", "disk")
 	tr.Root().Event("disk-hit")
-	e.complete(resp, nil)
+	e.Complete(resp, nil)
+	return resp, true
+}
+
+// peerServe probes a foreign key's ring owner and, on a hit, completes
+// the leader's entry with the peer's response — one round trip instead
+// of a compilation. Every non-hit outcome (miss, breaker-skipped,
+// transport error, budget exceeded) returns false and the caller
+// compiles locally; a peer can slow a request by at most the probe
+// budget, never fail it.
+func (s *Server) peerServe(key Key, e *Entry, r *http.Request, tr *obs.Trace) (*CompileResponse, bool) {
+	if s.cluster == nil {
+		return nil, false
+	}
+	owner, self := s.cluster.Owner(key)
+	if self {
+		return nil, false
+	}
+	span := tr.StartSpan(nil, "peer-probe")
+	span.SetAttr("owner", owner)
+	traceparent := ""
+	if tr != nil {
+		// The probe span is the parent of whatever the owner records, so
+		// the two nodes' spans assemble into one cross-node tree.
+		traceparent = obs.FormatTraceparent(tr.ID, span.ID)
+	}
+	resp, outcome := s.cluster.Probe(r.Context(), owner, key, traceparent)
+	span.SetAttr("outcome", outcome.String())
+	if resp == nil {
+		span.End()
+		return nil, false
+	}
+	span.End()
+	note(r, "cache", "peer")
+	tr.Root().Event("peer-hit")
+	e.Complete(resp, nil)
 	return resp, true
 }
 
 // Stats returns a point-in-time snapshot of the service counters.
 func (s *Server) Stats() Snapshot {
 	snap := s.stats.snapshot()
-	q := s.adm.Snapshot()
+	q := s.eng.QueueSnapshot()
 	snap.QueueDepth = q.Interactive + q.Batch
-	snap.QueueCapacity = s.adm.Capacity()
+	snap.QueueCapacity = s.eng.QueueCapacity()
 	snap.QueueInteractive = q.Interactive
 	snap.QueueBatch = q.Batch
 	snap.RetryAfterSeconds = q.RetryAfterSeconds
-	snap.BreakerState = s.breaker.State().String()
-	snap.BreakerTrips = s.breaker.Trips()
+	snap.BreakerState = s.eng.BreakerState().String()
+	snap.BreakerTrips = s.eng.BreakerTrips()
 	snap.QuotaTenants = s.quota.Tenants()
 	snap.Workers = s.cfg.Workers
-	snap.CacheEntries = s.cache.len()
+	snap.CacheEntries = s.eng.CacheLen()
 	snap.TracesRetained = s.tracer.Store().Len()
-	snap.DiskEntries = s.disk.entries()
-	snap.DiskBytes = s.disk.bytes()
-	snap.DiskWarmEntries = s.disk.warmEntries()
+	snap.DiskEntries = s.eng.DiskEntries()
+	snap.DiskBytes = s.eng.DiskBytes()
+	snap.DiskWarmEntries = s.eng.DiskWarmEntries()
+	if s.cluster != nil {
+		snap.Cluster = s.stats.clusterSummary(s.cluster)
+	}
 	return snap
 }
 
+// handleHealthz is the liveness probe. A healthy standalone daemon
+// answers exactly as it always has; the degraded field (and its
+// reasons) appears only when the disk circuit breaker is open or more
+// than half of the fleet's peers are unreachable — "up, but don't
+// route new traffic here first".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
 		"uptime_s": time.Since(s.start).Seconds(),
-	})
+	}
+	var reasons []string
+	if s.eng.BreakerState() == admission.BreakerOpen {
+		reasons = append(reasons, "disk-cache circuit breaker open")
+	}
+	if s.cluster != nil {
+		unreachable := s.cluster.Unreachable()
+		if peers := len(s.cluster.Peers()); 2*len(unreachable) > peers {
+			reasons = append(reasons, fmt.Sprintf("%d of %d peers unreachable", len(unreachable), peers))
+		}
+	}
+	if len(reasons) > 0 {
+		body["degraded"] = true
+		body["reasons"] = reasons
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -659,7 +639,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, &ErrorResponse{Error: "POST only"})
 		return
 	}
-	s.chaos.Delay(chaos.LatencySpike)
+	s.cfg.Chaos.Delay(chaos.LatencySpike)
 	started := time.Now()
 	tr := obs.TraceFrom(r.Context())
 
@@ -739,7 +719,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	s.stats.requests.Add(1)
 	deadline := s.timeout(req.TimeoutMillis)
-	opts.Parallelism = s.blockPar
+	opts.Parallelism = s.eng.BlockParallelism()
 	opts.Observer = s.stats.observeStage
 	tier := req.Options.Budget
 	if tier == "" {
@@ -748,7 +728,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	lookupSpan := tr.StartSpan(nil, "cache-lookup")
 	lookupStart := time.Now()
 	key := Key{Prog: prog.Fingerprint(), Opts: req.Options.fingerprint()}
-	e, leader := s.cache.lookup(key)
+	e, leader := s.eng.Lookup(key)
 	s.stats.stages.With(stageLookup).ObserveDuration(time.Since(lookupStart))
 	lookupSpan.End()
 	note(r, "fingerprint", fmt.Sprintf("%016x", key.Prog), "tier", tier, "priority", prio.String())
@@ -765,7 +745,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// probe happens under this request's single-flight leadership, so
 		// N concurrent identical requests still cost one disk read.
 		if resp, ok := s.diskServe(key, e, r, tr); ok {
-			s.respond(w, r, resp.stamped(true, false, time.Since(started)))
+			s.respond(w, r, resp.Stamped(true, false, time.Since(started)))
+			return
+		}
+		// Foreign-owned key: ask the ring owner before compiling. Same
+		// single-flight guarantee — one probe per in-flight key, and any
+		// failure just falls through to the local compile below.
+		if resp, ok := s.peerServe(key, e, r, tr); ok {
+			s.respond(w, r, resp.Stamped(true, false, time.Since(started)))
 			return
 		}
 		s.stats.cacheMisses.Add(1)
@@ -777,19 +764,19 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// queueing it would only burn a worker on a result nobody waits
 		// for. Fail fast instead. The estimator reports zero (no opinion)
 		// until it has enough samples, so cold tiers always admit.
-		if est := s.est.Estimate(tier, instrs); est > 0 && est > deadline-time.Since(started) {
+		if est := s.eng.Estimate(tier, instrs); est > 0 && est > deadline-time.Since(started) {
 			s.stats.infeasible.Inc()
 			root.Event("503-infeasible")
 			root.SetAttr("estimate_ms", fmt.Sprint(est.Milliseconds()))
-			s.cache.remove(key, e)
-			e.complete(nil, errInfeasible)
+			s.eng.Remove(key, e)
+			e.Complete(nil, errInfeasible)
 			s.respondError(w, errInfeasible)
 			return
 		}
-		j := &job{prog: prog, opts: opts, timeout: deadline, key: key, e: e,
-			tier: tier, enqueued: time.Now(), priority: prio, instrs: instrs,
-			tr: tr, queueSpan: tr.StartSpan(nil, "queue-wait")}
-		if err := s.adm.Push(prio, j); err != nil {
+		j := &engine.Job{Prog: prog, Opts: opts, Timeout: deadline, Key: key, E: e,
+			Tier: tier, Priority: prio, Instrs: instrs,
+			Tr: tr, QueueSpan: tr.StartSpan(nil, "queue-wait")}
+		if err := s.eng.Enqueue(j); err != nil {
 			// Rejected at admission: CoDel shedding (the queue has room but
 			// accepted work is already waiting past target) or the hard
 			// depth bound. Either way, fail the entry so coalesced requests
@@ -797,8 +784,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			// record the queue-wait span *and* histogram for the shed
 			// request, so shedding is visible in traces and /stats rather
 			// than only in requests that eventually ran.
-			s.stats.stages.With(stageQueue).ObserveDuration(time.Since(j.enqueued))
-			j.queueSpan.EndErr(err)
+			s.stats.stages.With(stageQueue).ObserveDuration(time.Since(j.Enqueued))
+			j.QueueSpan.EndErr(err)
 			if errors.Is(err, admission.ErrShed) {
 				s.stats.shedSojourn.Inc()
 				root.Event("503-shed")
@@ -806,17 +793,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 				s.stats.shedFull.Inc()
 				root.Event("503-backpressure")
 			}
-			s.cache.remove(key, e)
-			e.complete(nil, errBusy)
+			s.eng.Remove(key, e)
+			e.Complete(nil, errBusy)
 			s.respondError(w, err)
 			return
 		}
 		s.stats.queueReqs.With(prio.String()).Inc()
-	case e.completed():
+	case e.Completed():
 		s.stats.cacheHits.Add(1)
 		note(r, "cache", "hit")
 		root.Event("cache-hit")
-		s.respond(w, r, e.resp.stamped(true, false, time.Since(started)))
+		s.respond(w, r, e.Resp.Stamped(true, false, time.Since(started)))
 		return
 	default:
 		coalesced = true
@@ -840,13 +827,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		waitSpan = tr.StartSpan(nil, "coalesced-wait")
 	}
 	select {
-	case <-e.done:
+	case <-e.Done:
 		waitSpan.End()
-		if e.err != nil {
-			s.respondError(w, e.err)
+		if e.Err != nil {
+			s.respondError(w, e.Err)
 			return
 		}
-		s.respond(w, r, e.resp.stamped(!leader, coalesced, time.Since(started)))
+		s.respond(w, r, e.Resp.Stamped(!leader, coalesced, time.Since(started)))
 	case <-waitC:
 		waitSpan.EndErr(errDeadline)
 		s.respondError(w, errDeadline)
@@ -858,7 +845,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// simply absent from the stored snapshot (best-effort).
 		waitSpan.EndErr(r.Context().Err())
 		s.stats.clientErrors.Add(1)
-	case <-s.ctx.Done():
+	case <-s.eng.Done():
 		waitSpan.EndErr(errShutdown)
 		s.respondError(w, errShutdown)
 	}
@@ -900,7 +887,7 @@ func (s *Server) respondError(w http.ResponseWriter, err error) {
 	case errors.Is(err, errBusy), errors.Is(err, errShutdown), errors.Is(err, errDeadline),
 		errors.Is(err, errInfeasible), errors.Is(err, admission.ErrShed), errors.Is(err, admission.ErrFull):
 		s.stats.rejected.Add(1)
-		retry := s.adm.RetryAfterSeconds()
+		retry := s.eng.RetryAfterSeconds()
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusServiceUnavailable, &ErrorResponse{Error: err.Error(), RetryAfterSeconds: retry})
 	default:

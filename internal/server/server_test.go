@@ -269,7 +269,7 @@ func TestCompileHardError(t *testing.T) {
 	if errResp.Stage != "regalloc" || errResp.Block != "oops" {
 		t.Errorf("error attribution stage=%q block=%q", errResp.Stage, errResp.Block)
 	}
-	if n := s.cache.len(); n != 0 {
+	if n := s.eng.CacheLen(); n != 0 {
 		t.Errorf("failed compilation left %d cache entries", n)
 	}
 	if status, _, _ := postCompile(t, ts.URL, CompileRequest{Program: bad}); status != http.StatusUnprocessableEntity {
@@ -484,7 +484,7 @@ func TestDeadlineDegradedNotCached(t *testing.T) {
 	if len(first.Degradations) != 1 || !first.Degradations[0].Deadline {
 		t.Fatalf("degradations %+v, want one deadline-flagged event", first.Degradations)
 	}
-	if n := s.cache.len(); n != 0 {
+	if n := s.eng.CacheLen(); n != 0 {
 		t.Fatalf("deadline-degraded result left %d cache entries", n)
 	}
 	status, second, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram})

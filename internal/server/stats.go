@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"bsched/internal/cluster"
+	"bsched/internal/engine"
 	"bsched/internal/obs"
 )
 
@@ -31,19 +33,25 @@ const (
 type Stats struct {
 	reg *obs.Registry
 
-	requests      *obs.Counter // bschedd_requests_total
-	ok            *obs.Counter // bschedd_responses_total{outcome="ok"}
-	clientErrors  *obs.Counter // bschedd_responses_total{outcome="client_error"}
-	compileErrors *obs.Counter // bschedd_responses_total{outcome="compile_error"}
-	rejected      *obs.Counter // bschedd_responses_total{outcome="rejected"}
-	cacheHits     *obs.Counter // bschedd_cache_events_total{event="hit"}
-	cacheMisses   *obs.Counter // bschedd_cache_events_total{event="miss"}
-	coalesced     *obs.Counter // bschedd_cache_events_total{event="coalesced"}
-	degradations  *obs.Counter // bschedd_degradations_total
-	disk          *diskMetrics // bschedd_diskcache_* counters
+	requests      *obs.Counter        // bschedd_requests_total
+	ok            *obs.Counter        // bschedd_responses_total{outcome="ok"}
+	clientErrors  *obs.Counter        // bschedd_responses_total{outcome="client_error"}
+	compileErrors *obs.Counter        // bschedd_responses_total{outcome="compile_error"}
+	rejected      *obs.Counter        // bschedd_responses_total{outcome="rejected"}
+	cacheHits     *obs.Counter        // bschedd_cache_events_total{event="hit"}
+	cacheMisses   *obs.Counter        // bschedd_cache_events_total{event="miss"}
+	coalesced     *obs.Counter        // bschedd_cache_events_total{event="coalesced"}
+	degradations  *obs.Counter        // bschedd_degradations_total
+	disk          *engine.DiskMetrics // bschedd_diskcache_* counters
 	hist          *obs.Histogram
 	stages        *obs.HistogramVec
 	tiers         *obs.HistogramVec
+
+	// Cluster peer-protocol instruments (docs/CLUSTER.md). Eagerly
+	// materialized children so every family renders in /metrics from
+	// startup, fleet or standalone.
+	probeHit, probeMiss, probeError, probeSkip *obs.Counter // bschedd_peer_probes_total{outcome}
+	offerSent, offerDropped                    *obs.Counter // bschedd_peer_offers_total{outcome}
 
 	// Admission-control instruments (the overload-resilience PR).
 	shedSojourn   *obs.Counter    // bschedd_admission_total{outcome="shed_sojourn"}
@@ -123,25 +131,31 @@ func newStats() *Stats {
 	diskEvents := reg.CounterVec("bschedd_diskcache_events_total",
 		"Persistent schedule-cache operations: hit (record served from disk after a memory miss), miss (no valid disk record either), write (record persisted) or evict (cold record dropped at compaction). All zero without -cache-dir.",
 		"event")
-	disk := &diskMetrics{
-		hits:      diskEvents.With("hit"),
-		misses:    diskEvents.With("miss"),
-		writes:    diskEvents.With("write"),
-		evictions: diskEvents.With("evict"),
-		loaded: reg.Counter("bschedd_diskcache_records_loaded_total",
+	disk := &engine.DiskMetrics{
+		Hits:      diskEvents.With("hit"),
+		Misses:    diskEvents.With("miss"),
+		Writes:    diskEvents.With("write"),
+		Evictions: diskEvents.With("evict"),
+		Loaded: reg.Counter("bschedd_diskcache_records_loaded_total",
 			"Valid records indexed from persistent-cache segments during startup replay."),
-		corrupt: reg.Counter("bschedd_diskcache_corrupt_records_total",
+		Corrupt: reg.Counter("bschedd_diskcache_corrupt_records_total",
 			"Torn or corrupt persistent-cache records skipped (at replay, on read, or at compaction) instead of being served."),
-		ioErrors: reg.Counter("bschedd_diskcache_io_errors_total",
+		IOErrors: reg.Counter("bschedd_diskcache_io_errors_total",
 			"Persistent-cache read/append failures at the I/O layer (as opposed to corrupt data) — the signal that trips the disk circuit breaker."),
 	}
+	peerProbes := reg.CounterVec("bschedd_peer_probes_total",
+		"Peer-cache lookups this node sent to ring owners, by outcome: hit (response reused, no local compile), miss (owner had nothing either), error (transport/protocol failure — feeds the peer's circuit breaker) or skip (breaker open or in-flight bound reached; compiled locally). All zero without -peers.",
+		"outcome")
+	peerOffers := reg.CounterVec("bschedd_peer_offers_total",
+		"Write-behind offers of locally compiled foreign-owned schedules, by outcome: sent (owner acknowledged) or dropped (queue full or retries exhausted). All zero without -peers.",
+		"outcome")
 	adm := reg.CounterVec("bschedd_admission_total",
 		"Requests refused by admission control: shed_sojourn (CoDel sojourn over target), shed_full (bounded queue at capacity), quota (tenant over its token bucket) or deadline_infeasible (remaining deadline below the tier's p99 compile estimate).",
 		"outcome")
 	breaker := reg.CounterVec("bschedd_breaker_events_total",
 		"Disk-cache circuit-breaker events: trip (opened), probe (half-open probe admitted), recover (probe succeeded, closed again) or reject (disk I/O skipped while open).",
 		"event")
-	disk.rejects = breaker.With("reject")
+	disk.Rejects = breaker.With("reject")
 	return &Stats{
 		reg: reg,
 		requests: reg.Counter("bschedd_requests_total",
@@ -155,7 +169,13 @@ func newStats() *Stats {
 		coalesced:     cacheEvents.With("coalesced"),
 		degradations: reg.Counter("bschedd_degradations_total",
 			"Degradation-ladder downgrade events across all compilations."),
-		disk: disk,
+		disk:         disk,
+		probeHit:     peerProbes.With("hit"),
+		probeMiss:    peerProbes.With("miss"),
+		probeError:   peerProbes.With("error"),
+		probeSkip:    peerProbes.With("skip"),
+		offerSent:    peerOffers.With("sent"),
+		offerDropped: peerOffers.With("dropped"),
 		hist: reg.Histogram("bschedd_request_duration_seconds",
 			"End-to-end service time of successful compile requests.", nil),
 		stages: reg.HistogramVec("bschedd_stage_duration_seconds",
@@ -308,6 +328,58 @@ type Snapshot struct {
 	// heavy cardinality aggregates under "_other").
 	QuotaTenants int                      `json:"quota_tenants"`
 	Tenants      map[string]TenantSummary `json:"tenants,omitempty"`
+	// Cluster is this node's fleet view (docs/CLUSTER.md); absent for a
+	// standalone daemon, so single-node /stats output is unchanged.
+	Cluster *ClusterSummary `json:"cluster,omitempty"`
+}
+
+// ClusterSummary is the fleet slice of a Snapshot.
+type ClusterSummary struct {
+	// Self is this node's advertised URL; Peers the configured peer
+	// URLs; RingNodes the real nodes the ring places keys over
+	// (self included).
+	Self      string   `json:"self"`
+	Peers     []string `json:"peers"`
+	RingNodes int      `json:"ring_nodes"`
+	// Unreachable lists peers whose circuit breaker is currently open.
+	Unreachable []string `json:"unreachable,omitempty"`
+	// Probe and offer counters, mirroring bschedd_peer_probes_total and
+	// bschedd_peer_offers_total.
+	ProbeHits     int64 `json:"probe_hits"`
+	ProbeMisses   int64 `json:"probe_misses"`
+	ProbeErrors   int64 `json:"probe_errors"`
+	ProbeSkips    int64 `json:"probe_skips"`
+	OffersSent    int64 `json:"offers_sent"`
+	OffersDropped int64 `json:"offers_dropped"`
+}
+
+// clusterMetrics adapts the peer counters to the cluster package's
+// metric seam.
+func (s *Stats) clusterMetrics() cluster.Metrics {
+	return cluster.Metrics{
+		ProbeHit:     s.probeHit,
+		ProbeMiss:    s.probeMiss,
+		ProbeError:   s.probeError,
+		ProbeSkip:    s.probeSkip,
+		OfferSent:    s.offerSent,
+		OfferDropped: s.offerDropped,
+	}
+}
+
+// clusterSummary snapshots the fleet view for /stats.
+func (s *Stats) clusterSummary(cl *cluster.Client) *ClusterSummary {
+	return &ClusterSummary{
+		Self:          cl.Self(),
+		Peers:         cl.Peers(),
+		RingNodes:     cl.RingNodes(),
+		Unreachable:   cl.Unreachable(),
+		ProbeHits:     s.probeHit.Value(),
+		ProbeMisses:   s.probeMiss.Value(),
+		ProbeErrors:   s.probeError.Value(),
+		ProbeSkips:    s.probeSkip.Value(),
+		OffersSent:    s.offerSent.Value(),
+		OffersDropped: s.offerDropped.Value(),
+	}
 }
 
 // TenantSummary is one tenant's slice of the Snapshot.
@@ -349,13 +421,13 @@ func (s *Stats) snapshot() Snapshot {
 		CacheMisses:        s.cacheMisses.Value(),
 		Coalesced:          s.coalesced.Value(),
 		Degradations:       s.degradations.Value(),
-		DiskHits:           s.disk.hits.Value(),
-		DiskMisses:         s.disk.misses.Value(),
-		DiskWrites:         s.disk.writes.Value(),
-		DiskEvictions:      s.disk.evictions.Value(),
-		DiskRecordsLoaded:  s.disk.loaded.Value(),
-		DiskCorruptRecords: s.disk.corrupt.Value(),
-		DiskIOErrors:       s.disk.ioErrors.Value(),
+		DiskHits:           s.disk.Hits.Value(),
+		DiskMisses:         s.disk.Misses.Value(),
+		DiskWrites:         s.disk.Writes.Value(),
+		DiskEvictions:      s.disk.Evictions.Value(),
+		DiskRecordsLoaded:  s.disk.Loaded.Value(),
+		DiskCorruptRecords: s.disk.Corrupt.Value(),
+		DiskIOErrors:       s.disk.IOErrors.Value(),
 		ShedSojourn:        s.shedSojourn.Value(),
 		ShedFull:           s.shedFull.Value(),
 		QuotaRejected:      s.quotaRejected.Value(),
