@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke chaos-smoke cluster-smoke doc-lint bench bench-json repro repro-quick examples vet fmt cover clean
+.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke chaos-smoke cluster-smoke batch-smoke doc-lint bench bench-json repro repro-quick examples vet fmt cover clean
 
 all: build test
 
@@ -10,14 +10,16 @@ build:
 	$(GO) build ./...
 
 # The default test path runs go vet, the unit suites, the documentation
-# lint, the /metrics smoke check, the chaos/overload smoke check and the
-# multi-node cluster smoke check, so a vet, metric, doc, resilience or
-# fleet regression fails `make test` the same way a unit failure does.
+# lint, the /metrics smoke check, the chaos/overload smoke check, the
+# multi-node cluster smoke check and the streaming batch smoke check, so
+# a vet, metric, doc, resilience, fleet or streaming regression fails
+# `make test` the same way a unit failure does.
 test: vet doc-lint
 	$(GO) test ./...
 	$(MAKE) metrics-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) batch-smoke
 
 race test-race:
 	$(GO) test -race ./...
@@ -55,23 +57,36 @@ chaos-smoke:
 cluster-smoke:
 	$(GO) run ./cmd/bschedd -log-format none -cluster-smoke examples/ir/demo.ir
 
-# Documentation hygiene: source is gofmt-clean and the packages godoc
+# Post a two-program batch to the streaming /v1/compile/batch endpoint
+# and validate the NDJSON stream frame by frame: every block exactly
+# once, a trailer per program, a final done frame, and each distinct
+# block compiled exactly once across the batch. See docs/API.md.
+batch-smoke:
+	$(GO) run ./cmd/bschedd -log-format none -batch-smoke examples/ir/demo.ir
+
+# Documentation hygiene: source is gofmt-clean, the packages godoc
 # renders without error (a parse failure here means a malformed doc
-# comment). Vet runs as its own `make test` prerequisite.
+# comment), and the HTTP API reference covers every served endpoint.
+# Vet runs as its own `make test` prerequisite.
 doc-lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	@for pkg in ./internal/obs ./internal/server ./internal/engine ./internal/cluster ./internal/compile; do \
 		$(GO) doc $$pkg >/dev/null || exit 1; done
+	@for doc in docs/API.md docs/CACHE-KEYS.md; do \
+		[ -f $$doc ] || { echo "missing $$doc"; exit 1; }; done
+	@for ep in "POST /v1/compile" "POST /v1/compile/batch" "GET /v1/peer/lookup" "PUT /v1/peer/offer" "GET /healthz" "GET /stats" "GET /metrics" "GET /v1/traces"; do \
+		grep -q "$$ep" docs/API.md || { echo "docs/API.md missing endpoint: $$ep"; exit 1; }; done
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable perf baseline: run the serve-path and credit-pass
-# benchmarks programmatically and write BENCH_7.json (ns/op, allocs/op,
-# B/op per benchmark) so the perf trajectory can be diffed across PRs.
+# Machine-readable perf baseline: run the serve-path, block-reuse and
+# credit-pass benchmarks programmatically and write BENCH_8.json (ns/op,
+# allocs/op, B/op per benchmark) so the perf trajectory can be diffed
+# across PRs.
 bench-json:
-	$(GO) test -run '^TestBenchJSON$$' -bench-json BENCH_7.json .
+	$(GO) test -run '^TestBenchJSON$$' -bench-json BENCH_8.json .
 
 vet:
 	$(GO) vet ./...

@@ -396,12 +396,95 @@ func serveHitBench(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchBlockReuse measures the block-granular cache under
+// /v1/compile/batch: two 10-block programs per request sharing 0%, 50%
+// or 90% of their blocks. Higher sharing means fewer distinct block
+// fingerprints, so the shared blocks compile once and the rest of the
+// batch is served by single-flight coalescing — the per-request cost
+// should fall as the share rises.
+func BenchmarkBatchBlockReuse(b *testing.B) {
+	for _, shared := range []int{0, 50, 90} {
+		b.Run(fmt.Sprintf("share%d", shared), batchReuseBench(shared))
+	}
+}
+
+// reuseBlock renders one cache-distinct block: the label and the leading
+// constant together make the block fingerprint unique.
+func reuseBlock(label string, c int) string {
+	return fmt.Sprintf(`block %s freq=10
+  v0 = const %d
+  v1 = load x[v0+0]
+  v2 = load x[v0+8]
+  v3 = fadd v1, v2
+  store y[v0+0], v3
+end
+`, label, c)
+}
+
+// reusePrograms builds the two 10-block programs for one batch
+// iteration: sharedPct percent of the blocks are textually identical
+// between them, the rest are distinct, and every constant is namespaced
+// by iter so no block ever hits a previous iteration's cache entry.
+func reusePrograms(iter, sharedPct int) (string, string) {
+	const blocks = 10
+	shared := blocks * sharedPct / 100
+	base := iter * 1000
+	var a, pb bytes.Buffer
+	a.WriteString("func fa\n")
+	pb.WriteString("func fb\n")
+	for i := 0; i < shared; i++ {
+		blk := reuseBlock(fmt.Sprintf("s%d", i), base+i)
+		a.WriteString(blk)
+		pb.WriteString(blk)
+	}
+	for i := shared; i < blocks; i++ {
+		a.WriteString(reuseBlock(fmt.Sprintf("a%d", i), base+100+i))
+		pb.WriteString(reuseBlock(fmt.Sprintf("b%d", i), base+200+i))
+	}
+	return a.String(), pb.String()
+}
+
+// batchReuseBench returns the benchmark body for one block-share level,
+// extracted (like weightsBench) so TestBenchJSON can run it under
+// testing.Benchmark.
+func batchReuseBench(sharedPct int) func(b *testing.B) {
+	return func(b *testing.B) {
+		srv, err := server.New(server.Config{CacheCapacity: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			progA, progB := reusePrograms(i, sharedPct)
+			body, err := json.Marshal(map[string]any{
+				"programs": []map[string]any{{"program": progA}, {"program": progB}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/compile/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %s", resp.Status)
+			}
+		}
+	}
+}
+
 // --- Machine-readable benchmark baseline ---------------------------------
 
 // benchJSONPath enables the `make bench-json` mode: when set,
 // TestBenchJSON runs the serve-path and credit-pass benchmarks under
 // testing.Benchmark and writes their ns/op, B/op and allocs/op to the
-// named JSON file (BENCH_6.json in CI), so performance can be diffed
+// named JSON file (BENCH_8.json in CI), so performance can be diffed
 // across PRs without parsing go test's text output.
 var benchJSONPath = flag.String("bench-json", "", "write serve-path and credit-pass benchmark results to this JSON file")
 
@@ -427,6 +510,9 @@ func TestBenchJSON(t *testing.T) {
 	}{
 		{"ServerCacheHitVsMiss/miss", serveMissBench},
 		{"ServerCacheHitVsMiss/hit", serveHitBench},
+		{"BatchBlockReuse/share0", batchReuseBench(0)},
+		{"BatchBlockReuse/share50", batchReuseBench(50)},
+		{"BatchBlockReuse/share90", batchReuseBench(90)},
 		{"BalancedWeights/n32", weightsBench(32, core.Options{})},
 		{"BalancedWeights/n128", weightsBench(128, core.Options{})},
 		{"BalancedWeights/n512", weightsBench(512, core.Options{})},

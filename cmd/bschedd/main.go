@@ -19,10 +19,13 @@
 //	bschedd -metrics-smoke file.ir
 //	bschedd -chaos-smoke file.ir
 //	bschedd -cluster-smoke file.ir
+//	bschedd -batch-smoke file.ir
 //
 // Endpoints:
 //
-//	POST /v1/compile      compile a program (JSON body, see docs/SERVER.md)
+//	POST /v1/compile      compile a program (JSON body, see docs/API.md)
+//	POST /v1/compile/batch  compile many programs, streaming one NDJSON
+//	                      frame per block as it completes (docs/API.md)
 //	GET  /v1/peer/lookup/{key}  peer-cache read (fleet protocol, docs/CLUSTER.md)
 //	PUT  /v1/peer/offer/{key}   peer-cache write-behind fill (fleet protocol)
 //	GET  /healthz         liveness probe (degraded field under fleet/disk trouble)
@@ -92,9 +95,16 @@
 // fleet on ephemeral ports, sprays a Zipf-skewed request stream
 // round-robin across it, and asserts the peer protocol carried traffic
 // (probe hits > 0) with zero failed requests (`make cluster-smoke`).
+// -batch-smoke posts a two-program batch (the IR file twice) to
+// /v1/compile/batch and walks the NDJSON stream frame by frame: every
+// block must arrive exactly once at a deterministic (program, index)
+// coordinate, each program must get a trailer, the stream must end with
+// a done frame, and the block cache must have compiled each distinct
+// block exactly once across the batch (`make batch-smoke`).
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -149,6 +159,7 @@ func main() {
 	metricsSmoke := flag.String("metrics-smoke", "", "don't serve: round-trip one compile for this IR file, scrape /metrics, verify the catalog, and exit")
 	chaosSmoke := flag.String("chaos-smoke", "", "don't serve: drive the admission/quota/breaker machinery for this IR file under injected disk faults and exit")
 	clusterSmoke := flag.String("cluster-smoke", "", "don't serve: spray a Zipf request stream across a 3-node in-process fleet for this IR file and exit")
+	batchSmoke := flag.String("batch-smoke", "", "don't serve: stream a two-program batch compile of this IR file over /v1/compile/batch and exit")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat)
@@ -212,6 +223,10 @@ func main() {
 		}
 	case *clusterSmoke != "":
 		if err := runClusterSmoke(cfg, *clusterSmoke); err != nil {
+			fatal(err)
+		}
+	case *batchSmoke != "":
+		if err := runBatchSmoke(cfg, *batchSmoke); err != nil {
 			fatal(err)
 		}
 	default:
@@ -680,6 +695,145 @@ func runClusterSmoke(cfg server.Config, path string) error {
 	return nil
 }
 
+// runBatchSmoke drives the streaming batch endpoint end to end: it
+// posts a two-program batch (the given IR file twice) to
+// /v1/compile/batch and validates the NDJSON stream frame by frame.
+// Every block must arrive exactly once at a deterministic
+// (program, index) coordinate, both programs must get a trailer, the
+// stream must end with a done frame — and because the two programs are
+// identical, the block cache must have compiled each distinct block
+// exactly once, serving the twin's blocks by hit or single-flight
+// coalescing. The `make batch-smoke` CI check.
+func runBatchSmoke(cfg server.Config, path string) error {
+	src, err := cli.ReadInput(path)
+	if err != nil {
+		return err
+	}
+	svc, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	body, err := json.Marshal(server.BatchRequest{Programs: []server.CompileRequest{
+		{Program: src}, {Program: src},
+	}})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/compile/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("POST /v1/compile/batch: %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return fmt.Errorf("batch smoke: content type %q, want application/x-ndjson", ct)
+	}
+
+	const programs = 2
+	seen := make([]map[int]bool, programs)
+	for i := range seen {
+		seen[i] = make(map[int]bool)
+	}
+	trailers := make([]bool, programs)
+	var done, afterDone bool
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if afterDone {
+			return errors.New("batch smoke: frame after the done frame")
+		}
+		var f server.BatchFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return fmt.Errorf("batch smoke: bad NDJSON frame %q: %w", sc.Text(), err)
+		}
+		switch f.Type {
+		case "block":
+			if f.Program < 0 || f.Program >= programs {
+				return fmt.Errorf("batch smoke: block frame for program %d", f.Program)
+			}
+			if seen[f.Program][f.Index] {
+				return fmt.Errorf("batch smoke: duplicate block frame (%d, %d)", f.Program, f.Index)
+			}
+			seen[f.Program][f.Index] = true
+			if f.Block == "" || f.Summary == nil {
+				return fmt.Errorf("batch smoke: block frame (%d, %d) missing schedule or summary", f.Program, f.Index)
+			}
+		case "program":
+			if trailers[f.Program] {
+				return fmt.Errorf("batch smoke: duplicate trailer for program %d", f.Program)
+			}
+			trailers[f.Program] = true
+			if f.Fingerprint == "" {
+				return fmt.Errorf("batch smoke: trailer for program %d has no fingerprint", f.Program)
+			}
+		case "error":
+			return fmt.Errorf("batch smoke: error frame for program %d: %s", f.Program, f.Error)
+		case "done":
+			done = true
+			afterDone = true
+			if f.Programs != programs {
+				return fmt.Errorf("batch smoke: done frame covers %d programs, want %d", f.Programs, programs)
+			}
+		default:
+			return fmt.Errorf("batch smoke: unknown frame type %q", f.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !done {
+		return errors.New("batch smoke: stream ended without a done frame")
+	}
+	nblocks := len(seen[0])
+	if nblocks == 0 {
+		return errors.New("batch smoke: no block frames for program 0")
+	}
+	for p := 0; p < programs; p++ {
+		if !trailers[p] {
+			return fmt.Errorf("batch smoke: no trailer for program %d", p)
+		}
+		if len(seen[p]) != nblocks {
+			return fmt.Errorf("batch smoke: program %d streamed %d blocks, want %d", p, len(seen[p]), nblocks)
+		}
+		for i := 0; i < nblocks; i++ {
+			if !seen[p][i] {
+				return fmt.Errorf("batch smoke: program %d missing block index %d", p, i)
+			}
+		}
+	}
+
+	// Identical programs: every distinct block compiles exactly once and
+	// the twin's copy is served by a cache hit or coalesced onto the
+	// in-flight leader.
+	snap := svc.Stats()
+	if snap.BlockMisses != int64(nblocks) {
+		return fmt.Errorf("batch smoke: %d block compiles for %d distinct blocks, want exactly one each", snap.BlockMisses, nblocks)
+	}
+	if shared := snap.BlockHits + snap.BlockCoalesced; shared != int64(nblocks) {
+		return fmt.Errorf("batch smoke: twin program drew %d hit/coalesced blocks, want %d", shared, nblocks)
+	}
+	if snap.BatchRequests != 1 || snap.BlocksStreamed != int64(programs*nblocks) {
+		return fmt.Errorf("batch smoke: stats report %d batches / %d streamed blocks, want 1 / %d",
+			snap.BatchRequests, snap.BlocksStreamed, programs*nblocks)
+	}
+	fmt.Printf("bschedd: batch smoke ok — %d programs × %d block(s) streamed, %d compiled, %d shared via hit/coalesce\n",
+		programs, nblocks, snap.BlockMisses, snap.BlockHits+snap.BlockCoalesced)
+	return nil
+}
+
 // requiredMetrics is the CI contract with docs/OBSERVABILITY.md: every
 // family the catalog documents must appear in a scrape.
 var requiredMetrics = []string{
@@ -701,6 +855,10 @@ var requiredMetrics = []string{
 	"bschedd_diskcache_bytes",
 	"bschedd_diskcache_warm_entries",
 	"bschedd_diskcache_io_errors_total",
+	"bschedd_diskcache_stale_records_total",
+	"bschedd_block_cache_events_total",
+	"bschedd_batch_requests_total",
+	"bschedd_batch_blocks_streamed_total",
 	"bschedd_admission_total",
 	"bschedd_queue_requests_total",
 	"bschedd_tenant_requests_total",

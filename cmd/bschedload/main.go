@@ -16,6 +16,16 @@
 // priority class sent/ok/shed(503)/quota(429)/errored, client-side
 // drops, the largest Retry-After observed, and achieved throughput.
 //
+// With -stream-fraction F, that fraction of arrivals is sent to the
+// streaming POST /v1/compile/batch endpoint instead, each bundling
+// -stream-programs Zipf-picked programs in one request and consuming
+// the NDJSON response to its done frame (docs/API.md). Streamed
+// arrivals are summarized separately under "stream", including the
+// per-block frame count and any in-stream per-program errors:
+//
+//	bschedload -url http://127.0.0.1:8080 -rate 100 -duration 10s \
+//	    -stream-fraction 0.3 -stream-programs 4 prog1.ir prog2.ir ...
+//
 // Against a multi-node fleet (docs/CLUSTER.md), pass -peers with the
 // comma-separated base URLs of every node instead of -url; arrivals
 // are sprayed round-robin across the set, so every node sees every hot
@@ -41,16 +51,18 @@ import (
 
 func main() {
 	var (
-		url       = flag.String("url", "http://127.0.0.1:8080", "base URL of the bschedd server")
-		peerList  = flag.String("peers", "", "comma-separated base URLs of a bschedd fleet; arrivals are sprayed round-robin (overrides -url)")
-		rate      = flag.Float64("rate", 100, "open-loop arrival rate, requests/second")
-		duration  = flag.Duration("duration", 10*time.Second, "arrival phase length")
-		conc      = flag.Int("concurrency", loadgen.DefaultConcurrency, "max in-flight requests before client-side drops")
-		zipfS     = flag.Float64("zipf", loadgen.DefaultZipfS, "Zipf skew s (>1) across the program files")
-		batchFrac = flag.Float64("batch-fraction", 0, "fraction of requests sent with X-Priority: batch")
-		tenants   = flag.Int("tenants", 0, "number of distinct X-Tenant values to rotate (0 = no header)")
-		timeoutMS = flag.Int64("timeout-ms", loadgen.DefaultTimeoutMS, "per-request timeout_ms field")
-		seed      = flag.Int64("seed", 1, "RNG seed for the arrival mix")
+		url         = flag.String("url", "http://127.0.0.1:8080", "base URL of the bschedd server")
+		peerList    = flag.String("peers", "", "comma-separated base URLs of a bschedd fleet; arrivals are sprayed round-robin (overrides -url)")
+		rate        = flag.Float64("rate", 100, "open-loop arrival rate, requests/second")
+		duration    = flag.Duration("duration", 10*time.Second, "arrival phase length")
+		conc        = flag.Int("concurrency", loadgen.DefaultConcurrency, "max in-flight requests before client-side drops")
+		zipfS       = flag.Float64("zipf", loadgen.DefaultZipfS, "Zipf skew s (>1) across the program files")
+		batchFrac   = flag.Float64("batch-fraction", 0, "fraction of requests sent with X-Priority: batch")
+		streamFrac  = flag.Float64("stream-fraction", 0, "fraction of arrivals sent to the streaming /v1/compile/batch endpoint")
+		streamProgs = flag.Int("stream-programs", loadgen.DefaultStreamPrograms, "programs bundled per streaming arrival")
+		tenants     = flag.Int("tenants", 0, "number of distinct X-Tenant values to rotate (0 = no header)")
+		timeoutMS   = flag.Int64("timeout-ms", loadgen.DefaultTimeoutMS, "per-request timeout_ms field")
+		seed        = flag.Int64("seed", 1, "RNG seed for the arrival mix")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -81,17 +93,19 @@ func main() {
 	defer stop()
 
 	res, err := loadgen.Run(ctx, loadgen.Config{
-		BaseURL:       *url,
-		BaseURLs:      peers,
-		Rate:          *rate,
-		Duration:      *duration,
-		Concurrency:   *conc,
-		Programs:      programs,
-		ZipfS:         *zipfS,
-		BatchFraction: *batchFrac,
-		Tenants:       *tenants,
-		TimeoutMillis: *timeoutMS,
-		Seed:          *seed,
+		BaseURL:        *url,
+		BaseURLs:       peers,
+		Rate:           *rate,
+		Duration:       *duration,
+		Concurrency:    *conc,
+		Programs:       programs,
+		ZipfS:          *zipfS,
+		BatchFraction:  *batchFrac,
+		StreamFraction: *streamFrac,
+		StreamPrograms: *streamProgs,
+		Tenants:        *tenants,
+		TimeoutMillis:  *timeoutMS,
+		Seed:           *seed,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bschedload: %v\n", err)

@@ -39,7 +39,7 @@ const (
 	// that is already saturated.
 	DefaultMaxInflightProbes = 32
 	// maxPeerResponseBytes bounds a peer lookup's response body; a
-	// legitimate CompileResponse fits far under the disk layer's record
+	// legitimate BlockResponse fits far under the disk layer's record
 	// bound, so anything larger is treated as a protocol error.
 	maxPeerResponseBytes = 16 << 20
 )
@@ -149,7 +149,7 @@ type Client struct {
 
 type offerItem struct {
 	key  engine.Key
-	resp *engine.CompileResponse
+	resp *engine.BlockResponse
 }
 
 // New validates the config, builds the ring over Self+Peers, and
@@ -240,7 +240,7 @@ func (c *Client) Owner(key engine.Key) (node string, self bool) {
 // the caller's fallback is always a local compile. traceparent, when
 // non-empty, rides the request so the owner's spans join the caller's
 // trace.
-func (c *Client) Probe(ctx context.Context, owner string, key engine.Key, traceparent string) (*engine.CompileResponse, ProbeOutcome) {
+func (c *Client) Probe(ctx context.Context, owner string, key engine.Key, traceparent string) (*engine.BlockResponse, ProbeOutcome) {
 	ps, ok := c.peers[owner]
 	if !ok {
 		return nil, ProbeOutcomeSkip
@@ -280,7 +280,7 @@ func (c *Client) Probe(ctx context.Context, owner string, key engine.Key, tracep
 	}()
 	switch httpResp.StatusCode {
 	case http.StatusOK:
-		var resp engine.CompileResponse
+		var resp engine.BlockResponse
 		dec := json.NewDecoder(io.LimitReader(httpResp.Body, maxPeerResponseBytes))
 		if err := dec.Decode(&resp); err != nil || !resp.Matches(key) {
 			inc(c.cfg.Metrics.ProbeError)
@@ -305,7 +305,7 @@ func (c *Client) Probe(ctx context.Context, owner string, key engine.Key, tracep
 // every completed cacheable result. Self-owned keys are a no-op; for
 // foreign keys the offer is queued for the write-behind drain and
 // dropped (counted) when the queue is full. Never blocks.
-func (c *Client) Offer(key engine.Key, resp *engine.CompileResponse) {
+func (c *Client) Offer(key engine.Key, resp *engine.BlockResponse) {
 	if _, self := c.Owner(key); self {
 		return
 	}

@@ -6,39 +6,48 @@ import (
 	"sync"
 )
 
-// Key addresses one compilation by content: the program's fingerprint
+// Key addresses one compiled block by content: the block's fingerprint
 // and a fingerprint of every schedule-relevant option. Two requests with
 // equal keys are guaranteed (up to 64+64-bit hash collisions) to want
-// the same schedule. The same key identifies the compilation fleet-wide:
-// the cluster layer's consistent-hash ring hashes Keys to owner nodes.
+// the same block schedule — blocks compile independently, so two
+// programs sharing a block share the compiled result under the same
+// key. The same key identifies the compilation fleet-wide: the cluster
+// layer's consistent-hash ring hashes Keys to owner nodes.
 type Key struct {
-	Prog uint64
-	Opts uint64
+	Block uint64
+	Opts  uint64
 }
 
 // String renders the key in the canonical wire form used by the peer
-// protocol URLs: two 16-digit lowercase hex halves joined by a dash.
+// protocol URLs: a "b" granularity prefix (block), then two 16-digit
+// lowercase hex halves joined by a dash. The prefix is deliberate: the
+// pre-block wire form was the bare 33-character program-keyed shape, and
+// prefixing makes every legacy key structurally unparseable instead of
+// silently aliasing a program fingerprint to a block fingerprint.
 func (k Key) String() string {
-	return fmt.Sprintf("%016x-%016x", k.Prog, k.Opts)
+	return fmt.Sprintf("b%016x-%016x", k.Block, k.Opts)
 }
 
-// ParseKey parses the wire form produced by Key.String.
+// ParseKey parses the wire form produced by Key.String. Legacy
+// program-granular keys (no "b" prefix) are rejected: a program
+// fingerprint is not a block fingerprint, and serving one as the other
+// would hand back the wrong schedule.
 func ParseKey(s string) (Key, bool) {
 	var k Key
-	if len(s) != 33 || s[16] != '-' {
+	if len(s) != 34 || s[0] != 'b' || s[17] != '-' {
 		return k, false
 	}
-	for _, half := range []string{s[:16], s[17:]} {
+	for _, half := range []string{s[1:17], s[18:]} {
 		for _, c := range half {
 			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
 				return k, false
 			}
 		}
 	}
-	if _, err := fmt.Sscanf(s[:16], "%016x", &k.Prog); err != nil {
+	if _, err := fmt.Sscanf(s[1:17], "%016x", &k.Block); err != nil {
 		return k, false
 	}
-	if _, err := fmt.Sscanf(s[17:], "%016x", &k.Opts); err != nil {
+	if _, err := fmt.Sscanf(s[18:], "%016x", &k.Opts); err != nil {
 		return k, false
 	}
 	return k, true
@@ -48,7 +57,7 @@ func ParseKey(s string) (Key, bool) {
 // hashing. The halves are already sha256-derived, but a final mix keeps
 // ring placement independent of either half alone.
 func (k Key) Hash() uint64 {
-	h := k.Prog ^ (k.Opts * 0x9e3779b97f4a7c15)
+	h := k.Block ^ (k.Opts * 0x9e3779b97f4a7c15)
 	// splitmix64 finalizer
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
@@ -58,19 +67,20 @@ func (k Key) Hash() uint64 {
 	return h
 }
 
-// Entry is one cache slot. It is created before the compilation runs and
-// completed exactly once; waiters block on Done. After Done is closed,
-// Resp/Err are immutable — concurrent readers need no lock.
+// Entry is one cache slot — one block's compilation. It is created
+// before the compilation runs and completed exactly once; waiters block
+// on Done. After Done is closed, Resp/Err are immutable — concurrent
+// readers need no lock.
 type Entry struct {
 	Done chan struct{}
-	Resp *CompileResponse
+	Resp *BlockResponse
 	Err  error
 }
 
 func newEntry() *Entry { return &Entry{Done: make(chan struct{})} }
 
 // Complete publishes the outcome and releases every waiter.
-func (e *Entry) Complete(resp *CompileResponse, err error) {
+func (e *Entry) Complete(resp *BlockResponse, err error) {
 	e.Resp, e.Err = resp, err
 	close(e.Done)
 }
@@ -133,9 +143,9 @@ func newCache(capacity, shards int) *cache {
 func (c *cache) disabled() bool { return len(c.shards) == 0 }
 
 func (c *cache) shard(k Key) *cacheShard {
-	// Mix both halves so programs compiled under many option sets spread
+	// Mix both halves so blocks compiled under many option sets spread
 	// across shards.
-	h := k.Prog ^ (k.Opts * 0x9e3779b97f4a7c15)
+	h := k.Block ^ (k.Opts * 0x9e3779b97f4a7c15)
 	return &c.shards[h%uint64(len(c.shards))]
 }
 
@@ -182,7 +192,7 @@ func (c *cache) peek(k Key) (*Entry, bool) {
 // without touching the cache when any entry (completed or in-flight)
 // already exists for k: an in-flight leader will complete its own entry,
 // and racing a second Complete against it would panic.
-func (c *cache) install(k Key, resp *CompileResponse) bool {
+func (c *cache) install(k Key, resp *BlockResponse) bool {
 	if c.disabled() {
 		return false
 	}

@@ -68,7 +68,7 @@ type propOp struct {
 func decodeOps(script []byte) []propOp {
 	ops := make([]propOp, 0, len(script))
 	for _, b := range script {
-		k := Key{Prog: uint64(b & 0x07), Opts: uint64(b>>3) & 0x01}
+		k := Key{Block: uint64(b & 0x07), Opts: uint64(b>>3) & 0x01}
 		ops = append(ops, propOp{kind: (b >> 4) & 0x03, key: k})
 	}
 	return ops
@@ -172,7 +172,7 @@ func shardOrderEquals(c *cache, want []Key) bool {
 func TestCacheSingleFlightLeaderUnique(t *testing.T) {
 	for round := 0; round < 50; round++ {
 		c := newCache(8, 4)
-		k := Key{Prog: uint64(round)}
+		k := Key{Block: uint64(round)}
 		const racers = 16
 		entries := make(chan *Entry, racers)
 		leaders := make(chan *Entry, racers)

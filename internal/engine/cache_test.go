@@ -8,7 +8,7 @@ import (
 
 func TestCacheSingleFlightSemantics(t *testing.T) {
 	c := newCache(8, 2)
-	k := Key{Prog: 1, Opts: 2}
+	k := Key{Block: 1, Opts: 2}
 
 	e1, leader := c.lookup(k)
 	if !leader {
@@ -24,16 +24,16 @@ func TestCacheSingleFlightSemantics(t *testing.T) {
 	if e2.Completed() {
 		t.Fatal("entry completed before the leader published")
 	}
-	e1.Complete(&CompileResponse{Program: "p"}, nil)
+	e1.Complete(&BlockResponse{Block: "p"}, nil)
 	e3, leader3 := c.lookup(k)
-	if leader3 || !e3.Completed() || e3.Resp.Program != "p" {
+	if leader3 || !e3.Completed() || e3.Resp.Block != "p" {
 		t.Fatal("completed entry not served to a later lookup")
 	}
 }
 
 func TestCacheRemoveIsEntrySpecific(t *testing.T) {
 	c := newCache(8, 1)
-	k := Key{Prog: 7}
+	k := Key{Block: 7}
 	e1, _ := c.lookup(k)
 	c.remove(k, e1)
 	if n := c.len(); n != 0 {
@@ -56,14 +56,14 @@ func TestCacheRemoveIsEntrySpecific(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newCache(2, 1)
-	a, b, d := Key{Prog: 1}, Key{Prog: 2}, Key{Prog: 3}
+	a, b, d := Key{Block: 1}, Key{Block: 2}, Key{Block: 3}
 	ea, _ := c.lookup(a)
-	ea.Complete(&CompileResponse{}, nil)
+	ea.Complete(&BlockResponse{}, nil)
 	eb, _ := c.lookup(b)
-	eb.Complete(&CompileResponse{}, nil)
+	eb.Complete(&BlockResponse{}, nil)
 	c.lookup(a)          // touch a: b is now the LRU
 	ed, _ := c.lookup(d) // evicts b
-	ed.Complete(&CompileResponse{}, nil)
+	ed.Complete(&BlockResponse{}, nil)
 	if n := c.len(); n != 2 {
 		t.Fatalf("len=%d, want capacity 2", n)
 	}
@@ -77,7 +77,7 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheDisabled(t *testing.T) {
 	c := newCache(-1, 4)
-	k := Key{Prog: 9}
+	k := Key{Block: 9}
 	if _, leader := c.lookup(k); !leader {
 		t.Fatal("disabled cache must make every caller a leader")
 	}
@@ -104,15 +104,15 @@ func TestCacheConcurrentLookups(t *testing.T) {
 			wg.Add(1)
 			go func(k int) {
 				defer wg.Done()
-				e, leader := c.lookup(Key{Prog: uint64(k)})
+				e, leader := c.lookup(Key{Block: uint64(k)})
 				if leader {
 					mu.Lock()
 					leaders[k]++
 					mu.Unlock()
-					e.Complete(&CompileResponse{Program: fmt.Sprint(k)}, nil)
+					e.Complete(&BlockResponse{Block: fmt.Sprint(k)}, nil)
 				} else {
 					<-e.Done
-					if e.Resp.Program != fmt.Sprint(k) {
+					if e.Resp.Block != fmt.Sprint(k) {
 						t.Errorf("key %d: wrong entry", k)
 					}
 				}
@@ -123,6 +123,48 @@ func TestCacheConcurrentLookups(t *testing.T) {
 	for k, n := range leaders {
 		if n != 1 {
 			t.Errorf("key %d elected %d leaders, want 1", k, n)
+		}
+	}
+}
+
+func TestKeyWireFormRoundTrip(t *testing.T) {
+	for _, k := range []Key{
+		{},
+		{Block: 1, Opts: 2},
+		{Block: ^uint64(0), Opts: ^uint64(0)},
+		{Block: 0xdeadbeefcafef00d, Opts: 0x0123456789abcdef},
+	} {
+		s := k.String()
+		if len(s) != 34 || s[0] != 'b' {
+			t.Fatalf("wire form %q: want 34 chars with 'b' prefix", s)
+		}
+		got, ok := ParseKey(s)
+		if !ok || got != k {
+			t.Fatalf("ParseKey(%q) = %+v, %v; want %+v", s, got, ok, k)
+		}
+	}
+}
+
+// TestParseKeyRejectsLegacy pins the migration contract: the retired
+// program-granular wire form (two bare hex halves, no granularity
+// prefix) must be structurally unparseable, never silently read as a
+// block key.
+func TestParseKeyRejectsLegacy(t *testing.T) {
+	bad := []string{
+		"",
+		"0123456789abcdef-0123456789abcdef",  // legacy 33-char program form
+		"p0123456789abcdef-0123456789abcdef", // wrong granularity prefix
+		"b0123456789abcdef_0123456789abcdef", // wrong separator
+		"b0123456789abcdeX-0123456789abcdef", // non-hex digit
+		"b0123456789ABCDEF-0123456789abcdef", // uppercase is not canonical
+		"b0123456789abcdef-0123456789abcde",  // short
+		"b0123456789abcdef-0123456789abcdef0",
+		"b 123456789abcdef-0123456789abcdef", // space accepted by naive Sscanf
+		"b+123456789abcdef-0123456789abcdef",
+	}
+	for _, s := range bad {
+		if k, ok := ParseKey(s); ok {
+			t.Errorf("ParseKey(%q) accepted as %+v", s, k)
 		}
 	}
 }

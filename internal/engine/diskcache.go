@@ -27,6 +27,7 @@ type DiskMetrics struct {
 	Evictions *obs.Counter // cold record dropped at compaction
 	Loaded    *obs.Counter // valid records indexed during startup replay
 	Corrupt   *obs.Counter // torn or corrupt records skipped, never served
+	Stale     *obs.Counter // healthy records in the retired program-keyed format, skipped at replay
 	IOErrors  *obs.Counter // I/O-layer read/append failures (feeds the breaker)
 	Rejects   *obs.Counter // disk operations skipped while the breaker was open
 }
@@ -223,6 +224,14 @@ func (d *diskCache) replaySegment(name string) {
 		case err == nil:
 			d.indexLocked(&diskItem{key: k, seg: name, off: off, size: int64(n)})
 			d.met.Loaded.Inc()
+		case errors.Is(err, errStaleRecord):
+			// A checksummed-valid record from the retired program-granular
+			// format: its length field is trustworthy, so skip exactly this
+			// record and keep scanning. Counted apart from corruption — the
+			// bytes are healthy, just keyed in the wrong space — and never
+			// indexed, so an old cache directory warms nothing but starts
+			// cleanly and compaction reclaims it.
+			d.met.Stale.Inc()
 		case errors.Is(err, errTornRecord) || n == 0:
 			// Torn tail, or a length field too corrupt to resync past:
 			// everything from here on in this segment is unreachable.
@@ -267,7 +276,7 @@ func (d *diskCache) dropLocked(el *list.Element) {
 // recovers) and feeds the circuit breaker; while the breaker is open
 // the read is skipped entirely, so a sick disk costs a counter bump
 // instead of a stalled compile leader.
-func (d *diskCache) get(k Key) (*CompileResponse, bool) {
+func (d *diskCache) get(k Key) (*BlockResponse, bool) {
 	if d == nil {
 		return nil, false
 	}
@@ -293,7 +302,7 @@ func (d *diskCache) get(k Key) (*CompileResponse, bool) {
 	}
 	d.brk.Success()
 	if err == nil {
-		var resp CompileResponse
+		var resp BlockResponse
 		_, payload, _, _ := decodeRecord(raw) // readRawLocked validated it
 		if jerr := json.Unmarshal(payload, &resp); jerr == nil {
 			d.ll.MoveToFront(el)
@@ -338,7 +347,7 @@ func (d *diskCache) readRawLocked(it *diskItem) ([]byte, error) {
 // put queues one response for write-behind persistence. It never
 // blocks: when the flusher is saturated the write is dropped — this is
 // a cache, and the entry is still served from memory.
-func (d *diskCache) put(k Key, resp *CompileResponse) {
+func (d *diskCache) put(k Key, resp *BlockResponse) {
 	if d == nil {
 		return
 	}

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -23,7 +25,7 @@ func testDiskMetrics() *DiskMetrics {
 	return &DiskMetrics{
 		Hits: c("hits"), Misses: c("misses"), Writes: c("writes"),
 		Evictions: c("evictions"), Loaded: c("loaded"), Corrupt: c("corrupt"),
-		IOErrors: c("io_errors"), Rejects: c("rejects"),
+		Stale: c("stale"), IOErrors: c("io_errors"), Rejects: c("rejects"),
 	}
 }
 
@@ -39,9 +41,9 @@ func openTestDiskCache(t *testing.T, dir string, maxBytes int64) (*diskCache, *D
 	return d, met
 }
 
-func diskResp(i int) *CompileResponse {
-	return &CompileResponse{
-		Program:     fmt.Sprintf("func f%d\nblock b freq=1\nend\n", i),
+func diskResp(i int) *BlockResponse {
+	return &BlockResponse{
+		Block:       fmt.Sprintf("block b%d freq=1\nend\n", i),
 		Fingerprint: fmt.Sprintf("%016x", i),
 	}
 }
@@ -68,16 +70,16 @@ func TestDiskCachePutGetReopen(t *testing.T) {
 	d, met := openTestDiskCache(t, dir, 1<<20)
 	const n = 10
 	for i := 0; i < n; i++ {
-		d.put(Key{Prog: uint64(i), Opts: 1}, diskResp(i))
+		d.put(Key{Block: uint64(i), Opts: 1}, diskResp(i))
 	}
 	waitFlushed(t, met, n)
 	for i := 0; i < n; i++ {
-		resp, ok := d.get(Key{Prog: uint64(i), Opts: 1})
-		if !ok || resp.Program != diskResp(i).Program {
+		resp, ok := d.get(Key{Block: uint64(i), Opts: 1})
+		if !ok || resp.Block != diskResp(i).Block {
 			t.Fatalf("get(%d) = %v, %v", i, resp, ok)
 		}
 	}
-	if _, ok := d.get(Key{Prog: 999}); ok {
+	if _, ok := d.get(Key{Block: 999}); ok {
 		t.Error("get of a never-put key hit")
 	}
 	d.close()
@@ -94,8 +96,8 @@ func TestDiskCachePutGetReopen(t *testing.T) {
 		t.Fatalf("warm entries %d, want %d", d2.warmEntries(), n)
 	}
 	for i := 0; i < n; i++ {
-		resp, ok := d2.get(Key{Prog: uint64(i), Opts: 1})
-		if !ok || resp.Program != diskResp(i).Program {
+		resp, ok := d2.get(Key{Block: uint64(i), Opts: 1})
+		if !ok || resp.Block != diskResp(i).Block {
 			t.Fatalf("after reopen, get(%d) = %v, %v", i, resp, ok)
 		}
 	}
@@ -129,7 +131,7 @@ func TestDiskCacheCrashRecovery(t *testing.T) {
 	d, met := openTestDiskCache(t, dir, 1<<20)
 	const n = 8
 	for i := 0; i < n; i++ {
-		d.put(Key{Prog: uint64(i)}, diskResp(i))
+		d.put(Key{Block: uint64(i)}, diskResp(i))
 	}
 	waitFlushed(t, met, n)
 	d.close()
@@ -137,7 +139,7 @@ func TestDiskCacheCrashRecovery(t *testing.T) {
 	// Tear the tail: append the first half of a valid record, as if the
 	// crash cut the final write short.
 	payload, _ := json.Marshal(diskResp(999))
-	rec := appendRecord(nil, Key{Prog: 999}, payload)
+	rec := appendRecord(nil, Key{Block: 999}, payload)
 	f, err := os.OpenFile(newestSegment(t, dir), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -156,12 +158,12 @@ func TestDiskCacheCrashRecovery(t *testing.T) {
 		t.Errorf("corrupt counter %d, want 1 (the torn tail)", got)
 	}
 	for i := 0; i < n; i++ {
-		resp, ok := d2.get(Key{Prog: uint64(i)})
-		if !ok || resp.Program != diskResp(i).Program {
+		resp, ok := d2.get(Key{Block: uint64(i)})
+		if !ok || resp.Block != diskResp(i).Block {
 			t.Fatalf("fully-flushed record %d lost after crash recovery", i)
 		}
 	}
-	if _, ok := d2.get(Key{Prog: 999}); ok {
+	if _, ok := d2.get(Key{Block: 999}); ok {
 		t.Error("torn record was served")
 	}
 }
@@ -178,7 +180,7 @@ func TestDiskCacheCorruptMiddleRecordSkipped(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		offs[i] = len(seg)
 		payload, _ := json.Marshal(diskResp(i))
-		seg = appendRecord(seg, Key{Prog: uint64(i)}, payload)
+		seg = appendRecord(seg, Key{Block: uint64(i)}, payload)
 	}
 	seg[offs[1]+RecHeaderLen+3] ^= 0x01 // corrupt record 1's body
 	path := filepath.Join(dir, SegNamePrefix+"00000000"+SegNameSuffix)
@@ -195,12 +197,71 @@ func TestDiskCacheCorruptMiddleRecordSkipped(t *testing.T) {
 		t.Errorf("corrupt counter %d, want 1", got)
 	}
 	for _, i := range []int{0, 2} {
-		if _, ok := d.get(Key{Prog: uint64(i)}); !ok {
+		if _, ok := d.get(Key{Block: uint64(i)}); !ok {
 			t.Errorf("healthy record %d around the corruption was lost", i)
 		}
 	}
-	if _, ok := d.get(Key{Prog: 1}); ok {
+	if _, ok := d.get(Key{Block: 1}); ok {
 		t.Error("bit-flipped record was served")
+	}
+}
+
+// appendLegacyRecord hand-builds a record in the retired version-1
+// (program-granular) format: identical layout, version byte 1, key
+// halves that were program/options fingerprints. The checksum is valid —
+// these are healthy bytes from an older daemon, not corruption.
+func appendLegacyRecord(dst []byte, prog, opts uint64, payload []byte) []byte {
+	rec := appendRecord(nil, Key{Block: prog, Opts: opts}, payload)
+	rec[RecHeaderLen] = recVersionLegacy
+	body := rec[RecHeaderLen:]
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(body))
+	return append(dst, rec...)
+}
+
+// TestDiskCacheMixedFormatSegment is the migration drill: a segment
+// holding both current block-keyed records and legacy program-keyed
+// ones (an old -cache-dir pointed at a new daemon) must replay the
+// current records, skip-and-count the legacy ones as stale — not
+// corrupt — and never fail startup or serve a stale record.
+func TestDiskCacheMixedFormatSegment(t *testing.T) {
+	dir := t.TempDir()
+	var seg []byte
+	seg = appendSegmentHeader(seg)
+	payload, _ := json.Marshal(diskResp(0))
+	seg = appendRecord(seg, Key{Block: 10, Opts: 1}, payload)
+	// Two legacy records, one of them keyed identically to a current
+	// record's halves — it must not shadow or collide with it.
+	legacyPayload, _ := json.Marshal(map[string]string{"program": "func old\nend\n"})
+	seg = appendLegacyRecord(seg, 10, 1, legacyPayload)
+	seg = appendLegacyRecord(seg, 0xfeed, 2, legacyPayload)
+	payload2, _ := json.Marshal(diskResp(1))
+	seg = appendRecord(seg, Key{Block: 11, Opts: 1}, payload2)
+	path := filepath.Join(dir, SegNamePrefix+"00000000"+SegNameSuffix)
+	if err := os.WriteFile(path, seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d, met := openTestDiskCache(t, dir, 1<<20)
+	defer d.close()
+	if got := met.Loaded.Value(); got != 2 {
+		t.Errorf("loaded %d records, want 2 (the block-keyed ones)", got)
+	}
+	if got := met.Stale.Value(); got != 2 {
+		t.Errorf("stale counter %d, want 2 (the legacy records)", got)
+	}
+	if got := met.Corrupt.Value(); got != 0 {
+		t.Errorf("corrupt counter %d, want 0 — legacy is stale, not corrupt", got)
+	}
+	// The current record whose key halves the legacy one reused must
+	// serve the *current* payload; records after the stale run still load.
+	if resp, ok := d.get(Key{Block: 10, Opts: 1}); !ok || resp.Block != diskResp(0).Block {
+		t.Errorf("block-keyed record shadowed by a stale legacy record: %+v %v", resp, ok)
+	}
+	if resp, ok := d.get(Key{Block: 11, Opts: 1}); !ok || resp.Block != diskResp(1).Block {
+		t.Errorf("record after the stale run was lost: %+v %v", resp, ok)
+	}
+	if _, ok := d.get(Key{Block: 0xfeed, Opts: 2}); ok {
+		t.Error("legacy record was indexed and served")
 	}
 }
 
@@ -220,13 +281,13 @@ func TestDiskCacheGarbageFileTolerated(t *testing.T) {
 	if got := met.Loaded.Value(); got != 0 {
 		t.Errorf("loaded %d records from garbage", got)
 	}
-	d.put(Key{Prog: 1}, diskResp(1))
+	d.put(Key{Block: 1}, diskResp(1))
 	// The store must still function for writes after meeting garbage.
 	deadline := time.Now().Add(5 * time.Second)
 	for met.Writes.Value() < 1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if _, ok := d.get(Key{Prog: 1}); !ok {
+	if _, ok := d.get(Key{Block: 1}); !ok {
 		t.Error("write after garbage replay did not stick")
 	}
 }
@@ -242,7 +303,7 @@ func TestDiskCacheEviction(t *testing.T) {
 	d, met := openTestDiskCache(t, dir, maxBytes)
 	big := strings.Repeat("x", 512)
 	put := func(i int) {
-		d.put(Key{Prog: uint64(i)}, &CompileResponse{Program: big, Fingerprint: fmt.Sprint(i)})
+		d.put(Key{Block: uint64(i)}, &BlockResponse{Block: big, Fingerprint: fmt.Sprint(i)})
 	}
 	// Seed well under the bound so nothing is evicted yet.
 	const seed = 20
@@ -250,7 +311,7 @@ func TestDiskCacheEviction(t *testing.T) {
 		put(i)
 	}
 	waitFlushed(t, met, seed)
-	if _, ok := d.get(Key{Prog: 0}); !ok {
+	if _, ok := d.get(Key{Block: 0}); !ok {
 		t.Fatal("seeded key missing before any eviction")
 	}
 	// Churn far past the bound, re-touching key 0 every few writes so
@@ -263,7 +324,7 @@ func TestDiskCacheEviction(t *testing.T) {
 		writes++
 		if i%5 == 0 {
 			waitFlushed(t, met, writes)
-			if _, ok := d.get(Key{Prog: 0}); !ok {
+			if _, ok := d.get(Key{Block: 0}); !ok {
 				t.Fatalf("hot key evicted mid-churn at write %d", i)
 			}
 		}
@@ -293,13 +354,13 @@ func TestDiskCacheEviction(t *testing.T) {
 	}
 	// Recency must matter: the repeatedly-touched key and the most
 	// recently written key survive; an ancient cold key is gone.
-	if _, ok := d.get(Key{Prog: 0}); !ok {
+	if _, ok := d.get(Key{Block: 0}); !ok {
 		t.Error("hottest key was evicted")
 	}
-	if _, ok := d.get(Key{Prog: last - 1}); !ok {
+	if _, ok := d.get(Key{Block: last - 1}); !ok {
 		t.Error("most recently written key was evicted")
 	}
-	if _, ok := d.get(Key{Prog: 1}); ok {
+	if _, ok := d.get(Key{Block: 1}); ok {
 		t.Error("cold seed key survived 200 records of churn in a ~60-record store")
 	}
 }
@@ -322,7 +383,7 @@ func TestDiskCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				k := (w*7 + i) % keys
-				d.put(Key{Prog: uint64(k)}, diskResp(k))
+				d.put(Key{Block: uint64(k)}, diskResp(k))
 			}
 		}(w)
 	}
@@ -333,7 +394,7 @@ func TestDiskCacheConcurrent(t *testing.T) {
 			rnd := rand.New(rand.NewSource(int64(r)))
 			for i := 0; i < 400; i++ {
 				k := rnd.Intn(keys)
-				if resp, ok := d.get(Key{Prog: uint64(k)}); ok && resp.Program != diskResp(k).Program {
+				if resp, ok := d.get(Key{Block: uint64(k)}); ok && resp.Block != diskResp(k).Block {
 					t.Errorf("key %d served another key's schedule", k)
 				}
 			}
@@ -352,9 +413,9 @@ func TestDiskCacheConcurrent(t *testing.T) {
 	}
 	hits := 0
 	for k := 0; k < keys; k++ {
-		if resp, ok := d2.get(Key{Prog: uint64(k)}); ok {
+		if resp, ok := d2.get(Key{Block: uint64(k)}); ok {
 			hits++
-			if resp.Program != diskResp(k).Program {
+			if resp.Block != diskResp(k).Block {
 				t.Errorf("after reopen, key %d served another key's schedule", k)
 			}
 		}

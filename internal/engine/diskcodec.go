@@ -10,12 +10,22 @@ package engine
 //
 //	segment: magic "BSDC" (4) | format version u32 LE (4) | record*
 //	record:  body length u32 LE (4) | CRC32-IEEE(body) u32 LE (4) | body
-//	body:    record version u8 (1) | Key.Prog u64 LE (8) | Key.Opts u64 LE (8) | payload
+//	body:    record version u8 (1) | Key.Block u64 LE (8) | Key.Opts u64 LE (8) | payload
 //
-// The payload is the JSON encoding of the shared (pre-stamp)
-// CompileResponse. Decoding rejects any record whose length is
-// implausible, whose checksum does not match, or whose version is
-// unknown — a corrupt record can never surface as a served schedule.
+// The payload is the JSON encoding of the shared BlockResponse.
+// Decoding rejects any record whose length is implausible, whose
+// checksum does not match, or whose version is unknown — a corrupt
+// record can never surface as a served schedule.
+//
+// Record version history: version 1 keyed records by (program
+// fingerprint, options fingerprint) and carried a whole-program JSON
+// payload; version 2 re-keyed the cache at (block fingerprint, options
+// fingerprint) with a per-block payload. A version-1 record under a
+// valid checksum is structurally sound but semantically stale — its key
+// is a program hash that must never alias a block hash — so replay
+// classifies it as stale (skipped and counted, never an error, never
+// served) rather than corrupt. Old cache directories therefore warm
+// nothing but start cleanly, and compaction reclaims their bytes.
 
 import (
 	"encoding/binary"
@@ -36,7 +46,11 @@ const (
 	// RecBodyPrefixLen is the fixed part of a record body: the record
 	// version byte and the 128-bit cache key.
 	RecBodyPrefixLen = 1 + 8 + 8
-	recVersion       = 1
+	// recVersion is the current record version (block-granular keys).
+	// recVersionLegacy marks the retired program-granular format, whose
+	// records are skipped as stale during replay.
+	recVersion       = 2
+	recVersionLegacy = 1
 	// maxRecordBytes bounds a single record. Decoding treats anything
 	// larger as corruption rather than attempting a giant allocation from
 	// an attacker- (or bit-rot-) controlled length field.
@@ -52,6 +66,11 @@ const (
 var (
 	errTornRecord    = errors.New("diskcache: torn record (data ends mid-record)")
 	errCorruptRecord = errors.New("diskcache: corrupt record")
+	// errStaleRecord marks a checksummed-valid record in the retired
+	// program-granular format: skippable (its length is trustworthy) and
+	// counted separately from corruption, because the bytes are healthy —
+	// just written by an older daemon against a different key space.
+	errStaleRecord = errors.New("diskcache: stale record (legacy program-granular format)")
 )
 
 // appendSegmentHeader appends the segment preamble to dst.
@@ -88,7 +107,7 @@ func appendRecord(dst []byte, k Key, payload []byte) []byte {
 	dst = append(dst, 0, 0, 0, 0) // checksum back-patched below
 	bodyAt := len(dst)
 	dst = append(dst, recVersion)
-	dst = binary.LittleEndian.AppendUint64(dst, k.Prog)
+	dst = binary.LittleEndian.AppendUint64(dst, k.Block)
 	dst = binary.LittleEndian.AppendUint64(dst, k.Opts)
 	dst = append(dst, payload...)
 	binary.LittleEndian.PutUint32(dst[crcAt:], crc32.ChecksumIEEE(dst[bodyAt:]))
@@ -118,10 +137,13 @@ func decodeRecord(data []byte) (k Key, payload []byte, n int, err error) {
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[4:8]) {
 		return Key{}, nil, total, errCorruptRecord
 	}
+	if body[0] == recVersionLegacy {
+		return Key{}, nil, total, errStaleRecord
+	}
 	if body[0] != recVersion {
 		return Key{}, nil, total, errCorruptRecord
 	}
-	k.Prog = binary.LittleEndian.Uint64(body[1:9])
+	k.Block = binary.LittleEndian.Uint64(body[1:9])
 	k.Opts = binary.LittleEndian.Uint64(body[9:17])
 	return k, body[RecBodyPrefixLen:], total, nil
 }

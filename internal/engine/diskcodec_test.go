@@ -14,10 +14,10 @@ func TestDiskCodecRoundTrip(t *testing.T) {
 		key     Key
 		payload string
 	}{
-		{"empty-payload", Key{Prog: 1, Opts: 2}, ""},
-		{"json", Key{Prog: 0xdeadbeefcafef00d, Opts: 0x0123456789abcdef}, `{"program":"func f\n"}`},
+		{"empty-payload", Key{Block: 1, Opts: 2}, ""},
+		{"json", Key{Block: 0xdeadbeefcafef00d, Opts: 0x0123456789abcdef}, `{"program":"func f\n"}`},
 		{"zero-key", Key{}, "x"},
-		{"binary-ish", Key{Prog: ^uint64(0), Opts: ^uint64(0)}, "\x00\xff\x00\xff"},
+		{"binary-ish", Key{Block: ^uint64(0), Opts: ^uint64(0)}, "\x00\xff\x00\xff"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -43,7 +43,7 @@ func TestDiskCodecRoundTrip(t *testing.T) {
 }
 
 func TestDiskCodecRejectsDamage(t *testing.T) {
-	key := Key{Prog: 7, Opts: 9}
+	key := Key{Block: 7, Opts: 9}
 	rec := appendRecord(nil, key, []byte(`{"program":"p"}`))
 
 	t.Run("truncated-is-torn", func(t *testing.T) {
@@ -81,6 +81,23 @@ func TestDiskCodecRejectsDamage(t *testing.T) {
 			t.Fatalf("unknown version: err=%v n=%d, want corrupt + skippable", err, n)
 		}
 	})
+	t.Run("legacy-version-is-stale", func(t *testing.T) {
+		// A version-1 (program-granular) record under a valid checksum is
+		// stale, not corrupt: skippable (n = full record) and counted
+		// separately, so an old cache directory never fails startup and
+		// never aliases a program fingerprint into the block key space.
+		bad := append([]byte(nil), rec...)
+		bad[RecHeaderLen] = recVersionLegacy
+		body := bad[RecHeaderLen:]
+		binary.LittleEndian.PutUint32(bad[4:8], crc32.ChecksumIEEE(body))
+		_, _, n, err := decodeRecord(bad)
+		if !errors.Is(err, errStaleRecord) || n != len(rec) {
+			t.Fatalf("legacy version: err=%v n=%d, want stale + skippable", err, n)
+		}
+		if errors.Is(err, errCorruptRecord) {
+			t.Fatal("stale record must not classify as corrupt")
+		}
+	})
 	t.Run("absurd-length-is-unskippable", func(t *testing.T) {
 		bad := append([]byte(nil), rec...)
 		binary.LittleEndian.PutUint32(bad[0:4], maxRecordBytes+1)
@@ -113,7 +130,7 @@ func TestSegmentHeader(t *testing.T) {
 // a bit-for-bit valid record, and any accepted record must re-encode to
 // exactly the bytes consumed (so encode and decode are inverses).
 func FuzzDiskCacheCodec(f *testing.F) {
-	valid := appendRecord(nil, Key{Prog: 0x1122334455667788, Opts: 0x99aabbccddeeff00},
+	valid := appendRecord(nil, Key{Block: 0x1122334455667788, Opts: 0x99aabbccddeeff00},
 		[]byte(`{"program":"func f\nblock b freq=1\nend\n"}`))
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3]) // torn tail

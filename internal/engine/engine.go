@@ -67,7 +67,7 @@ var ErrShutdown = errors.New("server shutting down")
 // cacheable result; deciding whether the key is foreign (and dropping
 // self-owned offers) is the implementation's job.
 type PeerCache interface {
-	Offer(key Key, resp *CompileResponse)
+	Offer(key Key, resp *BlockResponse)
 }
 
 // Config sizes the engine. The zero value is a sensible default.
@@ -124,10 +124,11 @@ type Config struct {
 	// state changes.
 	OnBreakerTransition func(from, to admission.BreakerState)
 
-	// CompileFn is the compilation the workers run; nil means
-	// compile.Run. Tests substitute it to count invocations and to block
-	// the pool at will.
-	CompileFn func(context.Context, *ir.Program, compile.Options) (*compile.Result, error)
+	// CompileFn is the compilation the workers run — one block at a
+	// time, since the block is the engine's unit of caching and
+	// single-flight; nil means compile.RunBlock. Tests substitute it to
+	// count invocations and to block the pool at will.
+	CompileFn func(context.Context, *ir.Block, compile.Options) (*compile.BlockResult, error)
 	// Peers, when non-nil, receives completed cacheable compilations
 	// (see PeerCache).
 	Peers PeerCache
@@ -150,7 +151,7 @@ func (c Config) withDefaults() Config {
 		c.DiskMetrics = unregisteredDiskMetrics()
 	}
 	if c.CompileFn == nil {
-		c.CompileFn = compile.Run
+		c.CompileFn = compile.RunBlock
 	}
 	return c
 }
@@ -164,14 +165,17 @@ func unregisteredDiskMetrics() *DiskMetrics {
 	return &DiskMetrics{
 		Hits: c("hits"), Misses: c("misses"), Writes: c("writes"),
 		Evictions: c("evictions"), Loaded: c("loaded"), Corrupt: c("corrupt"),
-		IOErrors: c("io_errors"), Rejects: c("rejects"),
+		Stale: c("stale"), IOErrors: c("io_errors"), Rejects: c("rejects"),
 	}
 }
 
-// Job is one queued compilation: the leader request's parsed program
-// and lowered options, bound for the worker pool.
+// Job is one queued compilation: a single block from the leader
+// request's parsed program plus its lowered options, bound for the
+// worker pool. A multi-block program fans out into one Job per missed
+// block, each with its own Entry; hits, misses and coalescing are all
+// per block.
 type Job struct {
-	Prog    *ir.Program
+	Block   *ir.Block
 	Opts    compile.Options
 	Timeout time.Duration
 	Key     Key
@@ -181,7 +185,7 @@ type Job struct {
 	Tier     string
 	Enqueued time.Time
 	// Priority is the admission class to queue under; Instrs is the
-	// parsed program's instruction count, which feeds the per-tier cost
+	// block's instruction count, which feeds the per-tier cost
 	// estimator after the compile.
 	Priority admission.Priority
 	Instrs   int
@@ -304,7 +308,7 @@ func (en *Engine) Remove(key Key, e *Entry) { en.cache.remove(key, e) }
 // the memory cache as an already-completed entry, and — when persist is
 // set — into the persistent layer. It reports false, touching nothing,
 // when any entry already exists for the key.
-func (en *Engine) Install(key Key, resp *CompileResponse, persist bool) bool {
+func (en *Engine) Install(key Key, resp *BlockResponse, persist bool) bool {
 	if !en.cache.install(key, resp) {
 		return false
 	}
@@ -318,7 +322,7 @@ func (en *Engine) Install(key Key, resp *CompileResponse, persist bool) bool {
 // stage latency. It does not touch the memory cache: a leader holding a
 // fresh entry completes it with the result; the peer frontend serves
 // the record directly.
-func (en *Engine) DiskGet(key Key) (*CompileResponse, bool) {
+func (en *Engine) DiskGet(key Key) (*BlockResponse, bool) {
 	if en.disk == nil {
 		return nil, false
 	}
@@ -409,7 +413,7 @@ func (en *Engine) runJob(j *Job) {
 	}
 	en.chaos.Delay(chaos.SlowCompile)
 	compileStart := time.Now()
-	res, err := en.cfg.CompileFn(ctx, j.Prog, opts)
+	br, err := en.cfg.CompileFn(ctx, j.Block, opts)
 	elapsed := time.Since(compileStart)
 	en.observeStage("compile", elapsed)
 	if en.cfg.ObserveTier != nil {
@@ -427,16 +431,16 @@ func (en *Engine) runJob(j *Job) {
 		j.E.Complete(nil, err)
 		return
 	}
-	if len(res.Degradations) > 0 {
+	if len(br.Degradations) > 0 {
 		compileSpan.Event("degraded")
 		j.Tr.SetDegraded()
 		if en.cfg.OnDegradations != nil {
-			en.cfg.OnDegradations(len(res.Degradations))
+			en.cfg.OnDegradations(len(br.Degradations))
 		}
 	}
 	compileSpan.End()
-	resp := buildResponse(res, j.Key)
-	if deadlineDegraded(res) {
+	resp := buildBlockResponse(br, j.Key)
+	if deadlineDegraded(br) {
 		// The schedule is valid for the request whose deadline forced the
 		// cheap rungs, but not for the key: the deadline is not part of
 		// the key, so caching it would serve the degraded schedule to

@@ -2,12 +2,13 @@ package engine
 
 import (
 	"fmt"
-	"time"
 
 	"bsched/internal/compile"
 )
 
-// BlockSummary is the per-block slice of a CompileResponse.
+// BlockSummary is the per-block statistics slice of a BlockResponse
+// (and, assembled in program order, of the HTTP frontend's program
+// response).
 type BlockSummary struct {
 	Label string `json:"label"`
 	// Instrs counts the final scheduled instructions (spill code
@@ -39,54 +40,46 @@ type DegradationEvent struct {
 	Deadline bool `json:"deadline,omitempty"`
 }
 
-// CompileResponse is the body of a successful POST /v1/compile — and,
-// unstamped, the unit the peer protocol carries between nodes. Cached
-// responses share the immutable compilation fields; the per-request
-// fields (Cached, Coalesced, ServiceMillis) are stamped on a copy.
-type CompileResponse struct {
-	// Program is the fully scheduled program, rendered in the same
-	// textual IR the request used.
-	Program string `json:"program"`
-	// Blocks summarizes each block in program order.
-	Blocks []BlockSummary `json:"blocks"`
-	// Degradations lists every ladder downgrade across the program.
+// BlockResponse is the engine's unit of caching, single-flight, disk
+// persistence and peer exchange: one block's compiled schedule under one
+// options fingerprint. The HTTP frontend assembles program responses
+// from these at the edge; the peer protocol carries them between nodes
+// unmodified. All fields are immutable once the entry completes.
+type BlockResponse struct {
+	// Block is the fully scheduled block, rendered in the same textual
+	// IR the request used (ir.Block.String() of the result block).
+	Block string `json:"block"`
+	// Summary carries the block's scheduling statistics.
+	Summary BlockSummary `json:"summary"`
+	// Degradations lists every ladder downgrade in this block.
 	Degradations []DegradationEvent `json:"degradations,omitempty"`
-	// Fingerprint and OptionsFingerprint echo the cache key (hex).
+	// Fingerprint and OptionsFingerprint echo the cache key (hex): the
+	// *source* block's content fingerprint and the options fingerprint.
 	Fingerprint        string `json:"fingerprint"`
 	OptionsFingerprint string `json:"options_fingerprint"`
-	// Cached is true when the response was served from a completed cache
-	// entry; Coalesced when this request waited on an identical in-flight
-	// compilation instead of starting its own.
-	Cached    bool `json:"cached"`
-	Coalesced bool `json:"coalesced,omitempty"`
-	// ServiceMillis is this request's wall-clock service time.
-	ServiceMillis float64 `json:"service_ms"`
 }
 
-// buildResponse renders a hardened compile result as the shared
-// (cacheable) part of a response.
-func buildResponse(res *compile.Result, key Key) *CompileResponse {
-	out := &CompileResponse{
-		Program:            res.Program.String(),
-		Fingerprint:        fmt.Sprintf("%016x", key.Prog),
+// buildBlockResponse renders one hardened block result as the shared
+// (cacheable) block response.
+func buildBlockResponse(br *compile.BlockResult, key Key) *BlockResponse {
+	out := &BlockResponse{
+		Block:              br.Block.String(),
+		Fingerprint:        fmt.Sprintf("%016x", key.Block),
 		OptionsFingerprint: fmt.Sprintf("%016x", key.Opts),
 	}
-	for _, br := range res.Blocks {
-		s := BlockSummary{
-			Label:       br.Block.Label,
-			Instrs:      len(br.Block.Instrs),
-			SpillLoads:  br.Spill.SpillLoads,
-			SpillStores: br.Spill.SpillStores,
-			MaxPressure: br.Spill.MaxPressure,
-			WorkUsed:    br.WorkUsed,
-			Degraded:    br.Degraded(),
-		}
-		if br.Pass1 != nil {
-			s.VNops1 = br.Pass1.VNops
-		}
-		out.Blocks = append(out.Blocks, s)
+	out.Summary = BlockSummary{
+		Label:       br.Block.Label,
+		Instrs:      len(br.Block.Instrs),
+		SpillLoads:  br.Spill.SpillLoads,
+		SpillStores: br.Spill.SpillStores,
+		MaxPressure: br.Spill.MaxPressure,
+		WorkUsed:    br.WorkUsed,
+		Degraded:    br.Degraded(),
 	}
-	for _, e := range res.Degradations {
+	if br.Pass1 != nil {
+		out.Summary.VNops1 = br.Pass1.VNops
+	}
+	for _, e := range br.Degradations {
 		out.Degradations = append(out.Degradations, DegradationEvent{
 			Block: e.Block, Pass: e.Pass, Stage: e.Stage,
 			From: e.From, To: e.To, Reason: e.Reason, Deadline: e.Deadline,
@@ -95,30 +88,21 @@ func buildResponse(res *compile.Result, key Key) *CompileResponse {
 	return out
 }
 
-// Stamped returns a copy of the shared response with the per-request
-// fields set; the shared slices stay aliased and must not be mutated.
-func (r *CompileResponse) Stamped(cached, coalesced bool, service time.Duration) *CompileResponse {
-	c := *r
-	c.Cached = cached
-	c.Coalesced = coalesced
-	c.ServiceMillis = float64(service.Microseconds()) / 1000
-	return &c
-}
-
 // Matches reports whether the response's embedded fingerprints agree
 // with key — the offer handler's cheap integrity check that a peer's
 // payload really is the compilation the URL claims it is.
-func (r *CompileResponse) Matches(key Key) bool {
-	return r.Fingerprint == fmt.Sprintf("%016x", key.Prog) &&
+func (r *BlockResponse) Matches(key Key) bool {
+	return r.Fingerprint == fmt.Sprintf("%016x", key.Block) &&
 		r.OptionsFingerprint == fmt.Sprintf("%016x", key.Opts)
 }
 
-// deadlineDegraded reports whether any downgrade was forced by the wall
-// clock (context deadline or shutdown) rather than the work-budget tier.
-// Tier-driven downgrades are deterministic and cacheable — the tier is
-// part of the cache key; wall-clock ones are not.
-func deadlineDegraded(res *compile.Result) bool {
-	for _, e := range res.Degradations {
+// deadlineDegraded reports whether any of the block's downgrades was
+// forced by the wall clock (context deadline or shutdown) rather than
+// the work-budget tier. Tier-driven downgrades are deterministic and
+// cacheable — the tier is part of the cache key; wall-clock ones are
+// not.
+func deadlineDegraded(br *compile.BlockResult) bool {
+	for _, e := range br.Degradations {
 		if e.Deadline {
 			return true
 		}

@@ -1,6 +1,6 @@
 // Package loadgen is an open-loop HTTP load generator for bschedd's
-// POST /v1/compile endpoint, used by cmd/bschedload and the overload
-// e2e tests.
+// POST /v1/compile and streaming POST /v1/compile/batch endpoints, used
+// by cmd/bschedload and the overload e2e tests.
 //
 // The generator is deliberately open loop: arrivals are driven by a
 // ticker at the configured rate regardless of how fast the server
@@ -18,6 +18,7 @@
 package loadgen
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -35,6 +36,9 @@ const (
 	DefaultZipfS       = 1.1 // the issue's α for the overload scenario
 	DefaultConcurrency = 256
 	DefaultTimeoutMS   = 5000
+	// DefaultStreamPrograms is the programs bundled per streaming
+	// /v1/compile/batch arrival when Config.StreamPrograms is unset.
+	DefaultStreamPrograms = 2
 )
 
 // Config parameterizes one load run.
@@ -69,6 +73,17 @@ type Config struct {
 	// BatchFraction in [0,1] is the fraction of arrivals sent with
 	// X-Priority: batch; the rest are interactive.
 	BatchFraction float64
+	// StreamFraction in [0,1] is the fraction of arrivals sent to the
+	// streaming POST /v1/compile/batch endpoint instead of /v1/compile.
+	// Each such arrival bundles StreamPrograms Zipf-picked programs in
+	// one request and consumes the NDJSON response frame by frame, so it
+	// exercises the per-block fan-out and cross-program block sharing.
+	// Streaming arrivals are tallied in Result.Stream, not in the
+	// per-priority classes.
+	StreamFraction float64
+	// StreamPrograms is the number of programs bundled per streaming
+	// arrival; 0 means DefaultStreamPrograms.
+	StreamPrograms int
 	// Tenants is the number of distinct X-Tenant values to rotate
 	// through (uniformly); 0 sends no tenant header at all.
 	Tenants int
@@ -91,10 +106,26 @@ type ClassResult struct {
 	Errored int64 `json:"errored"` // transport errors and every other status
 }
 
+// StreamResult is the /v1/compile/batch slice of a Result.
+type StreamResult struct {
+	Sent    int64 `json:"sent"`
+	OK      int64 `json:"ok"`      // 200 and the stream reached its done frame
+	Shed    int64 `json:"shed"`    // 503 before the stream started
+	Quota   int64 `json:"quota"`   // 429 (whole-batch tenant refusal)
+	Errored int64 `json:"errored"` // transport errors, other statuses, truncated streams
+	// Blocks counts per-block NDJSON frames consumed across every
+	// streaming response.
+	Blocks int64 `json:"blocks"`
+	// ProgramErrors counts in-stream per-program error frames — the
+	// stream stayed healthy but one bundled program failed.
+	ProgramErrors int64 `json:"program_errors"`
+}
+
 // Result summarizes a run.
 type Result struct {
-	Interactive ClassResult `json:"interactive"`
-	Batch       ClassResult `json:"batch"`
+	Interactive ClassResult  `json:"interactive"`
+	Batch       ClassResult  `json:"batch"`
+	Stream      StreamResult `json:"stream"`
 	// Dropped counts arrivals abandoned client-side because every
 	// concurrency slot was busy (see Config.Concurrency).
 	Dropped int64 `json:"dropped"`
@@ -122,16 +153,20 @@ func (r *Result) Total() ClassResult {
 // arrival is one scheduled request, fully decided on the arrival
 // goroutine so the workers never touch the (unsynchronized) RNG.
 type arrival struct {
-	url     string
-	program string
-	batch   bool
-	tenant  string
+	url      string
+	program  string
+	programs []string // non-nil: a streaming /v1/compile/batch arrival
+	batch    bool
+	tenant   string
 }
 
 // counters holds the atomic tallies a run accumulates into.
 type counters struct {
 	inter, batch struct {
 		sent, ok, shed, quota, errored atomic.Int64
+	}
+	stream struct {
+		sent, ok, shed, quota, errored, blocks, progErrors atomic.Int64
 	}
 	dropped       atomic.Int64
 	maxRetryAfter atomic.Int64
@@ -151,6 +186,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.BatchFraction < 0 || cfg.BatchFraction > 1 {
 		return nil, fmt.Errorf("loadgen: batch fraction %g out of [0,1]", cfg.BatchFraction)
+	}
+	if cfg.StreamFraction < 0 || cfg.StreamFraction > 1 {
+		return nil, fmt.Errorf("loadgen: stream fraction %g out of [0,1]", cfg.StreamFraction)
+	}
+	streamProgs := cfg.StreamPrograms
+	if streamProgs <= 0 {
+		streamProgs = DefaultStreamPrograms
 	}
 	s := cfg.ZipfS
 	if s == 0 {
@@ -177,8 +219,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		urls = []string{cfg.BaseURL}
 	}
 	targets := make([]string, len(urls))
+	streamTargets := make([]string, len(urls))
 	for i, u := range urls {
 		targets[i] = u + "/v1/compile"
+		streamTargets[i] = u + "/v1/compile/batch"
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -187,15 +231,27 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		zipf = rand.NewZipf(rng, s, 1, uint64(len(cfg.Programs)-1))
 	}
 	next := 0
-	pick := func() arrival {
-		var a arrival
-		a.url = targets[next%len(targets)]
-		next++
+	pickProgram := func() string {
 		idx := 0
 		if zipf != nil {
 			idx = int(zipf.Uint64())
 		}
-		a.program = cfg.Programs[idx]
+		return cfg.Programs[idx]
+	}
+	pick := func() arrival {
+		var a arrival
+		node := next % len(targets)
+		next++
+		if rng.Float64() < cfg.StreamFraction {
+			a.url = streamTargets[node]
+			a.programs = make([]string, streamProgs)
+			for i := range a.programs {
+				a.programs[i] = pickProgram()
+			}
+		} else {
+			a.url = targets[node]
+			a.program = pickProgram()
+		}
 		a.batch = rng.Float64() < cfg.BatchFraction
 		if cfg.Tenants > 0 {
 			a.tenant = "t" + strconv.Itoa(rng.Intn(cfg.Tenants))
@@ -252,6 +308,12 @@ arrivals:
 			Shed: cnt.batch.shed.Load(), Quota: cnt.batch.quota.Load(),
 			Errored: cnt.batch.errored.Load(),
 		},
+		Stream: StreamResult{
+			Sent: cnt.stream.sent.Load(), OK: cnt.stream.ok.Load(),
+			Shed: cnt.stream.shed.Load(), Quota: cnt.stream.quota.Load(),
+			Errored: cnt.stream.errored.Load(), Blocks: cnt.stream.blocks.Load(),
+			ProgramErrors: cnt.stream.progErrors.Load(),
+		},
 		Dropped:       cnt.dropped.Load(),
 		MaxRetryAfter: cnt.maxRetryAfter.Load(),
 		Elapsed:       time.Since(start),
@@ -262,6 +324,10 @@ arrivals:
 
 // fire sends one request and files the outcome into cnt.
 func fire(ctx context.Context, client *http.Client, a arrival, timeoutMS int64, cnt *counters) {
+	if a.programs != nil {
+		fireStream(ctx, client, a, timeoutMS, cnt)
+		return
+	}
 	c := &cnt.inter
 	if a.batch {
 		c = &cnt.batch
@@ -276,21 +342,7 @@ func fire(ctx context.Context, client *http.Client, a arrival, timeoutMS int64, 
 		c.errored.Add(1)
 		return
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.url, bytes.NewReader(body))
-	if err != nil {
-		c.errored.Add(1)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if a.batch {
-		req.Header.Set("X-Priority", "batch")
-	} else {
-		req.Header.Set("X-Priority", "interactive")
-	}
-	if a.tenant != "" {
-		req.Header.Set("X-Tenant", a.tenant)
-	}
-	resp, err := client.Do(req)
+	resp, err := send(ctx, client, a, body)
 	if err != nil {
 		c.errored.Add(1)
 		return
@@ -308,6 +360,90 @@ func fire(ctx context.Context, client *http.Client, a arrival, timeoutMS int64, 
 	default:
 		c.errored.Add(1)
 	}
+}
+
+// fireStream sends one /v1/compile/batch arrival and consumes the
+// NDJSON response frame by frame; the request is OK only if the stream
+// reaches its done frame.
+func fireStream(ctx context.Context, client *http.Client, a arrival, timeoutMS int64, cnt *counters) {
+	c := &cnt.stream
+	c.sent.Add(1)
+
+	progs := make([]map[string]any, len(a.programs))
+	for i, p := range a.programs {
+		progs[i] = map[string]any{"program": p, "timeout_ms": timeoutMS}
+	}
+	body, err := json.Marshal(map[string]any{"programs": progs})
+	if err != nil {
+		c.errored.Add(1)
+		return
+	}
+	resp, err := send(ctx, client, a, body)
+	if err != nil {
+		c.errored.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusServiceUnavailable:
+		c.shed.Add(1)
+		noteRetryAfter(resp, cnt)
+		return
+	case http.StatusTooManyRequests:
+		c.quota.Add(1)
+		noteRetryAfter(resp, cnt)
+		return
+	default:
+		c.errored.Add(1)
+		return
+	}
+	var done bool
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var f struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			c.errored.Add(1)
+			return
+		}
+		switch f.Type {
+		case "block":
+			c.blocks.Add(1)
+		case "error":
+			c.progErrors.Add(1)
+		case "done":
+			done = true
+		}
+	}
+	// A 200 whose stream is cut off (server cancel, transport error,
+	// scanner failure) is errored: the client cannot trust a batch with
+	// no done frame.
+	if sc.Err() != nil || !done {
+		c.errored.Add(1)
+		return
+	}
+	c.ok.Add(1)
+}
+
+// send issues one POST with the arrival's priority and tenant headers.
+func send(ctx context.Context, client *http.Client, a arrival, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if a.batch {
+		req.Header.Set("X-Priority", "batch")
+	} else {
+		req.Header.Set("X-Priority", "interactive")
+	}
+	if a.tenant != "" {
+		req.Header.Set("X-Tenant", a.tenant)
+	}
+	return client.Do(req)
 }
 
 // noteRetryAfter folds a response's Retry-After header into the

@@ -267,3 +267,84 @@ func TestRunContextCancel(t *testing.T) {
 		t.Fatal("nil result after cancel")
 	}
 }
+
+// TestRunStreamFraction drives every arrival at a stub batch endpoint
+// that streams NDJSON (one block frame per bundled program, a trailer
+// each, then done) and checks the stream tallies: a completed stream is
+// OK, its block frames are counted, and a truncated stream (no done
+// frame) is errored.
+func TestRunStreamFraction(t *testing.T) {
+	var mu sync.Mutex
+	var batches, programsSeen int
+	truncate := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/compile/batch" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+			return
+		}
+		var req struct {
+			Programs []struct {
+				Program string `json:"program"`
+			} `json:"programs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad batch body: %v", err)
+			return
+		}
+		mu.Lock()
+		batches++
+		programsSeen += len(req.Programs)
+		cut := truncate
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := range req.Programs {
+			io.WriteString(w, `{"type":"block","program":`+string(rune('0'+i))+`,"index":0,"block":"b"}`+"\n")
+			io.WriteString(w, `{"type":"program","program":`+string(rune('0'+i))+`}`+"\n")
+		}
+		if !cut {
+			io.WriteString(w, `{"type":"done","programs":`+string(rune('0'+len(req.Programs)))+`}`+"\n")
+		}
+	}))
+	t.Cleanup(srv.Close)
+
+	run := func() *Result {
+		res, err := Run(context.Background(), Config{
+			BaseURL:        srv.URL,
+			Rate:           200,
+			Duration:       200 * time.Millisecond,
+			Programs:       []string{"p:\n  nop\n"},
+			StreamFraction: 1,
+			StreamPrograms: 3,
+			Seed:           7,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+
+	res := run()
+	if res.Stream.Sent == 0 {
+		t.Fatal("no streaming arrivals sent")
+	}
+	if res.Interactive.Sent != 0 || res.Batch.Sent != 0 {
+		t.Fatalf("stream fraction 1 but per-priority classes saw traffic: %+v", res)
+	}
+	if res.Stream.OK != res.Stream.Sent || res.Stream.Errored != 0 {
+		t.Fatalf("healthy streams: %+v", res.Stream)
+	}
+	if res.Stream.Blocks != 3*res.Stream.Sent {
+		t.Fatalf("blocks = %d, want %d (3 per stream)", res.Stream.Blocks, 3*res.Stream.Sent)
+	}
+	mu.Lock()
+	if programsSeen != 3*batches {
+		t.Fatalf("stub saw %d programs over %d batches, want 3 each", programsSeen, batches)
+	}
+	truncate = true
+	mu.Unlock()
+
+	res = run()
+	if res.Stream.OK != 0 || res.Stream.Errored != res.Stream.Sent {
+		t.Fatalf("truncated streams must be errored: %+v", res.Stream)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"bsched/internal/compile"
+	"bsched/internal/engine"
 	"bsched/internal/ir"
 )
 
@@ -228,13 +229,13 @@ func TestStandaloneUnchanged(t *testing.T) {
 }
 
 // TestPeerLookupAndOfferEndpoints drives the peer protocol directly
-// against one node: offer a compiled response for a foreign key, then
-// read it back via the lookup endpoint.
+// against one node: offer a compiled per-block response for a foreign
+// block key, then read it back via the lookup endpoint.
 func TestPeerLookupAndOfferEndpoints(t *testing.T) {
 	s, ts := startServer(t, Config{})
 
-	// Compile locally to obtain a well-formed response and its key.
-	status, resp, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram})
+	// Compile locally to obtain a well-formed cached block and its key.
+	status, _, _ := postCompile(t, ts.URL, CompileRequest{Program: demoProgram})
 	if status != http.StatusOK {
 		t.Fatal("seed compile failed")
 	}
@@ -242,25 +243,26 @@ func TestPeerLookupAndOfferEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := Key{Prog: prog.Fingerprint(), Opts: (&RequestOptions{}).fingerprint()}
+	key := Key{Block: prog.Funcs[0].Blocks[0].Fingerprint(), Opts: (&RequestOptions{}).fingerprint()}
 
-	// Lookup of the freshly compiled key: 200 with matching fingerprint.
+	// Lookup of the freshly compiled block key: 200 with matching
+	// fingerprint.
 	lresp, err := http.Get(ts.URL + "/v1/peer/lookup/" + key.String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got CompileResponse
+	var got engine.BlockResponse
 	err = json.NewDecoder(lresp.Body).Decode(&got)
 	lresp.Body.Close()
 	if lresp.StatusCode != http.StatusOK || err != nil {
 		t.Fatalf("peer lookup: status %d err %v", lresp.StatusCode, err)
 	}
-	if got.Fingerprint != resp.Fingerprint {
-		t.Fatalf("peer lookup returned fingerprint %s, want %s", got.Fingerprint, resp.Fingerprint)
+	if want := fmt.Sprintf("%016x", key.Block); got.Fingerprint != want {
+		t.Fatalf("peer lookup returned fingerprint %s, want %s", got.Fingerprint, want)
 	}
 
 	// Lookup of an absent key: 404.
-	absent := Key{Prog: 0xdeadbeef, Opts: 0x1}
+	absent := Key{Block: 0xdeadbeef, Opts: 0x1}
 	lresp, err = http.Get(ts.URL + "/v1/peer/lookup/" + absent.String())
 	if err != nil {
 		t.Fatal(err)
@@ -271,7 +273,7 @@ func TestPeerLookupAndOfferEndpoints(t *testing.T) {
 	}
 
 	// Offer with mismatched fingerprints: 400, nothing installed.
-	body, _ := json.Marshal(resp)
+	body, _ := json.Marshal(&got)
 	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/peer/offer/"+absent.String(), strings.NewReader(string(body)))
 	oresp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -282,16 +284,16 @@ func TestPeerLookupAndOfferEndpoints(t *testing.T) {
 		t.Fatalf("mismatched offer: status %d, want 400", oresp.StatusCode)
 	}
 
-	// A well-formed offer for a new key: 204, then servable via lookup
-	// and via the public compile path as a memory hit.
+	// A well-formed offer for a new block key: 204, then servable via
+	// lookup and via the public compile path as a memory hit.
 	fresh := strings.Replace(demoProgram, "const 8", "const 4096", 1)
 	fprog, err := ir.Parse(fresh)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fkey := Key{Prog: fprog.Fingerprint(), Opts: (&RequestOptions{}).fingerprint()}
-	offered := *resp
-	offered.Fingerprint = fmt.Sprintf("%016x", fkey.Prog)
+	fkey := Key{Block: fprog.Funcs[0].Blocks[0].Fingerprint(), Opts: (&RequestOptions{}).fingerprint()}
+	offered := got
+	offered.Fingerprint = fmt.Sprintf("%016x", fkey.Block)
 	offered.OptionsFingerprint = fmt.Sprintf("%016x", fkey.Opts)
 	body, _ = json.Marshal(&offered)
 	req, _ = http.NewRequest(http.MethodPut, ts.URL+"/v1/peer/offer/"+fkey.String(), strings.NewReader(string(body)))

@@ -22,15 +22,15 @@ const (
 	// hold a peer's request open for an in-flight compilation of the
 	// same key. The prober's own deadline is usually much tighter.
 	maxPeerWait = 2 * time.Second
-	// maxOfferBytes bounds an offer body. A legitimate CompileResponse
-	// is bounded by the same record limit the disk layer enforces.
+	// maxOfferBytes bounds an offer body. A legitimate BlockResponse is
+	// bounded by the same record limit the disk layer enforces.
 	maxOfferBytes = 16 << 20
 )
 
 // handlePeerLookup answers GET /v1/peer/lookup/{key}?wait_ms=N: 200
-// with the cached CompileResponse when this node has the key (memory
-// or disk), 404 when it does not. A still-compiling key is awaited for
-// up to wait_ms — a short hold beats telling the prober to duplicate
+// with the cached per-block BlockResponse when this node has the key
+// (memory or disk), 404 when it does not. A still-compiling key is
+// awaited for up to wait_ms — a short hold beats telling the prober to duplicate
 // work that is milliseconds from finishing.
 func (s *Server) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -107,7 +107,7 @@ func (s *Server) handlePeerOffer(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, &ErrorResponse{Error: "malformed cache key"})
 		return
 	}
-	var resp engine.CompileResponse
+	var resp engine.BlockResponse
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxOfferBytes))
 	if err := dec.Decode(&resp); err != nil {
 		s.stats.clientErrors.Add(1)

@@ -70,6 +70,11 @@ func TestDiskCacheEquivalence(t *testing.T) {
 		CompileRequest{Program: demoProgram, Options: RequestOptions{Chances: "unionfind", Budget: TierSmall}},
 	)
 
+	// Disk records are block-granular: 5 demo variants (one block each)
+	// + the two-block program + demo under two option sets = 9 records
+	// for the corpus's 8 programs.
+	const corpusBlocks = 9
+
 	dir := t.TempDir()
 	s1, ts1 := startServer(t, Config{CacheDir: dir})
 	cold := make([]*CompileResponse, len(corpus))
@@ -90,8 +95,8 @@ func TestDiskCacheEquivalence(t *testing.T) {
 	s1.Close() // flushes the write-behind queue
 
 	s2, ts2 := startServer(t, Config{CacheDir: dir})
-	if s2.Stats().DiskWarmEntries != len(corpus) {
-		t.Fatalf("warm entries %d, want %d", s2.Stats().DiskWarmEntries, len(corpus))
+	if s2.Stats().DiskWarmEntries != corpusBlocks {
+		t.Fatalf("warm entries %d, want %d", s2.Stats().DiskWarmEntries, corpusBlocks)
 	}
 	for i, req := range corpus {
 		status, disk, errResp := postCompile(t, ts2.URL, req)
@@ -109,8 +114,8 @@ func TestDiskCacheEquivalence(t *testing.T) {
 			t.Errorf("corpus[%d]: disk-warmed response differs from cold compile:\n%s\n%s", i, c, dk)
 		}
 	}
-	if hits := s2.Stats().DiskHits; hits != int64(len(corpus)) {
-		t.Errorf("disk hits %d, want %d", hits, len(corpus))
+	if hits := s2.Stats().DiskHits; hits != int64(corpusBlocks) {
+		t.Errorf("disk hits %d, want %d", hits, corpusBlocks)
 	}
 }
 

@@ -14,17 +14,19 @@ import (
 	"bsched/internal/regalloc"
 )
 
-// The cache key, entry and response shapes moved to internal/engine
-// with the compile kernel; the aliases keep this package's public
-// surface (and every existing test) unchanged.
+// The cache key, entry and per-block response shapes live in
+// internal/engine with the compile kernel; the aliases keep this
+// package's public surface (and every existing test) unchanged. The
+// program-level CompileResponse is the server's own type (response.go):
+// the engine no longer knows about programs, only blocks, and the
+// server assembles program responses from per-block results at the
+// edge.
 type (
-	// Key is the content-addressed cache key: program fingerprint plus
-	// options fingerprint.
+	// Key is the content-addressed cache key: block fingerprint plus
+	// options fingerprint (docs/CACHE-KEYS.md).
 	Key = engine.Key
 	// Entry is one single-flight cache slot.
 	Entry = engine.Entry
-	// CompileResponse is the body of a successful POST /v1/compile.
-	CompileResponse = engine.CompileResponse
 	// BlockSummary is the per-block slice of a CompileResponse.
 	BlockSummary = engine.BlockSummary
 	// DegradationEvent mirrors compile.Event for JSON.

@@ -4,37 +4,50 @@
 // set — into one node of a consistent-hash fleet (bsched/internal/
 // cluster, docs/CLUSTER.md).
 //
-// Architecture, in one request's lifetime:
+// Architecture, in one request's lifetime. The unit of caching,
+// single-flight, persistence and peer exchange is the *block*
+// (docs/CACHE-KEYS.md): a program request fans out into one cache
+// dispatch per block, and the program response is assembled at the edge
+// from the per-block results.
 //
 //	POST /v1/compile
 //	   ├─ decode + validate + parse (in the handler goroutine)
-//	   ├─ content-addressed lookup: Key{program fingerprint, options fingerprint}
-//	   │    ├─ completed entry  → memory hit, respond immediately
-//	   │    ├─ in-flight entry  → coalesce: wait on the leader's result,
+//	   ├─ per block: content-addressed lookup,
+//	   │    Key{block fingerprint, options fingerprint}
+//	   │    ├─ completed entry  → memory hit for this block
+//	   │    ├─ in-flight entry  → coalesce: wait on that block's leader,
 //	   │    │                     bounded by this request's own deadline
 //	   │    └─ absent           → leader: probe the persistent cache,
 //	   │         ├─ valid disk record → disk hit: decode, complete the
-//	   │         │                      entry, respond (no compilation)
+//	   │         │                      entry (no compilation)
 //	   │         ├─ foreign-owned key → probe the ring owner under a
-//	   │         │    strict budget; a peer hit responds without
-//	   │         │    compiling, any peer failure falls back to a
-//	   │         │    local compile — never a client error
-//	   │         └─ none              → enqueue a job
+//	   │         │    strict budget; a peer hit completes the entry,
+//	   │         │    any peer failure falls back to a local compile
+//	   │         │    — never a client error
+//	   │         └─ none              → enqueue one per-block job
 //	   ├─ bounded queue, fixed worker pool — the queue full is an explicit
 //	   │    503 + Retry-After (backpressure), never an unbounded goroutine
-//	   └─ worker compiles under the request deadline and budget tier,
-//	        publishes the entry, every waiter responds
+//	   ├─ workers compile each missed block under the request deadline
+//	   │    and budget tier, publishing its entry for every waiter
+//	   └─ the handler awaits its pending blocks and assembles the
+//	        program response in program order
+//
+// POST /v1/compile/batch accepts many programs at once and streams
+// per-block results back as NDJSON as each block completes (batch.go),
+// so a client sees early blocks before the slowest one finishes.
 //
 // The cache is sharded and LRU-bounded; single-flight deduplication is
-// built into the lookup, so N concurrent identical requests cost exactly
-// one compilation. With Config.CacheDir set, a write-behind persistent
-// layer (checksummed append-only segments, replayed at startup) sits
-// under the memory cache, so a restarted daemon serves previously
-// compiled programs warm — see docs/SERVER.md, "Persistent cache". All
-// of that lives in internal/engine; this package owns HTTP, the metrics
-// registry, tenant quotas, tracing and logging, plus the peer protocol
-// endpoints (GET /v1/peer/lookup/{key}, PUT /v1/peer/offer/{key}) the
-// cluster layer speaks.
+// built into the lookup, so N concurrent requests for the same block
+// cost exactly one compilation — including across different programs
+// that share blocks. With Config.CacheDir set, a write-behind
+// persistent layer (checksummed append-only segments, replayed at
+// startup) sits under the memory cache, so a restarted daemon serves
+// previously compiled blocks warm — see docs/SERVER.md, "Persistent
+// cache". All of that lives in internal/engine; this package owns HTTP,
+// the metrics registry, tenant quotas, tracing and logging, plus the
+// peer protocol endpoints (GET /v1/peer/lookup/{key}, PUT
+// /v1/peer/offer/{key}) the cluster layer speaks. docs/API.md is the
+// complete HTTP surface reference.
 //
 // Observability (see docs/OBSERVABILITY.md for the full catalog): every
 // counter, gauge and latency histogram lives in an internal/obs
@@ -305,8 +318,25 @@ func New(cfg Config) (*Server, error) {
 				s.stats.breakerClose.Inc()
 			}
 		},
-		CompileFn: func(ctx context.Context, p *ir.Program, o compile.Options) (*compile.Result, error) {
-			return s.compileFn(ctx, p, o)
+		CompileFn: func(ctx context.Context, b *ir.Block, o compile.Options) (*compile.BlockResult, error) {
+			// Bridge the engine's per-block unit of work onto the
+			// program-level compileFn seam (tests substitute s.compileFn to
+			// gate the pool or count whole compilations): wrap the block in
+			// a one-block program, compile, and unwrap.
+			p := &ir.Program{Funcs: []*ir.Func{{Blocks: []*ir.Block{b}}}}
+			res, err := s.compileFn(ctx, p, o)
+			if err != nil {
+				return nil, err
+			}
+			if len(res.Blocks) != 1 {
+				return nil, fmt.Errorf("block compile returned %d block results", len(res.Blocks))
+			}
+			br := res.Blocks[0]
+			// The seam may append program-level degradations of its own
+			// (e.g. deadline events); for a one-block program they are this
+			// block's degradations.
+			br.Degradations = res.Degradations
+			return br, nil
 		},
 	}
 	if s.cluster != nil {
@@ -393,6 +423,7 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/compile", s.handleCompile)
+	mux.HandleFunc("/v1/compile/batch", s.handleCompileBatch)
 	mux.HandleFunc("/v1/traces", s.handleTraces)
 	mux.HandleFunc("/v1/traces/", s.handleTraceByID)
 	mux.HandleFunc("/v1/peer/lookup/", s.handlePeerLookup)
@@ -447,6 +478,19 @@ func (w *statusWriter) status() int {
 		return http.StatusOK
 	}
 	return w.code
+}
+
+// Flush forwards to the underlying writer so streaming handlers (the
+// NDJSON batch endpoint) can push each frame to the client immediately;
+// without this the middleware wrapper would hide the connection's
+// http.Flusher and frames would sit in net/http's buffer.
+func (w *statusWriter) Flush() {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // logged is the per-request middleware: it stamps every request with a
@@ -509,13 +553,13 @@ func (s *Server) logged(h http.Handler) http.Handler {
 	})
 }
 
-// diskServe completes a leader's entry from the persistent cache, when
-// there is one and it holds a valid record for the key. The served
-// response also becomes the completed in-memory entry, so subsequent
-// identical requests are plain memory hits; the root span gets a
-// disk-hit event so traces distinguish the dispositions (memory hit,
-// disk hit, peer hit, miss).
-func (s *Server) diskServe(key Key, e *Entry, r *http.Request, tr *obs.Trace) (*CompileResponse, bool) {
+// diskServe completes a block leader's entry from the persistent
+// cache, when there is one and it holds a valid record for the key. The
+// served response also becomes the completed in-memory entry, so
+// subsequent requests for the block are plain memory hits; the root
+// span gets a disk-hit event so traces distinguish the dispositions
+// (memory hit, disk hit, peer hit, miss).
+func (s *Server) diskServe(key Key, e *Entry, tr *obs.Trace) (*engine.BlockResponse, bool) {
 	if s.cfg.CacheDir == "" {
 		return nil, false
 	}
@@ -525,19 +569,18 @@ func (s *Server) diskServe(key Key, e *Entry, r *http.Request, tr *obs.Trace) (*
 	if !ok {
 		return nil, false
 	}
-	note(r, "cache", "disk")
 	tr.Root().Event("disk-hit")
 	e.Complete(resp, nil)
 	return resp, true
 }
 
-// peerServe probes a foreign key's ring owner and, on a hit, completes
-// the leader's entry with the peer's response — one round trip instead
-// of a compilation. Every non-hit outcome (miss, breaker-skipped,
-// transport error, budget exceeded) returns false and the caller
-// compiles locally; a peer can slow a request by at most the probe
-// budget, never fail it.
-func (s *Server) peerServe(key Key, e *Entry, r *http.Request, tr *obs.Trace) (*CompileResponse, bool) {
+// peerServe probes a foreign block key's ring owner and, on a hit,
+// completes the leader's entry with the peer's response — one round
+// trip instead of a compilation. Every non-hit outcome (miss,
+// breaker-skipped, transport error, budget exceeded) returns false and
+// the caller compiles locally; a peer can slow a request by at most the
+// probe budget, never fail it.
+func (s *Server) peerServe(key Key, e *Entry, r *http.Request, tr *obs.Trace) (*engine.BlockResponse, bool) {
 	if s.cluster == nil {
 		return nil, false
 	}
@@ -560,10 +603,94 @@ func (s *Server) peerServe(key Key, e *Entry, r *http.Request, tr *obs.Trace) (*
 		return nil, false
 	}
 	span.End()
-	note(r, "cache", "peer")
 	tr.Root().Event("peer-hit")
 	e.Complete(resp, nil)
 	return resp, true
+}
+
+// blockDisposition says how one block of a request resolved against the
+// engine cache.
+type blockDisposition int
+
+const (
+	blockHit       blockDisposition = iota // completed in-memory entry
+	blockDisk                              // decoded from the persistent layer
+	blockPeer                              // served by the block's ring owner
+	blockEnqueued                          // this request is the block's compile leader
+	blockCoalesced                         // joined another request's in-flight compile
+)
+
+// dispatchBlock resolves one block of a request against the engine:
+// hit/disk/peer resolve immediately (resp non-nil); enqueued and
+// coalesced return the entry the caller awaits. A non-nil error means
+// admission refused the block (infeasible deadline, sojourn shed, queue
+// full) — the entry is already failed and removed, and the caller owns
+// the HTTP error. Blocks the caller enqueued earlier keep compiling and
+// warm the cache regardless.
+func (s *Server) dispatchBlock(r *http.Request, tr *obs.Trace, b *ir.Block, key Key,
+	opts compile.Options, deadline time.Duration, started time.Time,
+	tier string, prio admission.Priority) (*engine.BlockResponse, *Entry, blockDisposition, error) {
+	e, leader := s.eng.Lookup(key)
+	if !leader {
+		if e.Completed() {
+			s.stats.blockHits.Inc()
+			return e.Resp, e, blockHit, nil
+		}
+		s.stats.blockCoalesced.Inc()
+		return nil, e, blockCoalesced, nil
+	}
+	// Memory miss under this request's single-flight leadership for the
+	// block: probe the persistent layer, then the ring owner, before
+	// paying for a compilation. N concurrent requests needing the same
+	// block still cost one disk read / one probe / one compile.
+	if resp, ok := s.diskServe(key, e, tr); ok {
+		s.stats.blockDisk.Inc()
+		return resp, e, blockDisk, nil
+	}
+	if resp, ok := s.peerServe(key, e, r, tr); ok {
+		s.stats.blockPeer.Inc()
+		return resp, e, blockPeer, nil
+	}
+	s.stats.blockMisses.Inc()
+	// Deadline-aware admission, per block: when the tier's observed p99
+	// compile estimate already exceeds the request's remaining deadline,
+	// queueing would only burn a worker on a result nobody waits for.
+	// The estimator reports zero (no opinion) until it has enough
+	// samples, so cold tiers always admit.
+	if est := s.eng.Estimate(tier, len(b.Instrs)); est > 0 && est > deadline-time.Since(started) {
+		s.stats.infeasible.Inc()
+		tr.Root().Event("503-infeasible")
+		tr.Root().SetAttr("estimate_ms", fmt.Sprint(est.Milliseconds()))
+		s.eng.Remove(key, e)
+		e.Complete(nil, errInfeasible)
+		return nil, e, blockEnqueued, errInfeasible
+	}
+	j := &engine.Job{Block: b, Opts: opts, Timeout: deadline, Key: key, E: e,
+		Tier: tier, Priority: prio, Instrs: len(b.Instrs),
+		Tr: tr, QueueSpan: tr.StartSpan(nil, "queue-wait")}
+	if err := s.eng.Enqueue(j); err != nil {
+		// Rejected at admission: CoDel shedding (the queue has room but
+		// accepted work is already waiting past target) or the hard depth
+		// bound. Either way, fail the entry so coalesced requests that
+		// raced in behind us reject too instead of hanging — and record
+		// the queue-wait span *and* histogram for the shed block, so
+		// shedding is visible in traces and /stats rather than only in
+		// requests that eventually ran.
+		s.stats.stages.With(stageQueue).ObserveDuration(time.Since(j.Enqueued))
+		j.QueueSpan.EndErr(err)
+		if errors.Is(err, admission.ErrShed) {
+			s.stats.shedSojourn.Inc()
+			tr.Root().Event("503-shed")
+		} else {
+			s.stats.shedFull.Inc()
+			tr.Root().Event("503-backpressure")
+		}
+		s.eng.Remove(key, e)
+		e.Complete(nil, errBusy)
+		return nil, e, blockEnqueued, err
+	}
+	s.stats.queueReqs.With(prio.String()).Inc()
+	return nil, e, blockEnqueued, nil
 }
 
 // Stats returns a point-in-time snapshot of the service counters.
@@ -725,130 +852,129 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if tier == "" {
 		tier = TierDefault
 	}
-	lookupSpan := tr.StartSpan(nil, "cache-lookup")
-	lookupStart := time.Now()
-	key := Key{Prog: prog.Fingerprint(), Opts: req.Options.fingerprint()}
-	e, leader := s.eng.Lookup(key)
-	s.stats.stages.With(stageLookup).ObserveDuration(time.Since(lookupStart))
-	lookupSpan.End()
-	note(r, "fingerprint", fmt.Sprintf("%016x", key.Prog), "tier", tier, "priority", prio.String())
+	optsFP := req.Options.fingerprint()
+	progFP := fmt.Sprintf("%016x", prog.Fingerprint())
+	note(r, "fingerprint", progFP, "tier", tier, "priority", prio.String())
 	root := tr.Root()
-	root.SetAttr("fingerprint", fmt.Sprintf("%016x", key.Prog))
+	root.SetAttr("fingerprint", progFP)
 	root.SetAttr("tier", tier)
 	root.SetAttr("priority", prio.String())
-	coalesced := false
-	switch {
-	case leader:
-		// Memory miss. Probe the persistent layer before compiling: a
-		// record written by an earlier run (or evicted from memory since)
-		// costs one read + decode instead of a whole compilation. The
-		// probe happens under this request's single-flight leadership, so
-		// N concurrent identical requests still cost one disk read.
-		if resp, ok := s.diskServe(key, e, r, tr); ok {
-			s.respond(w, r, resp.Stamped(true, false, time.Since(started)))
-			return
-		}
-		// Foreign-owned key: ask the ring owner before compiling. Same
-		// single-flight guarantee — one probe per in-flight key, and any
-		// failure just falls through to the local compile below.
-		if resp, ok := s.peerServe(key, e, r, tr); ok {
-			s.respond(w, r, resp.Stamped(true, false, time.Since(started)))
-			return
-		}
-		s.stats.cacheMisses.Add(1)
-		note(r, "cache", "miss")
-		root.Event("cache-miss")
-		instrs := countInstrs(prog)
-		// Deadline-aware admission: when the tier's observed p99 compile
-		// estimate already exceeds the request's remaining deadline,
-		// queueing it would only burn a worker on a result nobody waits
-		// for. Fail fast instead. The estimator reports zero (no opinion)
-		// until it has enough samples, so cold tiers always admit.
-		if est := s.eng.Estimate(tier, instrs); est > 0 && est > deadline-time.Since(started) {
-			s.stats.infeasible.Inc()
-			root.Event("503-infeasible")
-			root.SetAttr("estimate_ms", fmt.Sprint(est.Milliseconds()))
-			s.eng.Remove(key, e)
-			e.Complete(nil, errInfeasible)
-			s.respondError(w, errInfeasible)
-			return
-		}
-		j := &engine.Job{Prog: prog, Opts: opts, Timeout: deadline, Key: key, E: e,
-			Tier: tier, Priority: prio, Instrs: instrs,
-			Tr: tr, QueueSpan: tr.StartSpan(nil, "queue-wait")}
-		if err := s.eng.Enqueue(j); err != nil {
-			// Rejected at admission: CoDel shedding (the queue has room but
-			// accepted work is already waiting past target) or the hard
-			// depth bound. Either way, fail the entry so coalesced requests
-			// that raced in behind us reject too instead of hanging — and
-			// record the queue-wait span *and* histogram for the shed
-			// request, so shedding is visible in traces and /stats rather
-			// than only in requests that eventually ran.
-			s.stats.stages.With(stageQueue).ObserveDuration(time.Since(j.Enqueued))
-			j.QueueSpan.EndErr(err)
-			if errors.Is(err, admission.ErrShed) {
-				s.stats.shedSojourn.Inc()
-				root.Event("503-shed")
-			} else {
-				s.stats.shedFull.Inc()
-				root.Event("503-backpressure")
-			}
-			s.eng.Remove(key, e)
-			e.Complete(nil, errBusy)
+
+	// Fan the program out into one cache dispatch per block: each
+	// block's fingerprint plus the options fingerprint is its own cache
+	// key (docs/CACHE-KEYS.md), so hits, misses, single-flight
+	// coalescing, disk records and peer exchange are all block-granular,
+	// and two programs sharing blocks share their compilations.
+	blocks := prog.Blocks()
+	results := make([]*engine.BlockResponse, len(blocks))
+	type pendingWait struct {
+		idx int
+		e   *Entry
+	}
+	var waits []pendingWait
+	var compiledAny, coalescedAny, diskAny, peerAny bool
+	lookupSpan := tr.StartSpan(nil, "cache-lookup")
+	lookupStart := time.Now()
+	for i, b := range blocks {
+		key := Key{Block: b.Fingerprint(), Opts: optsFP}
+		resp, e, disp, err := s.dispatchBlock(r, tr, b, key, opts, deadline, started, tier, prio)
+		if err != nil {
+			s.stats.stages.With(stageLookup).ObserveDuration(time.Since(lookupStart))
+			lookupSpan.EndErr(err)
 			s.respondError(w, err)
 			return
 		}
-		s.stats.queueReqs.With(prio.String()).Inc()
-	case e.Completed():
-		s.stats.cacheHits.Add(1)
-		note(r, "cache", "hit")
-		root.Event("cache-hit")
-		s.respond(w, r, e.Resp.Stamped(true, false, time.Since(started)))
-		return
-	default:
-		coalesced = true
+		switch disp {
+		case blockHit:
+			results[i] = resp
+		case blockDisk:
+			results[i] = resp
+			diskAny = true
+		case blockPeer:
+			results[i] = resp
+			peerAny = true
+		case blockEnqueued:
+			compiledAny = true
+			waits = append(waits, pendingWait{i, e})
+		case blockCoalesced:
+			coalescedAny = true
+			waits = append(waits, pendingWait{i, e})
+		}
+	}
+	s.stats.stages.With(stageLookup).ObserveDuration(time.Since(lookupStart))
+	lookupSpan.End()
+
+	// The request-level cache disposition is the *worst* block's:
+	// compiling anything makes the response a miss, else waiting on
+	// another request's compile makes it coalesced, else a disk or peer
+	// decode beats calling it a pure memory hit. A single-block program
+	// reproduces the pre-batching program-granular accounting exactly.
+	switch {
+	case compiledAny:
+		s.stats.cacheMisses.Add(1)
+		note(r, "cache", "miss")
+		root.Event("cache-miss")
+	case coalescedAny:
 		s.stats.coalesced.Add(1)
 		note(r, "cache", "coalesced")
 		root.Event("coalesced")
+	case diskAny:
+		note(r, "cache", "disk")
+	case peerAny:
+		note(r, "cache", "peer")
+	default:
+		s.stats.cacheHits.Add(1)
+		note(r, "cache", "hit")
+		root.Event("cache-hit")
 	}
+	cached := !compiledAny
+	respCoalesced := coalescedAny && !compiledAny
 
 	// A coalesced wait is bounded by this request's own clamped deadline,
 	// not the leader's: a request asking for 100ms must not block for an
 	// in-flight leader's 60s. Expiry responds 503 without failing the
-	// shared entry — the compilation completes for everyone still
-	// waiting. The leader itself gets no such timer: its job compiles
-	// under its own deadline and degrades rather than fails.
+	// shared entries — the compilations complete for everyone still
+	// waiting. A request that is itself a leader for any block gets no
+	// such timer: its jobs compile under its own deadline and degrade
+	// rather than fail.
 	var waitC <-chan time.Time
 	var waitSpan *obs.Span
-	if coalesced {
+	if respCoalesced && len(waits) > 0 {
 		wait := time.NewTimer(deadline - time.Since(started))
 		defer wait.Stop()
 		waitC = wait.C
 		waitSpan = tr.StartSpan(nil, "coalesced-wait")
 	}
-	select {
-	case <-e.Done:
-		waitSpan.End()
-		if e.Err != nil {
-			s.respondError(w, e.Err)
+	for _, p := range waits {
+		select {
+		case <-p.e.Done:
+			if p.e.Err != nil {
+				waitSpan.End()
+				s.respondError(w, p.e.Err)
+				return
+			}
+			results[p.idx] = p.e.Resp
+		case <-waitC:
+			waitSpan.EndErr(errDeadline)
+			s.respondError(w, errDeadline)
+			return
+		case <-r.Context().Done():
+			// Client gone; the compilations still complete and populate
+			// the cache for the next asker. The leaders' compile and stage
+			// spans keep appending to this trace after the root finishes —
+			// the trace serializes that, and the late spans are simply
+			// absent from the stored snapshot (best-effort).
+			waitSpan.EndErr(r.Context().Err())
+			s.stats.clientErrors.Add(1)
+			return
+		case <-s.eng.Done():
+			waitSpan.EndErr(errShutdown)
+			s.respondError(w, errShutdown)
 			return
 		}
-		s.respond(w, r, e.Resp.Stamped(!leader, coalesced, time.Since(started)))
-	case <-waitC:
-		waitSpan.EndErr(errDeadline)
-		s.respondError(w, errDeadline)
-	case <-r.Context().Done():
-		// Client gone; the compilation (if any) still completes and
-		// populates the cache for the next asker. The leader's compile
-		// and stage spans keep appending to this trace after the root
-		// finishes — the trace serializes that, and the late spans are
-		// simply absent from the stored snapshot (best-effort).
-		waitSpan.EndErr(r.Context().Err())
-		s.stats.clientErrors.Add(1)
-	case <-s.eng.Done():
-		waitSpan.EndErr(errShutdown)
-		s.respondError(w, errShutdown)
 	}
+	waitSpan.End()
+	s.respond(w, r, assembleResponse(prog, results, optsFP).Stamped(cached, respCoalesced, time.Since(started)))
 }
 
 // respond writes a 200 and records its service time. The histogram
@@ -867,15 +993,6 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, resp *CompileRe
 		s.stats.hist.Observe(sec)
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// countInstrs sizes a program for the cost estimator.
-func countInstrs(p *ir.Program) int {
-	n := 0
-	for _, b := range p.Blocks() {
-		n += len(b.Instrs)
-	}
-	return n
 }
 
 // respondError maps a failure to a status code and error body. Every

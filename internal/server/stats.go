@@ -33,19 +33,33 @@ const (
 type Stats struct {
 	reg *obs.Registry
 
-	requests      *obs.Counter        // bschedd_requests_total
-	ok            *obs.Counter        // bschedd_responses_total{outcome="ok"}
-	clientErrors  *obs.Counter        // bschedd_responses_total{outcome="client_error"}
-	compileErrors *obs.Counter        // bschedd_responses_total{outcome="compile_error"}
-	rejected      *obs.Counter        // bschedd_responses_total{outcome="rejected"}
-	cacheHits     *obs.Counter        // bschedd_cache_events_total{event="hit"}
-	cacheMisses   *obs.Counter        // bschedd_cache_events_total{event="miss"}
-	coalesced     *obs.Counter        // bschedd_cache_events_total{event="coalesced"}
-	degradations  *obs.Counter        // bschedd_degradations_total
-	disk          *engine.DiskMetrics // bschedd_diskcache_* counters
-	hist          *obs.Histogram
-	stages        *obs.HistogramVec
-	tiers         *obs.HistogramVec
+	requests      *obs.Counter // bschedd_requests_total
+	ok            *obs.Counter // bschedd_responses_total{outcome="ok"}
+	clientErrors  *obs.Counter // bschedd_responses_total{outcome="client_error"}
+	compileErrors *obs.Counter // bschedd_responses_total{outcome="compile_error"}
+	rejected      *obs.Counter // bschedd_responses_total{outcome="rejected"}
+	cacheHits     *obs.Counter // bschedd_cache_events_total{event="hit"}
+	cacheMisses   *obs.Counter // bschedd_cache_events_total{event="miss"}
+	coalesced     *obs.Counter // bschedd_cache_events_total{event="coalesced"}
+	degradations  *obs.Counter // bschedd_degradations_total
+
+	// Block-granular cache events: one sample per block dispatched,
+	// versus the request-level bschedd_cache_events_total above (one per
+	// program). The gap between the two is exactly the cross-program
+	// block reuse the block-granular key buys.
+	blockHits      *obs.Counter // bschedd_block_cache_events_total{outcome="hit"}
+	blockMisses    *obs.Counter // bschedd_block_cache_events_total{outcome="miss"}
+	blockCoalesced *obs.Counter // bschedd_block_cache_events_total{outcome="coalesced"}
+	blockDisk      *obs.Counter // bschedd_block_cache_events_total{outcome="disk"}
+	blockPeer      *obs.Counter // bschedd_block_cache_events_total{outcome="peer"}
+
+	// Batch-endpoint instruments (POST /v1/compile/batch).
+	batchRequests  *obs.Counter        // bschedd_batch_requests_total
+	blocksStreamed *obs.Counter        // bschedd_batch_blocks_streamed_total
+	disk           *engine.DiskMetrics // bschedd_diskcache_* counters
+	hist           *obs.Histogram
+	stages         *obs.HistogramVec
+	tiers          *obs.HistogramVec
 
 	// Cluster peer-protocol instruments (docs/CLUSTER.md). Eagerly
 	// materialized children so every family renders in /metrics from
@@ -140,6 +154,8 @@ func newStats() *Stats {
 			"Valid records indexed from persistent-cache segments during startup replay."),
 		Corrupt: reg.Counter("bschedd_diskcache_corrupt_records_total",
 			"Torn or corrupt persistent-cache records skipped (at replay, on read, or at compaction) instead of being served."),
+		Stale: reg.Counter("bschedd_diskcache_stale_records_total",
+			"Healthy records in the retired program-keyed on-disk format, skipped (not indexed) at replay; the affected programs recompile once and re-persist under block keys (docs/CACHE-KEYS.md)."),
 		IOErrors: reg.Counter("bschedd_diskcache_io_errors_total",
 			"Persistent-cache read/append failures at the I/O layer (as opposed to corrupt data) — the signal that trips the disk circuit breaker."),
 	}
@@ -156,6 +172,9 @@ func newStats() *Stats {
 		"Disk-cache circuit-breaker events: trip (opened), probe (half-open probe admitted), recover (probe succeeded, closed again) or reject (disk I/O skipped while open).",
 		"event")
 	disk.Rejects = breaker.With("reject")
+	blockEvents := reg.CounterVec("bschedd_block_cache_events_total",
+		"Per-block cache dispatch outcomes: hit (completed in-memory entry), miss (this request became the block's compile leader), coalesced (joined another request's in-flight block), disk (served from the persistent layer) or peer (served by the block's ring owner). One program request contributes one sample per block, so cross-program block reuse shows up here as hits the request-level counters never see.",
+		"outcome")
 	return &Stats{
 		reg: reg,
 		requests: reg.Counter("bschedd_requests_total",
@@ -169,6 +188,15 @@ func newStats() *Stats {
 		coalesced:     cacheEvents.With("coalesced"),
 		degradations: reg.Counter("bschedd_degradations_total",
 			"Degradation-ladder downgrade events across all compilations."),
+		blockHits:      blockEvents.With("hit"),
+		blockMisses:    blockEvents.With("miss"),
+		blockCoalesced: blockEvents.With("coalesced"),
+		blockDisk:      blockEvents.With("disk"),
+		blockPeer:      blockEvents.With("peer"),
+		batchRequests: reg.Counter("bschedd_batch_requests_total",
+			"POST /v1/compile/batch requests accepted (after body decode)."),
+		blocksStreamed: reg.Counter("bschedd_batch_blocks_streamed_total",
+			"Per-block NDJSON frames written by the batch endpoint."),
 		disk:         disk,
 		probeHit:     peerProbes.With("hit"),
 		probeMiss:    peerProbes.With("miss"),
@@ -266,10 +294,22 @@ type Snapshot struct {
 	CacheMisses   int64 `json:"cache_misses"`
 	Coalesced     int64 `json:"coalesced"`
 	Degradations  int64 `json:"degradations"`
-	QueueDepth    int   `json:"queue_depth"`
-	QueueCapacity int   `json:"queue_capacity"`
-	Workers       int   `json:"workers"`
-	CacheEntries  int   `json:"cache_entries"`
+	// Block-granular cache dispatch outcomes (one per block, versus the
+	// per-program counters above). BlockHits minus per-program hits is
+	// the cross-program block reuse the block-keyed cache buys.
+	BlockHits      int64 `json:"block_hits"`
+	BlockMisses    int64 `json:"block_misses"`
+	BlockCoalesced int64 `json:"block_coalesced"`
+	BlockDisk      int64 `json:"block_disk"`
+	BlockPeer      int64 `json:"block_peer"`
+	// Batch-endpoint counters: batches accepted and per-block NDJSON
+	// frames streamed.
+	BatchRequests  int64 `json:"batch_requests"`
+	BlocksStreamed int64 `json:"blocks_streamed"`
+	QueueDepth     int   `json:"queue_depth"`
+	QueueCapacity  int   `json:"queue_capacity"`
+	Workers        int   `json:"workers"`
+	CacheEntries   int   `json:"cache_entries"`
 	// Persistent (disk) schedule-cache counters — all zero when the
 	// daemon runs without -cache-dir. DiskHits counts requests served by
 	// decoding a record from disk after a memory miss; DiskWarmEntries is
@@ -281,9 +321,12 @@ type Snapshot struct {
 	DiskEvictions      int64 `json:"disk_evictions"`
 	DiskRecordsLoaded  int64 `json:"disk_records_loaded"`
 	DiskCorruptRecords int64 `json:"disk_corrupt_records"`
-	DiskEntries        int   `json:"disk_entries"`
-	DiskBytes          int64 `json:"disk_bytes"`
-	DiskWarmEntries    int   `json:"disk_warm_entries"`
+	// DiskStaleRecords counts healthy records in the retired
+	// program-keyed format skipped at replay (docs/CACHE-KEYS.md).
+	DiskStaleRecords int64 `json:"disk_stale_records"`
+	DiskEntries      int   `json:"disk_entries"`
+	DiskBytes        int64 `json:"disk_bytes"`
+	DiskWarmEntries  int   `json:"disk_warm_entries"`
 	// P50/P99 service time of successful compilations, in milliseconds,
 	// estimated from a fixed-bucket histogram
 	// (obs.DefaultLatencyBuckets).
@@ -421,12 +464,20 @@ func (s *Stats) snapshot() Snapshot {
 		CacheMisses:        s.cacheMisses.Value(),
 		Coalesced:          s.coalesced.Value(),
 		Degradations:       s.degradations.Value(),
+		BlockHits:          s.blockHits.Value(),
+		BlockMisses:        s.blockMisses.Value(),
+		BlockCoalesced:     s.blockCoalesced.Value(),
+		BlockDisk:          s.blockDisk.Value(),
+		BlockPeer:          s.blockPeer.Value(),
+		BatchRequests:      s.batchRequests.Value(),
+		BlocksStreamed:     s.blocksStreamed.Value(),
 		DiskHits:           s.disk.Hits.Value(),
 		DiskMisses:         s.disk.Misses.Value(),
 		DiskWrites:         s.disk.Writes.Value(),
 		DiskEvictions:      s.disk.Evictions.Value(),
 		DiskRecordsLoaded:  s.disk.Loaded.Value(),
 		DiskCorruptRecords: s.disk.Corrupt.Value(),
+		DiskStaleRecords:   s.disk.Stale.Value(),
 		DiskIOErrors:       s.disk.IOErrors.Value(),
 		ShedSojourn:        s.shedSojourn.Value(),
 		ShedFull:           s.shedFull.Value(),
