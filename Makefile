@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke chaos-smoke cluster-smoke batch-smoke doc-lint bench bench-json repro repro-quick examples vet fmt cover clean
+.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke chaos-smoke cluster-smoke batch-smoke fleet-obs-smoke doc-lint bench bench-json bench-diff repro repro-quick examples vet fmt cover clean
 
 all: build test
 
@@ -11,8 +11,9 @@ build:
 
 # The default test path runs go vet, the unit suites, the documentation
 # lint, the /metrics smoke check, the chaos/overload smoke check, the
-# multi-node cluster smoke check and the streaming batch smoke check, so
-# a vet, metric, doc, resilience, fleet or streaming regression fails
+# multi-node cluster smoke check, the streaming batch smoke check and
+# the fleet observability smoke check, so a vet, metric, doc,
+# resilience, fleet, streaming or observability regression fails
 # `make test` the same way a unit failure does.
 test: vet doc-lint
 	$(GO) test ./...
@@ -20,6 +21,7 @@ test: vet doc-lint
 	$(MAKE) chaos-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) batch-smoke
+	$(MAKE) fleet-obs-smoke
 
 race test-race:
 	$(GO) test -race ./...
@@ -64,6 +66,16 @@ cluster-smoke:
 batch-smoke:
 	$(GO) run ./cmd/bschedd -log-format none -batch-smoke examples/ir/demo.ir
 
+# Drive the fleet observability plane over an in-process 3-node fleet:
+# /v1/fleet/stats totals must equal the sum of the node-local counters
+# exactly, a peer-served compile must stitch into one cross-node trace,
+# the merged /v1/fleet/metrics must pass the strict exposition
+# validator, the continuous profiler must land a capture, and a killed
+# node must degrade the view instead of failing it. See
+# docs/OBSERVABILITY.md, "Fleet observability".
+fleet-obs-smoke:
+	$(GO) run ./cmd/bschedd -log-format none -fleet-obs-smoke examples/ir/demo.ir
+
 # Documentation hygiene: source is gofmt-clean, the packages godoc
 # renders without error (a parse failure here means a malformed doc
 # comment), and the HTTP API reference covers every served endpoint.
@@ -75,18 +87,24 @@ doc-lint:
 		$(GO) doc $$pkg >/dev/null || exit 1; done
 	@for doc in docs/API.md docs/CACHE-KEYS.md; do \
 		[ -f $$doc ] || { echo "missing $$doc"; exit 1; }; done
-	@for ep in "POST /v1/compile" "POST /v1/compile/batch" "GET /v1/peer/lookup" "PUT /v1/peer/offer" "GET /healthz" "GET /stats" "GET /metrics" "GET /v1/traces"; do \
+	@for ep in "POST /v1/compile" "POST /v1/compile/batch" "GET /v1/peer/lookup" "PUT /v1/peer/offer" "GET /healthz" "GET /stats" "GET /metrics" "GET /v1/traces" "GET /v1/fleet/stats" "GET /v1/fleet/metrics" "GET /v1/peer/trace" "GET /v1/profiles"; do \
 		grep -q "$$ep" docs/API.md || { echo "docs/API.md missing endpoint: $$ep"; exit 1; }; done
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable perf baseline: run the serve-path, block-reuse and
-# credit-pass benchmarks programmatically and write BENCH_8.json (ns/op,
+# credit-pass benchmarks programmatically and write BENCH_9.json (ns/op,
 # allocs/op, B/op per benchmark) so the perf trajectory can be diffed
 # across PRs.
 bench-json:
-	$(GO) test -run '^TestBenchJSON$$' -bench-json BENCH_8.json .
+	$(GO) test -run '^TestBenchJSON$$' -bench-json BENCH_9.json .
+
+# Gate the perf trajectory: compare this PR's benchmark baseline against
+# the previous one and fail on any shared benchmark regressing more than
+# 10% in ns/op. Run `make bench-json` first to produce BENCH_9.json.
+bench-diff:
+	$(GO) run ./cmd/benchdiff BENCH_8.json BENCH_9.json
 
 vet:
 	$(GO) vet ./...

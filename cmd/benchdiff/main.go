@@ -1,0 +1,117 @@
+// Command benchdiff compares two BENCH_<n>.json files (the output of
+// `make bench-json`) and fails when any benchmark shared by name
+// regressed in ns/op beyond a threshold:
+//
+//	benchdiff [-threshold 0.10] old.json new.json
+//
+// Exit status 0 when every shared benchmark is within the threshold
+// (or when the files share no benchmarks at all — renames are a
+// warning, not a failure), 1 when at least one regressed, 2 on usage
+// or decode errors. Benchmarks present in only one file are listed but
+// never fail the run; only apples-to-apples comparisons gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchFile struct {
+	GoVersion  string      `json:"go_version"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func load(path string) (map[string]benchmark, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]benchmark, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, f.GoVersion, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "maximum tolerated ns/op regression as a fraction (0.10 = +10%)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold frac] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	oldSet, oldVer, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newSet, newVer, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if oldVer != newVer {
+		fmt.Printf("note: go versions differ (%s -> %s)\n", oldVer, newVer)
+	}
+
+	names := make([]string, 0, len(newSet))
+	for name := range newSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	shared, regressed := 0, 0
+	for _, name := range names {
+		nb := newSet[name]
+		ob, ok := oldSet[name]
+		if !ok {
+			fmt.Printf("  new   %-40s %12.0f ns/op (no baseline)\n", name, nb.NsPerOp)
+			continue
+		}
+		shared++
+		delta := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		mark := " "
+		if delta > *threshold {
+			mark = "!"
+			regressed++
+		}
+		fmt.Printf("%s %-40s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			mark, name, ob.NsPerOp, nb.NsPerOp, 100*delta)
+	}
+	for name := range oldSet {
+		if _, ok := newSet[name]; !ok {
+			fmt.Printf("  gone  %s\n", name)
+		}
+	}
+
+	switch {
+	case shared == 0:
+		fmt.Printf("warning: %s and %s share no benchmarks — nothing gated\n", oldPath, newPath)
+	case regressed > 0:
+		fmt.Printf("FAIL: %d of %d shared benchmarks regressed more than %.0f%% in ns/op\n",
+			regressed, shared, 100**threshold)
+		os.Exit(1)
+	default:
+		fmt.Printf("ok: %d shared benchmarks within %.0f%%\n", shared, 100**threshold)
+	}
+}

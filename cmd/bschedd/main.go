@@ -14,12 +14,14 @@
 //	        [-tenant-rate R] [-tenant-burst B]
 //	        [-breaker-threshold N] [-breaker-cooldown D] [-chaos SPEC]
 //	        [-peers URL,URL,...] [-node-id URL] [-ring-replicas N]
+//	        [-profile-dir DIR] [-profile-interval D]
 //	        [-log-format kv|json|none] [-pprof]
 //	bschedd -smoke file.ir
 //	bschedd -metrics-smoke file.ir
 //	bschedd -chaos-smoke file.ir
 //	bschedd -cluster-smoke file.ir
 //	bschedd -batch-smoke file.ir
+//	bschedd -fleet-obs-smoke file.ir
 //
 // Endpoints:
 //
@@ -33,7 +35,13 @@
 //	GET  /metrics         Prometheus text exposition (docs/OBSERVABILITY.md)
 //	GET  /v1/traces       index of retained request traces (JSON)
 //	GET  /v1/traces/{id}  one trace as Chrome trace-event JSON (Perfetto);
-//	                      ?format=tree for the raw span tree
+//	                      ?format=tree for the raw span tree, ?fleet=1 to
+//	                      stitch in remote fragments from ring peers
+//	GET  /v1/peer/trace/{id}  this node's fragment of a trace (fleet protocol)
+//	GET  /v1/fleet/stats  cluster-wide /stats aggregation from any node
+//	GET  /v1/fleet/metrics  cluster-wide merged Prometheus exposition
+//	GET  /v1/profiles     continuous-profiling ring index (with -profile-dir);
+//	                      /v1/profiles/{name} downloads one pprof capture
 //	GET  /debug/pprof     runtime profiles (only with -pprof)
 //
 // Every request is logged to stderr as one structured line (key=value
@@ -101,6 +109,21 @@
 // coordinate, each program must get a trailer, the stream must end with
 // a done frame, and the block cache must have compiled each distinct
 // block exactly once across the batch (`make batch-smoke`).
+// -fleet-obs-smoke drives the fleet observability plane over a 3-node
+// in-process fleet: aggregated /v1/fleet/stats totals must equal the
+// sum of the node-local counters exactly, a peer-served compile must
+// stitch into one cross-node trace, the merged /v1/fleet/metrics must
+// survive the strict exposition validator, the continuous profiler
+// must land a capture, and killing a node must degrade the fleet view
+// instead of failing it (`make fleet-obs-smoke`).
+//
+// Continuous profiling (-profile-dir): the daemon captures periodic
+// CPU and heap pprof profiles (-profile-interval) into a bounded
+// on-disk ring under the directory, and also triggers a capture when
+// the disk circuit breaker opens or admission shedding bursts — so the
+// profile that explains an incident exists before anyone reproduces
+// it. GET /v1/profiles lists the ring; see docs/OBSERVABILITY.md,
+// "Fleet observability".
 package main
 
 import (
@@ -153,6 +176,8 @@ func main() {
 	nodeID := flag.String("node-id", "", "this node's advertised base URL — its identity on the ring; required with -peers and must match what the peers list")
 	ringReplicas := flag.Int("ring-replicas", 0, "virtual nodes per real node on the consistent-hash ring (0 = the cluster default)")
 	peerProbeTimeout := flag.Duration("peer-probe-timeout", 0, "budget for one peer-cache lookup before falling back to a local compile (0 = the cluster default)")
+	profileDir := flag.String("profile-dir", "", "continuous-profiling directory: periodic and event-triggered CPU/heap pprof captures land here in a bounded ring (empty disables)")
+	profileInterval := flag.Duration("profile-interval", 0, "periodic profile capture interval (0 = the profiler default, negative disables periodic capture; event triggers still fire)")
 	logFormat := flag.String("log-format", "kv", "structured request log format: kv, json or none")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	smoke := flag.String("smoke", "", "don't serve: round-trip one compile request for this IR file and exit")
@@ -160,6 +185,7 @@ func main() {
 	chaosSmoke := flag.String("chaos-smoke", "", "don't serve: drive the admission/quota/breaker machinery for this IR file under injected disk faults and exit")
 	clusterSmoke := flag.String("cluster-smoke", "", "don't serve: spray a Zipf request stream across a 3-node in-process fleet for this IR file and exit")
 	batchSmoke := flag.String("batch-smoke", "", "don't serve: stream a two-program batch compile of this IR file over /v1/compile/batch and exit")
+	fleetObsSmoke := flag.String("fleet-obs-smoke", "", "don't serve: drive the fleet observability plane (aggregated stats/metrics, trace stitching, profiling) over a 3-node in-process fleet for this IR file and exit")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat)
@@ -193,6 +219,8 @@ func main() {
 		SelfURL:           *nodeID,
 		RingReplicas:      *ringReplicas,
 		PeerProbeTimeout:  *peerProbeTimeout,
+		ProfileDir:        *profileDir,
+		ProfileInterval:   *profileInterval,
 	}
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {
@@ -227,6 +255,10 @@ func main() {
 		}
 	case *batchSmoke != "":
 		if err := runBatchSmoke(cfg, *batchSmoke); err != nil {
+			fatal(err)
+		}
+	case *fleetObsSmoke != "":
+		if err := runFleetObsSmoke(cfg, *fleetObsSmoke); err != nil {
 			fatal(err)
 		}
 	default:
@@ -834,6 +866,256 @@ func runBatchSmoke(cfg server.Config, path string) error {
 	return nil
 }
 
+// runFleetObsSmoke drives the fleet observability plane end to end
+// over a 3-node in-process fleet: after a Zipf request spray it
+// asserts (1) GET /v1/fleet/stats answered from any node carries
+// totals exactly equal to the sum of the three node-local /stats
+// counters, (2) a compile served via a peer probe stitches into one
+// cross-node trace — fragments from at least two nodes in the span
+// tree, at least two process lanes in the Perfetto export, (3) the
+// merged /v1/fleet/metrics output survives the strict exposition
+// validator and carries the per-node reachability gauge, (4) the
+// continuous profiler lands at least one capture in its ring, and
+// (5) killing a node degrades the fleet view (annotated unreachable)
+// instead of failing it. The `make fleet-obs-smoke` CI check.
+func runFleetObsSmoke(cfg server.Config, path string) error {
+	src, err := cli.ReadInput(path)
+	if err != nil {
+		return err
+	}
+	profDir, err := os.MkdirTemp("", "bschedd-fleet-obs-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(profDir)
+
+	const nodes = 3
+	lns := make([]net.Listener, nodes)
+	urls := make([]string, nodes)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	svcs := make([]*server.Server, nodes)
+	httpSrvs := make([]*http.Server, nodes)
+	for i := range svcs {
+		ncfg := cfg
+		ncfg.SelfURL = urls[i]
+		ncfg.Peers = nil
+		for j, u := range urls {
+			if j != i {
+				ncfg.Peers = append(ncfg.Peers, u)
+			}
+		}
+		ncfg.PeerProbeTimeout = 2 * time.Second
+		ncfg.TraceSampleEvery = 1 // every trace retained: stitching must be deterministic
+		if i == 0 {
+			ncfg.ProfileDir = profDir
+			ncfg.ProfileInterval = 150 * time.Millisecond
+			ncfg.ProfileCPUDuration = 50 * time.Millisecond
+		}
+		svc, err := server.New(ncfg)
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		svcs[i] = svc
+		httpSrvs[i] = &http.Server{Handler: svc.Handler()}
+		go httpSrvs[i].Serve(lns[i])
+		defer httpSrvs[i].Close()
+	}
+
+	post := func(node int, opts server.RequestOptions) (traceID string, err error) {
+		body, err := json.Marshal(server.CompileRequest{Program: src, Options: opts})
+		if err != nil {
+			return "", err
+		}
+		resp, err := http.Post(urls[node]+"/v1/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("node %d returned %d, want 200", node, resp.StatusCode)
+		}
+		return resp.Header.Get("X-Trace-ID"), nil
+	}
+	getJSON := func(url string, out any) (int, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, err
+		}
+		if out != nil && resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(raw, out); err != nil {
+				return 0, fmt.Errorf("decode %s: %w", url, err)
+			}
+		}
+		return resp.StatusCode, nil
+	}
+
+	// Spray a Zipf-skewed stream round-robin so keys spread over the
+	// ring and the peer protocol carries traffic.
+	const requests = 120
+	const variants = 24
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, variants-1)
+	for i := 0; i < requests; i++ {
+		k := int(zipf.Uint64())
+		if _, err := post(i%nodes, server.RequestOptions{Regs: 16 + k, SpillPool: 6}); err != nil {
+			return fmt.Errorf("fleet obs smoke: request %d: %w", i, err)
+		}
+	}
+
+	// (1) Aggregated totals from every node == sum of node-local /stats.
+	want := map[string]int64{}
+	for _, svc := range svcs {
+		snap := svc.Stats()
+		for k, v := range snap.CounterTotals() {
+			want[k] += v
+		}
+	}
+	for i := range urls {
+		var fs server.FleetStats
+		status, err := getJSON(urls[i]+"/v1/fleet/stats", &fs)
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("fleet obs smoke: fleet stats on node %d: status %d err %v", i, status, err)
+		}
+		if fs.Reachable != nodes || len(fs.Nodes) != nodes {
+			return fmt.Errorf("fleet obs smoke: node %d sees %d/%d reachable, want %d/%d", i, fs.Reachable, len(fs.Nodes), nodes, nodes)
+		}
+		for k, v := range want {
+			if fs.Totals[k] != v {
+				return fmt.Errorf("fleet obs smoke: node %d fleet total %q = %d, node-local sum is %d", i, k, fs.Totals[k], v)
+			}
+		}
+	}
+
+	// (2) Cross-node trace stitching: replay fresh keys on every node in
+	// turn until one lands a peer-served compile whose ?fleet=1 view has
+	// fragments from 2+ nodes.
+	var stitchedNode int
+	var stitchedID string
+	deadline := time.Now().Add(15 * time.Second)
+	for k := 1000; stitchedID == "" && time.Now().Before(deadline); k++ {
+		for i := 0; i < nodes && stitchedID == ""; i++ {
+			node := (k + i) % nodes
+			id, err := post(node, server.RequestOptions{Regs: 16 + k, SpillPool: 6})
+			if err != nil {
+				return fmt.Errorf("fleet obs smoke: stitch probe: %w", err)
+			}
+			if id == "" {
+				continue
+			}
+			var frags struct {
+				Nodes []string `json:"nodes"`
+			}
+			status, err := getJSON(urls[node]+"/v1/traces/"+id+"?fleet=1&format=tree", &frags)
+			if err != nil || status != http.StatusOK {
+				continue
+			}
+			if len(frags.Nodes) >= 2 {
+				stitchedNode, stitchedID = node, id
+			}
+		}
+	}
+	if stitchedID == "" {
+		return errors.New("fleet obs smoke: no cross-node trace stitched fragments from 2+ nodes before the deadline")
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	status, err := getJSON(urls[stitchedNode]+"/v1/traces/"+stitchedID+"?fleet=1", &chrome)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("fleet obs smoke: stitched Perfetto export: status %d err %v", status, err)
+	}
+	lanes := map[int]bool{}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			lanes[ev.Pid] = true
+		}
+	}
+	if len(lanes) < 2 {
+		return fmt.Errorf("fleet obs smoke: stitched trace has %d process lanes, want >= 2", len(lanes))
+	}
+
+	// (3) Merged fleet metrics: strictly valid exposition text carrying
+	// the synthetic reachability gauge for every node.
+	mresp, err := http.Get(urls[1] + "/v1/fleet/metrics")
+	if err != nil {
+		return err
+	}
+	mraw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil || mresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet obs smoke: fleet metrics: status %d err %v", mresp.StatusCode, err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(mraw)); err != nil {
+		return fmt.Errorf("fleet obs smoke: merged exposition invalid: %w", err)
+	}
+	for _, u := range urls {
+		if !bytes.Contains(mraw, []byte(fmt.Sprintf("bschedd_fleet_node_up{node=%q} 1", u))) {
+			return fmt.Errorf("fleet obs smoke: merged metrics missing node_up for %s", u)
+		}
+	}
+
+	// (4) The continuous profiler on node 0 must have landed at least
+	// one capture in its ring (150ms periodic interval).
+	var profiles struct {
+		Count int `json:"count"`
+	}
+	for profiles.Count == 0 {
+		if time.Now().After(deadline) {
+			return errors.New("fleet obs smoke: no profile captured before the deadline")
+		}
+		if status, err := getJSON(urls[0]+"/v1/profiles", &profiles); err != nil || status != http.StatusOK {
+			return fmt.Errorf("fleet obs smoke: profiles index: status %d err %v", status, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// (5) Kill node 2: the fleet view from a survivor degrades —
+	// annotated unreachable — instead of failing.
+	httpSrvs[2].Close()
+	svcs[2].Close()
+	var degraded server.FleetStats
+	status, err = getJSON(urls[0]+"/v1/fleet/stats", &degraded)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("fleet obs smoke: fleet stats after node kill: status %d err %v", status, err)
+	}
+	if degraded.Reachable != nodes-1 {
+		return fmt.Errorf("fleet obs smoke: %d reachable after node kill, want %d", degraded.Reachable, nodes-1)
+	}
+	annotated := false
+	for _, n := range degraded.Nodes {
+		if n.Node == urls[2] && !n.Reachable && n.Error != "" {
+			annotated = true
+		}
+	}
+	if !annotated {
+		return errors.New("fleet obs smoke: dead node not annotated in the degraded fleet view")
+	}
+
+	fmt.Printf("bschedd: fleet obs smoke ok — totals exact over %d nodes, trace %s stitched across %d lanes, %d profile(s) captured, degraded view after node kill\n",
+		nodes, stitchedID, len(lanes), profiles.Count)
+	return nil
+}
+
 // requiredMetrics is the CI contract with docs/OBSERVABILITY.md: every
 // family the catalog documents must appear in a scrape.
 var requiredMetrics = []string{
@@ -872,14 +1154,17 @@ var requiredMetrics = []string{
 	"bschedd_quota_tenants",
 	"bschedd_uptime_seconds",
 	"bschedd_traces_retained",
+	"bschedd_profile_captures_total",
+	"bschedd_profiles_retained",
 	"bschedd_build_info",
 	"go_goroutines",
 	"go_memstats_heap_alloc_bytes",
 }
 
-// checkMetrics scrapes /metrics and verifies every required family has
-// a TYPE declaration and the histograms carry samples from the smoke
-// compile.
+// checkMetrics scrapes /metrics and verifies the whole output parses
+// under the strict exposition validator (obs.ValidateExposition),
+// every required family has a TYPE declaration, and the histograms
+// carry samples from the smoke compile.
 func checkMetrics(base string) error {
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
@@ -895,6 +1180,9 @@ func checkMetrics(base string) error {
 	}
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
 		return fmt.Errorf("GET /metrics content type %q, want text exposition format", ct)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(raw)); err != nil {
+		return fmt.Errorf("metrics smoke: exposition format violation: %w", err)
 	}
 	text := string(raw)
 	var missing []string

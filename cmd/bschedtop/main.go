@@ -1,0 +1,189 @@
+// Command bschedtop is a live terminal dashboard for a bschedd fleet —
+// top(1) for the scheduling service. It polls one node's GET
+// /v1/fleet/stats (that node fans out to its ring peers, so pointing
+// bschedtop at ANY node shows the whole fleet) and redraws a per-node
+// table plus fleet totals every interval:
+//
+//	bschedtop -addr http://10.0.0.1:8370
+//	bschedtop -once          # one snapshot, no screen control
+//
+// Columns, per node: request rate since the previous poll (QPS),
+// lifetime requests, p99 service time, block-cache hit rate across all
+// tiers (memory + disk + peer, as a fraction of block dispatches),
+// queue occupancy against its bound, admission sheds (CoDel sojourn +
+// queue-full), the disk circuit-breaker state, and retained traces.
+// Unreachable nodes stay listed with their error — the fleet view
+// degrades, it does not vanish.
+//
+// The tool is stdlib-only and read-only: it issues nothing but GETs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// nodeStats mirrors the slice of the bschedd /stats JSON the dashboard
+// renders. Decoding into a local struct keeps the binary decoupled
+// from the server package: unknown fields are ignored, missing ones
+// are zero.
+type nodeStats struct {
+	Requests       int64   `json:"requests"`
+	OK             int64   `json:"ok"`
+	Rejected       int64   `json:"rejected"`
+	BlockHits      int64   `json:"block_hits"`
+	BlockMisses    int64   `json:"block_misses"`
+	BlockDisk      int64   `json:"block_disk"`
+	BlockPeer      int64   `json:"block_peer"`
+	QueueDepth     int     `json:"queue_depth"`
+	QueueCapacity  int     `json:"queue_capacity"`
+	P99Millis      float64 `json:"p99_ms"`
+	ShedSojourn    int64   `json:"shed_sojourn"`
+	ShedFull       int64   `json:"shed_full"`
+	BreakerState   string  `json:"breaker_state"`
+	TracesRetained int     `json:"traces_retained"`
+}
+
+// fleetNode and fleetStats mirror the GET /v1/fleet/stats shape.
+type fleetNode struct {
+	Node      string     `json:"node"`
+	Self      bool       `json:"self"`
+	Reachable bool       `json:"reachable"`
+	Error     string     `json:"error"`
+	Stats     *nodeStats `json:"stats"`
+}
+
+type fleetStats struct {
+	Self      string           `json:"self"`
+	Nodes     []fleetNode      `json:"nodes"`
+	Reachable int              `json:"reachable"`
+	Totals    map[string]int64 `json:"totals"`
+}
+
+// poll fetches one fleet snapshot.
+func poll(client *http.Client, addr string) (*fleetStats, error) {
+	resp, err := client.Get(addr + "/v1/fleet/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var fs fleetStats
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		return nil, err
+	}
+	return &fs, nil
+}
+
+// hitRate is the all-tier block cache hit fraction: every dispatch
+// that avoided a compile (memory, disk or peer) over all dispatches.
+func hitRate(s *nodeStats) float64 {
+	served := s.BlockHits + s.BlockDisk + s.BlockPeer
+	total := served + s.BlockMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
+}
+
+// render draws one frame. prev carries the previous poll's per-node
+// request counts for the QPS column; elapsed is the time since it.
+func render(w io.Writer, fs *fleetStats, prev map[string]int64, elapsed time.Duration) {
+	fmt.Fprintf(w, "bschedtop — fleet via %s — %d/%d nodes up — %s\n\n",
+		fs.Self, fs.Reachable, len(fs.Nodes), time.Now().Format("15:04:05"))
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tUP\tQPS\tREQS\tP99(ms)\tHIT%\tQUEUE\tSHED\tBRKR\tTRACES")
+	for _, n := range fs.Nodes {
+		name := n.Node
+		if n.Self {
+			name += " *"
+		}
+		if !n.Reachable || n.Stats == nil {
+			reason := n.Error
+			if i := strings.IndexByte(reason, ':'); i >= 0 && len(reason) > 40 {
+				reason = reason[:i]
+			}
+			fmt.Fprintf(tw, "%s\tDOWN\t-\t-\t-\t-\t-\t-\t-\t%s\n", name, reason)
+			continue
+		}
+		s := n.Stats
+		qps := ""
+		if last, ok := prev[n.Node]; ok && elapsed > 0 {
+			qps = fmt.Sprintf("%.1f", float64(s.Requests-last)/elapsed.Seconds())
+		}
+		brkr := s.BreakerState
+		if brkr == "" {
+			brkr = "-"
+		}
+		fmt.Fprintf(tw, "%s\tup\t%s\t%d\t%.2f\t%.1f\t%d/%d\t%d\t%s\t%d\n",
+			name, qps, s.Requests, s.P99Millis, 100*hitRate(s),
+			s.QueueDepth, s.QueueCapacity, s.ShedSojourn+s.ShedFull,
+			brkr, s.TracesRetained)
+	}
+	tw.Flush()
+
+	t := fs.Totals
+	served := t["block_hits"] + t["block_disk"] + t["block_peer"]
+	fmt.Fprintf(w, "\nfleet totals: %d requests, %d ok, %d rejected, %d block hits (mem %d / disk %d / peer %d), %d sheds\n",
+		t["requests"], t["ok"], t["rejected"],
+		served, t["block_hits"], t["block_disk"], t["block_peer"],
+		t["shed_sojourn"]+t["shed_full"])
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8370", "base URL of any fleet node")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen control)")
+	flag.Parse()
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	prev := map[string]int64{}
+	lastPoll := time.Time{}
+	for {
+		fs, err := poll(client, base)
+		now := time.Now()
+		if err != nil {
+			if *once {
+				fmt.Fprintf(os.Stderr, "bschedtop: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "bschedtop: %v (retrying in %s)\n", err, *interval)
+		} else {
+			var buf strings.Builder
+			elapsed := time.Duration(0)
+			if !lastPoll.IsZero() {
+				elapsed = now.Sub(lastPoll)
+			}
+			render(&buf, fs, prev, elapsed)
+			if !*once {
+				fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+			}
+			fmt.Print(buf.String())
+			for _, n := range fs.Nodes {
+				if n.Stats != nil {
+					prev[n.Node] = n.Stats.Requests
+				}
+			}
+			lastPoll = now
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

@@ -394,6 +394,95 @@ func (c *Client) putOffer(owner string, key engine.Key, body []byte) bool {
 	return resp.StatusCode >= 200 && resp.StatusCode < 300
 }
 
+// Fetch performs a budgeted GET of path on one peer, with the same
+// breaker and in-flight accounting as a probe — the transport behind
+// the fleet observability fan-out (/v1/fleet/*, /v1/peer/trace). The
+// response body is returned up to maxBytes; any transport failure or
+// non-200 status is an error and feeds the peer's breaker, so a dead
+// node stops being fetched after a few attempts the same way it stops
+// being probed.
+func (c *Client) Fetch(ctx context.Context, peer, path string, header http.Header, maxBytes int64) ([]byte, error) {
+	ps, ok := c.peers[peer]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown peer %q", peer)
+	}
+	if ps.inflight.Load() >= int64(c.cfg.MaxInflightProbes) {
+		return nil, fmt.Errorf("cluster: peer %s at in-flight bound", peer)
+	}
+	if !ps.brk.Allow() {
+		return nil, fmt.Errorf("cluster: peer %s breaker open", peer)
+	}
+	ps.inflight.Add(1)
+	defer ps.inflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+path, nil)
+	if err != nil {
+		ps.brk.Failure()
+		return nil, err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		ps.brk.Failure()
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		// A 404 is an answer (e.g. "no such trace here"), not a peer
+		// failure.
+		ps.brk.Success()
+		return nil, ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		ps.brk.Failure()
+		return nil, fmt.Errorf("cluster: peer %s returned %s for %s", peer, resp.Status, path)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBytes))
+	if err != nil {
+		ps.brk.Failure()
+		return nil, err
+	}
+	ps.brk.Success()
+	return body, nil
+}
+
+// ErrNotFound is returned by Fetch when the peer answered 404 — a
+// healthy "I don't have it", distinct from a transport failure.
+var ErrNotFound = fmt.Errorf("cluster: not found on peer")
+
+// PeerHealth is one peer's reachability as the local breakers see it —
+// the single source of truth shared by /healthz, the fleet endpoints,
+// and bschedtop.
+type PeerHealth struct {
+	URL       string `json:"url"`
+	Reachable bool   `json:"reachable"`
+	Breaker   string `json:"breaker"`
+}
+
+// Health returns every peer's health, sorted by URL.
+func (c *Client) Health() []PeerHealth {
+	out := make([]PeerHealth, 0, len(c.peers))
+	for p, ps := range c.peers {
+		st := ps.brk.State()
+		out = append(out, PeerHealth{
+			URL:       p,
+			Reachable: st != admission.BreakerOpen,
+			Breaker:   st.String(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
 // Self returns this node's advertised URL.
 func (c *Client) Self() string { return c.cfg.Self }
 

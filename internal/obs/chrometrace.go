@@ -2,9 +2,14 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"sort"
 )
+
+// ErrNoFragments is returned by WriteChromeTraceFleet with an empty
+// fragment list.
+var ErrNoFragments = errors.New("obs: no trace fragments")
 
 // Chrome trace-event export: renders a TraceView as the JSON object
 // format understood by Perfetto (ui.perfetto.dev) and chrome://tracing.
@@ -104,6 +109,107 @@ func WriteChromeTrace(w io.Writer, v TraceView) error {
 			"request_id": v.RequestID,
 			"status":     v.Status,
 			"degraded":   v.Degraded,
+		},
+	})
+}
+
+// NodeTrace is one node's fragment of a cross-node trace: the node's
+// identity plus the span tree its local store retained for the trace
+// ID.
+type NodeTrace struct {
+	Node string    `json:"node"`
+	View TraceView `json:"view"`
+}
+
+// WriteChromeTraceFleet renders the fragments of one distributed trace
+// as a single Chrome trace-event JSON document. Each node becomes its
+// own process (pid) with a process_name metadata row naming the node,
+// and each fragment's spans get per-node lanes via assignLanes, so
+// Perfetto draws one lane group per node. All timestamps are relative
+// to the earliest fragment start, which keeps the caller's probe span
+// and the remote fragment it spawned on one shared time axis (clock
+// skew between nodes shows up as offset, not breakage). Span parent
+// edges cross fragments naturally: a remote fragment's root span
+// carries the caller's probe span ID as its parent.
+func WriteChromeTraceFleet(w io.Writer, frags []NodeTrace) error {
+	if len(frags) == 0 {
+		return ErrNoFragments
+	}
+	t0 := frags[0].View.Start
+	for _, f := range frags[1:] {
+		if f.View.Start.Before(t0) {
+			t0 = f.View.Start
+		}
+	}
+
+	var events []chromeEvent
+	nodes := make([]string, 0, len(frags))
+	for fi, f := range frags {
+		pid := fi + 1
+		nodes = append(nodes, f.Node)
+		events = append(events, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": f.Node + " " + f.View.Name},
+		})
+		lanes := assignLanes(f.View.Spans)
+		nLanes := 0
+		for _, l := range lanes {
+			if l+1 > nLanes {
+				nLanes = l + 1
+			}
+		}
+		for lane := 0; lane < nLanes; lane++ {
+			name := "request"
+			if lane > 0 {
+				name = "workers"
+			}
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: lane,
+				Args: map[string]any{"name": name},
+			})
+		}
+		for i, s := range f.View.Spans {
+			ts := float64(s.Start.Sub(t0).Nanoseconds()) / 1e3
+			dur := float64(s.Duration.Nanoseconds()) / 1e3
+			if dur <= 0 {
+				dur = 0.001
+			}
+			args := map[string]any{"span_id": s.ID, "node": f.Node}
+			if s.Parent != "" {
+				args["parent"] = s.Parent
+			}
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+			if s.Err != "" {
+				args["error"] = s.Err
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name, Cat: "span", Phase: "X",
+				TsUS: ts, DurUS: dur, PID: pid, TID: lanes[i], Args: args,
+			})
+			for _, ev := range s.Events {
+				events = append(events, chromeEvent{
+					Name: ev.Name, Cat: "event", Phase: "i", Scope: "t",
+					TsUS: float64(ev.Time.Sub(t0).Nanoseconds()) / 1e3,
+					PID:  pid, TID: lanes[i],
+				})
+			}
+		}
+	}
+
+	root := frags[0].View
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"trace_id":   root.ID,
+			"request_id": root.RequestID,
+			"status":     root.Status,
+			"degraded":   root.Degraded,
+			"nodes":      nodes,
 		},
 	})
 }

@@ -40,9 +40,11 @@ import (
 	"time"
 )
 
-// A metric family knows how to render itself in exposition format.
+// A metric family knows how to render itself in exposition format and
+// how to export a point-in-time snapshot for fleet-level merging.
 type family interface {
 	render(w io.Writer)
+	snapshot() FamilySnapshot
 }
 
 // Registry is an ordered collection of metric families. All
@@ -199,6 +201,11 @@ func (f *counterFamily) render(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", f.name, f.c.Value())
 }
 
+func (f *counterFamily) snapshot() FamilySnapshot {
+	return FamilySnapshot{Name: f.name, Help: f.help, Kind: KindCounter,
+		Series: []SeriesSnapshot{{Value: float64(f.c.Value())}}}
+}
+
 // Counter registers and returns an unlabeled counter.
 func (r *Registry) Counter(name, help string) *Counter {
 	c := &Counter{}
@@ -255,6 +262,19 @@ func (v *CounterVec) render(w io.Writer) {
 	}
 }
 
+func (v *CounterVec) snapshot() FamilySnapshot {
+	fs := FamilySnapshot{Name: v.name, Help: v.help, Kind: KindCounter,
+		Labels: append([]string(nil), v.labels...)}
+	for _, key := range v.sortedKeys() {
+		v.mu.RLock()
+		c := v.children[key]
+		v.mu.RUnlock()
+		fs.Series = append(fs.Series, SeriesSnapshot{
+			LabelValues: splitKey(key), Value: float64(c.Value())})
+	}
+	return fs
+}
+
 func (v *CounterVec) sortedKeys() []string {
 	v.mu.RLock()
 	keys := make([]string, 0, len(v.children))
@@ -292,6 +312,11 @@ func (f *gaugeFamily) render(w io.Writer) {
 	fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
 }
 
+func (f *gaugeFamily) snapshot() FamilySnapshot {
+	return FamilySnapshot{Name: f.name, Help: f.help, Kind: KindGauge,
+		Series: []SeriesSnapshot{{Value: f.fn()}}}
+}
+
 // Gauge registers a function-backed gauge: fn is called once per
 // scrape (and must therefore be safe for concurrent use and fast).
 func (r *Registry) Gauge(name, help string, fn func() float64) {
@@ -308,6 +333,12 @@ type infoFamily struct {
 func (f *infoFamily) render(w io.Writer) {
 	writeHeader(w, f.name, f.help, "gauge")
 	fmt.Fprintf(w, "%s%s 1\n", f.name, formatLabels(f.labels, f.values))
+}
+
+func (f *infoFamily) snapshot() FamilySnapshot {
+	return FamilySnapshot{Name: f.name, Help: f.help, Kind: KindGauge,
+		Labels: append([]string(nil), f.labels...),
+		Series: []SeriesSnapshot{{LabelValues: append([]string(nil), f.values...), Value: 1}}}
 }
 
 // Info registers an info-style gauge — a constant 1 whose label values
@@ -486,6 +517,28 @@ func (f *histogramFamily) render(w io.Writer) {
 	}
 }
 
+// series returns the histogram's per-bucket counts (non-cumulative,
+// len(bounds)+1 with the +Inf bucket last), sum, and count.
+func (h *Histogram) series(labelValues []string) SeriesSnapshot {
+	s := SeriesSnapshot{
+		LabelValues:  labelValues,
+		BucketCounts: make([]int64, len(h.counts)),
+		Sum:          h.Sum(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.BucketCounts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+func (f *histogramFamily) snapshot() FamilySnapshot {
+	return FamilySnapshot{Name: f.name, Help: f.help, Kind: KindHistogram,
+		Bounds: append([]float64(nil), f.h.bounds...),
+		Series: []SeriesSnapshot{f.h.series(nil)}}
+}
+
 // Histogram registers and returns an unlabeled histogram. Nil or empty
 // bounds mean DefaultLatencyBuckets.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -562,4 +615,14 @@ func (v *HistogramVec) render(w io.Writer) {
 	v.Each(func(values []string, h *Histogram) {
 		h.renderSeries(w, v.name, v.labels, values)
 	})
+}
+
+func (v *HistogramVec) snapshot() FamilySnapshot {
+	fs := FamilySnapshot{Name: v.name, Help: v.help, Kind: KindHistogram,
+		Labels: append([]string(nil), v.labels...),
+		Bounds: append([]float64(nil), v.bounds...)}
+	v.Each(func(values []string, h *Histogram) {
+		fs.Series = append(fs.Series, h.series(values))
+	})
+	return fs
 }

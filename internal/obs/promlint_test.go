@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateExpositionAcceptsRegistryOutput(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "events")
+	c.Add(3)
+	cv := r.CounterVec("test_by_kind_total", "events by kind", "kind")
+	cv.With("a").Inc()
+	cv.With("weird\"label\\value\n").Add(2)
+	r.Gauge("test_depth", "a gauge", func() float64 { return 4.5 })
+	r.Info("test_build_info", "build info", []string{"go_version"}, []string{"go1.x"})
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "a72b1627920951f7dc62d15474dd0b93")
+	h.Observe(2)
+	hv := r.HistogramVec("test_stage_seconds", "per-stage", []float64{0.5}, "stage")
+	hv.With("parse").Observe(0.2)
+	hv.With("compile").Observe(0.7)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	if err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("ValidateExposition rejected registry output: %v\n%s", err, b.String())
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"sample without TYPE", "foo_total 3\n"},
+		{"bad metric name", "# TYPE 9bad counter\n9bad 1\n"},
+		{"unknown type", "# TYPE foo sometype\nfoo 1\n"},
+		{"duplicate TYPE", "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n"},
+		{"negative counter", "# TYPE foo counter\nfoo -1\n"},
+		{"bad label name", "# TYPE foo counter\nfoo{9bad=\"x\"} 1\n"},
+		{"duplicate label", "# TYPE foo counter\nfoo{a=\"x\",a=\"y\"} 1\n"},
+		{"unquoted label value", "# TYPE foo counter\nfoo{a=x} 1\n"},
+		{"bad escape", "# TYPE foo counter\nfoo{a=\"\\t\"} 1\n"},
+		{"unterminated labels", "# TYPE foo counter\nfoo{a=\"x\" 1\n"},
+		{"unparseable value", "# TYPE foo counter\nfoo abc\n"},
+		{"interleaved families", "# TYPE a counter\n# TYPE b counter\na 1\nb 1\na 2\n"},
+		{"unknown comment", "# FOO bar\n"},
+		{"histogram missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n"},
+		{"histogram non-cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"histogram count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n"},
+		{"histogram missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n"},
+		{"histogram bare sample", "# TYPE h histogram\nh 3\n"},
+		{"le not increasing", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"},
+		{"exemplar for non-histogram", "# TYPE foo counter\nfoo 1\n# EXEMPLAR foo trace_id=\"ab\" 1\n"},
+		{"exemplar bad value", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n# EXEMPLAR h trace_id=\"ab\" xyz\n"},
+	}
+	for _, tc := range cases {
+		if err := ValidateExposition(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsExemplarComment(t *testing.T) {
+	text := "# HELP h latency\n# TYPE h histogram\n" +
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1.5\nh_count 2\n" +
+		"# EXEMPLAR h trace_id=\"a72b1627920951f7dc62d15474dd0b93\" 0.00028\n"
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("exemplar comment rejected: %v", err)
+	}
+}

@@ -18,6 +18,11 @@ const (
 	// RetentionSampled marks healthy fast traces kept by 1-in-K
 	// sampling.
 	RetentionSampled = "sampled"
+	// RetentionRemote marks trace fragments recorded on behalf of a
+	// remote caller (peer-protocol requests carrying a traceparent) —
+	// always admitted, into their own ring, so the remote half of a
+	// cross-node trace survives long enough to be stitched.
+	RetentionRemote = "remote"
 	// RetentionDropped marks traces the sampler let go.
 	RetentionDropped = "dropped"
 )
@@ -40,6 +45,9 @@ const (
 //   - the slowest tail of healthy traces: a min-heap on duration, so a
 //     new trace slower than the current tail minimum displaces it (a
 //     quarter of the capacity);
+//   - remote fragments (traces started from a peer's traceparent):
+//     always admitted into their own ring (an eighth of the capacity),
+//     so cross-node stitching can find the far half of a trace;
 //   - everything else: 1-in-K sampled into a plain ring (the rest).
 //
 // The split means a flood of fast healthy traffic can never evict the
@@ -51,6 +59,7 @@ type TraceStore struct {
 
 	errors  traceRing
 	slow    slowTail
+	remote  traceRing
 	sampled traceRing
 
 	sampleEvery int
@@ -63,24 +72,26 @@ type TraceStore struct {
 
 // NewTraceStore builds a store bounded to capacity traces in total,
 // sampling 1 in sampleEvery healthy fast traces. Zero values take the
-// defaults; capacity is clamped to at least 4 so every class keeps at
+// defaults; capacity is clamped to at least 8 so every class keeps at
 // least one slot.
 func NewTraceStore(capacity, sampleEvery int) *TraceStore {
 	if capacity == 0 {
 		capacity = DefaultTraceCapacity
 	}
-	if capacity < 4 {
-		capacity = 4
+	if capacity < 8 {
+		capacity = 8
 	}
 	if sampleEvery <= 0 {
 		sampleEvery = DefaultTraceSampleEvery
 	}
 	errCap := capacity / 2
 	slowCap := capacity / 4
-	sampCap := capacity - errCap - slowCap
+	remoteCap := capacity / 8
+	sampCap := capacity - errCap - slowCap - remoteCap
 	return &TraceStore{
 		errors:      traceRing{cap: errCap},
 		slow:        slowTail{cap: slowCap},
+		remote:      traceRing{cap: remoteCap},
 		sampled:     traceRing{cap: sampCap},
 		sampleEvery: sampleEvery,
 		byID:        make(map[TraceID]*Trace),
@@ -103,6 +114,12 @@ func (s *TraceStore) Add(t *Trace) string {
 		}
 		s.byID[t.ID] = t
 		return RetentionError
+	case t.Remote:
+		if old := s.remote.push(t); old != nil {
+			delete(s.byID, old.ID)
+		}
+		s.byID[t.ID] = t
+		return RetentionRemote
 	case s.slow.admit(t):
 		if old := s.slow.push(t); old != nil {
 			delete(s.byID, old.ID)
@@ -181,6 +198,9 @@ func (s *TraceStore) List() []TraceIndexEntry {
 	}
 	for _, t := range s.slow.items {
 		all = append(all, tagged{t, RetentionSlow})
+	}
+	for _, t := range s.remote.items {
+		all = append(all, tagged{t, RetentionRemote})
 	}
 	for _, t := range s.sampled.items {
 		all = append(all, tagged{t, RetentionSampled})

@@ -72,6 +72,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"bsched/internal/admission"
@@ -81,6 +82,7 @@ import (
 	"bsched/internal/engine"
 	"bsched/internal/ir"
 	"bsched/internal/obs"
+	"bsched/internal/obs/profiler"
 )
 
 // Config sizes the service. The zero value is a sensible default.
@@ -174,6 +176,19 @@ type Config struct {
 	// misses it falls back to a local compile. Zero means
 	// cluster.DefaultProbeTimeout.
 	PeerProbeTimeout time.Duration
+
+	// ProfileDir, when non-empty, enables continuous profiling: periodic
+	// and incident-triggered (breaker-open, shed-burst) CPU/heap pprof
+	// profiles captured into a bounded on-disk ring under this directory,
+	// indexed by GET /v1/profiles. Empty disables profiling.
+	ProfileDir string
+	// ProfileInterval separates periodic captures; zero means
+	// profiler.DefaultInterval, negative disables the periodic loop
+	// (incident triggers still capture).
+	ProfileInterval time.Duration
+	// ProfileCPUDuration is how long each CPU profile records; zero
+	// means profiler.DefaultCPUDuration.
+	ProfileCPUDuration time.Duration
 }
 
 // Defaults for Config's zero fields. The sizing constants live with the
@@ -242,14 +257,15 @@ var (
 // Handler, stop with Close. The compile/cache/queue kernel lives in
 // s.eng; the Server owns everything HTTP-shaped around it.
 type Server struct {
-	cfg     Config
-	eng     *engine.Engine
-	cluster *cluster.Client  // nil without Config.Peers
-	quota   *admission.Quota // nil when Config.TenantRate == 0
-	stats   *Stats
-	log     *obs.Logger
-	tracer  *obs.Tracer // nil when Config.TraceCapacity < 0
-	start   time.Time
+	cfg      Config
+	eng      *engine.Engine
+	cluster  *cluster.Client  // nil without Config.Peers
+	quota    *admission.Quota // nil when Config.TenantRate == 0
+	stats    *Stats
+	log      *obs.Logger
+	tracer   *obs.Tracer        // nil when Config.TraceCapacity < 0
+	profiler *profiler.Profiler // nil without Config.ProfileDir
+	start    time.Time
 
 	// compileFn is the compilation the engine's workers run; tests
 	// substitute it to count invocations and to block the pool at will.
@@ -289,6 +305,29 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.cluster = cl
 	}
+	if cfg.ProfileDir != "" {
+		p, err := profiler.New(profiler.Config{
+			Dir:         cfg.ProfileDir,
+			Interval:    cfg.ProfileInterval,
+			CPUDuration: cfg.ProfileCPUDuration,
+			OnCapture: func(kind, reason string) {
+				s.stats.profileCaptures.With(kind, reason).Inc()
+			},
+			Logf: func(format string, args ...any) {
+				if s.log != nil {
+					s.log.Log("profiler", "msg", fmt.Sprintf(format, args...))
+				}
+			},
+		})
+		if err != nil {
+			if s.cluster != nil {
+				s.cluster.Close()
+			}
+			return nil, err
+		}
+		s.profiler = p
+		p.Start()
+	}
 	ecfg := engine.Config{
 		Workers:           cfg.Workers,
 		QueueDepth:        cfg.QueueDepth,
@@ -312,6 +351,9 @@ func New(cfg Config) (*Server, error) {
 			switch {
 			case to == admission.BreakerOpen:
 				s.stats.breakerTrip.Inc()
+				// An opening breaker is an incident: capture a profile of
+				// the moment (rate-limited by the profiler's cooldown).
+				s.profiler.Trigger("breaker-open")
 			case to == admission.BreakerHalfOpen:
 				s.stats.breakerProbe.Inc()
 			case to == admission.BreakerClosed && from == admission.BreakerHalfOpen:
@@ -349,6 +391,7 @@ func New(cfg Config) (*Server, error) {
 		if s.cluster != nil {
 			s.cluster.Close()
 		}
+		s.profiler.Close()
 		return nil, err
 	}
 	s.eng = eng
@@ -394,6 +437,9 @@ func New(cfg Config) (*Server, error) {
 	reg.Gauge("bschedd_diskcache_warm_entries",
 		"Records indexed from segment replay when this process started — the warm-start figure; 0 without -cache-dir.",
 		func() float64 { return float64(s.eng.DiskWarmEntries()) })
+	reg.Gauge("bschedd_profiles_retained",
+		"Profiles currently held in the continuous-profiling on-disk ring; 0 without -profile-dir.",
+		func() float64 { return float64(s.profiler.Len()) })
 	reg.Gauge("bschedd_peer_ring_nodes",
 		"Real nodes on the consistent-hash ring this node places keys over; 1 for a standalone daemon (no -peers).",
 		func() float64 {
@@ -414,6 +460,7 @@ func (s *Server) Close() {
 	if s.cluster != nil {
 		s.cluster.Close()
 	}
+	s.profiler.Close()
 }
 
 // Handler returns the service's HTTP routes, wrapped in the
@@ -428,6 +475,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/traces/", s.handleTraceByID)
 	mux.HandleFunc("/v1/peer/lookup/", s.handlePeerLookup)
 	mux.HandleFunc("/v1/peer/offer/", s.handlePeerOffer)
+	mux.HandleFunc("/v1/peer/trace/", s.handlePeerTrace)
+	mux.HandleFunc("/v1/fleet/stats", s.handleFleetStats)
+	mux.HandleFunc("/v1/fleet/metrics", s.handleFleetMetrics)
+	mux.HandleFunc("/v1/profiles", s.handleProfiles)
+	mux.HandleFunc("/v1/profiles/", s.handleProfileByName)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", s.stats.reg.Handler())
@@ -685,6 +737,9 @@ func (s *Server) dispatchBlock(r *http.Request, tr *obs.Trace, b *ir.Block, key 
 			s.stats.shedFull.Inc()
 			tr.Root().Event("503-backpressure")
 		}
+		// A shed storm (a burst of these events inside the profiler's
+		// window) captures a profile of the overloaded moment.
+		s.profiler.Event("shed-burst")
 		s.eng.Remove(key, e)
 		e.Complete(nil, errBusy)
 		return nil, e, blockEnqueued, err
@@ -718,10 +773,12 @@ func (s *Server) Stats() Snapshot {
 }
 
 // handleHealthz is the liveness probe. A healthy standalone daemon
-// answers exactly as it always has; the degraded field (and its
-// reasons) appears only when the disk circuit breaker is open or more
-// than half of the fleet's peers are unreachable — "up, but don't
-// route new traffic here first".
+// answers exactly as it always has; a fleet node additionally reports
+// every peer's reachability (the local breaker view) under "peers",
+// and the degraded field (with reasons naming the peers that are down)
+// appears only when the disk circuit breaker is open or more than half
+// of the fleet's peers are unreachable — "up, but don't route new
+// traffic here first".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"status":   "ok",
@@ -732,9 +789,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		reasons = append(reasons, "disk-cache circuit breaker open")
 	}
 	if s.cluster != nil {
-		unreachable := s.cluster.Unreachable()
-		if peers := len(s.cluster.Peers()); 2*len(unreachable) > peers {
-			reasons = append(reasons, fmt.Sprintf("%d of %d peers unreachable", len(unreachable), peers))
+		// Per-peer reachability detail, from the same breaker view the
+		// fleet endpoints and bschedtop read — not just the aggregate
+		// ">half unreachable" judgment.
+		health := s.cluster.Health()
+		body["peers"] = health
+		var down []string
+		for _, ph := range health {
+			if !ph.Reachable {
+				down = append(down, ph.URL)
+			}
+		}
+		if 2*len(down) > len(health) {
+			reasons = append(reasons, fmt.Sprintf("%d of %d peers unreachable: %s",
+				len(down), len(health), strings.Join(down, ", ")))
 		}
 	}
 	if len(reasons) > 0 {

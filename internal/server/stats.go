@@ -78,6 +78,11 @@ type Stats struct {
 	breakerClose  *obs.Counter    // bschedd_breaker_events_total{event="recover"}
 	breakerReject *obs.Counter    // bschedd_breaker_events_total{event="reject"}
 
+	// Continuous-profiling captures by kind (cpu, heap) and trigger
+	// reason (periodic, breaker_open, shed_burst). All zero without
+	// -profile-dir.
+	profileCaptures *obs.CounterVec // bschedd_profile_captures_total{kind,reason}
+
 	// Per-tenant counters, label-bounded: the first maxTenantLabels
 	// distinct tenants get their own label value; the rest aggregate
 	// under "_other" so a tenant-id cardinality attack cannot balloon
@@ -229,6 +234,9 @@ func newStats() *Stats {
 		tenantRejects: reg.CounterVec("bschedd_tenant_rejected_total",
 			"Requests refused with 429 because the tenant's token bucket was empty.",
 			"tenant"),
+		profileCaptures: reg.CounterVec("bschedd_profile_captures_total",
+			"Continuous-profiling captures by kind (cpu, heap) and trigger reason (periodic, breaker_open, shed_burst). All zero without -profile-dir.",
+			"kind", "reason"),
 		tenantCounters: make(map[string]*tenantCounters),
 	}
 }
@@ -488,6 +496,47 @@ func (s *Stats) snapshot() Snapshot {
 		P99Millis:          s.hist.Quantile(0.99) * 1000,
 		Stages:             summarize(s.stages),
 		Tiers:              summarize(s.tiers),
+	}
+}
+
+// CounterTotals returns the Snapshot's monotonically increasing
+// counter fields keyed by their JSON names — the fields the fleet
+// aggregation endpoint sums across nodes. Gauges (queue depth, cache
+// entries, quantile estimates) are deliberately absent: summing
+// instantaneous values across scrape moments would manufacture numbers
+// no node ever reported. This is the list fleet-obs-smoke asserts
+// "fleet totals == sum of node-local /stats" over.
+func (s *Snapshot) CounterTotals() map[string]int64 {
+	return map[string]int64{
+		"requests":             s.Requests,
+		"ok":                   s.OK,
+		"client_errors":        s.ClientErrors,
+		"compile_errors":       s.CompileErrors,
+		"rejected":             s.Rejected,
+		"cache_hits":           s.CacheHits,
+		"cache_misses":         s.CacheMisses,
+		"coalesced":            s.Coalesced,
+		"degradations":         s.Degradations,
+		"block_hits":           s.BlockHits,
+		"block_misses":         s.BlockMisses,
+		"block_coalesced":      s.BlockCoalesced,
+		"block_disk":           s.BlockDisk,
+		"block_peer":           s.BlockPeer,
+		"batch_requests":       s.BatchRequests,
+		"blocks_streamed":      s.BlocksStreamed,
+		"disk_hits":            s.DiskHits,
+		"disk_misses":          s.DiskMisses,
+		"disk_writes":          s.DiskWrites,
+		"disk_evictions":       s.DiskEvictions,
+		"disk_records_loaded":  s.DiskRecordsLoaded,
+		"disk_corrupt_records": s.DiskCorruptRecords,
+		"disk_stale_records":   s.DiskStaleRecords,
+		"disk_io_errors":       s.DiskIOErrors,
+		"shed_sojourn":         s.ShedSojourn,
+		"shed_full":            s.ShedFull,
+		"quota_rejected":       s.QuotaRejected,
+		"deadline_rejected":    s.DeadlineRejected,
+		"breaker_trips":        s.BreakerTrips,
 	}
 }
 

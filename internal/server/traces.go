@@ -1,10 +1,13 @@
 package server
 
 import (
+	"encoding/json"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 
+	"bsched/internal/cluster"
 	"bsched/internal/obs"
 )
 
@@ -66,7 +69,10 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // handleTraceByID serves GET /v1/traces/{id}. The default rendering is
 // Chrome trace-event JSON — load it in https://ui.perfetto.dev or
 // chrome://tracing to see the span waterfall; ?format=tree returns the
-// raw span tree instead.
+// raw span tree instead. With ?fleet=1 the node also collects the
+// trace's remote fragments from its ring peers (the halves recorded on
+// the block's owning node when a request peer-hit or probed) and emits
+// one stitched view — one Perfetto process lane per node.
 func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
@@ -89,6 +95,10 @@ func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := t.View()
+	if r.URL.Query().Get("fleet") != "" {
+		s.serveFleetTrace(w, r, raw, v)
+		return
+	}
 	if r.URL.Query().Get("format") == "tree" {
 		writeJSON(w, http.StatusOK, v)
 		return
@@ -96,4 +106,74 @@ func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = obs.WriteChromeTrace(w, v) // client hanging up mid-write is not our error
+}
+
+// serveFleetTrace collects the remote fragments of trace id from every
+// ring peer (GET /v1/peer/trace/{id}; cluster.ErrNotFound just means
+// that node retained no fragment) and writes the stitched result: the
+// local fragment first, then each peer's, ordered by peer URL. The
+// default rendering is the merged Perfetto JSON; ?format=tree returns
+// the per-node span trees.
+func (s *Server) serveFleetTrace(w http.ResponseWriter, r *http.Request, rawID string, local obs.TraceView) {
+	frags := []obs.NodeTrace{{Node: s.nodeID(), View: local}}
+	s.fanOut(r, "/v1/peer/trace/"+rawID, func(peer string, body []byte, err error) {
+		if err != nil {
+			if err != cluster.ErrNotFound {
+				note(r, "fleet_unreachable", peer)
+			}
+			return
+		}
+		var v obs.TraceView
+		if err := json.Unmarshal(body, &v); err != nil {
+			note(r, "fleet_unreachable", peer)
+			return
+		}
+		frags = append(frags, obs.NodeTrace{Node: peer, View: v})
+	})
+	// fanOut collects in completion order; restore a deterministic one.
+	sort.Slice(frags[1:], func(i, j int) bool { return frags[1+i].Node < frags[1+j].Node })
+
+	if r.URL.Query().Get("format") == "tree" {
+		nodes := make([]string, 0, len(frags))
+		for _, f := range frags {
+			nodes = append(nodes, f.Node)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":        rawID,
+			"nodes":     nodes,
+			"fragments": frags,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteChromeTraceFleet(w, frags)
+}
+
+// handlePeerTrace serves GET /v1/peer/trace/{id}: this node's fragment
+// of a trace, as a raw span tree. It is the peer half of ?fleet=1
+// stitching — 404 when the node retained nothing for that ID, which
+// the caller treats as "no fragment here", not an error.
+func (s *Server) handlePeerTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, &ErrorResponse{Error: "GET only"})
+		return
+	}
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, &ErrorResponse{Error: "tracing disabled (-traces < 0)"})
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/peer/trace/")
+	id, ok := obs.ParseTraceID(raw)
+	if !ok {
+		writeError(w, http.StatusBadRequest, &ErrorResponse{Error: "trace id must be 32 lowercase hex digits"})
+		return
+	}
+	t, ok := s.tracer.Store().Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, &ErrorResponse{Error: "no fragment for that trace on this node"})
+		return
+	}
+	writeJSON(w, http.StatusOK, t.View())
 }
