@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke chaos-smoke cluster-smoke batch-smoke fleet-obs-smoke doc-lint bench bench-json bench-diff repro repro-quick examples vet fmt cover clean
+.PHONY: all build test race test-race fuzz-smoke serve-smoke metrics-smoke chaos-smoke cluster-smoke batch-smoke fleet-obs-smoke policy-smoke doc-lint bench bench-json bench-diff repro repro-quick examples vet fmt cover clean
 
 all: build test
 
@@ -11,10 +11,11 @@ build:
 
 # The default test path runs go vet, the unit suites, the documentation
 # lint, the /metrics smoke check, the chaos/overload smoke check, the
-# multi-node cluster smoke check, the streaming batch smoke check and
-# the fleet observability smoke check, so a vet, metric, doc,
-# resilience, fleet, streaming or observability regression fails
-# `make test` the same way a unit failure does.
+# multi-node cluster smoke check, the streaming batch smoke check, the
+# fleet observability smoke check and the scheduling-policy portfolio
+# smoke check, so a vet, metric, doc, resilience, fleet, streaming,
+# observability or policy regression fails `make test` the same way a
+# unit failure does.
 test: vet doc-lint
 	$(GO) test ./...
 	$(MAKE) metrics-smoke
@@ -22,6 +23,7 @@ test: vet doc-lint
 	$(MAKE) cluster-smoke
 	$(MAKE) batch-smoke
 	$(MAKE) fleet-obs-smoke
+	$(MAKE) policy-smoke
 
 race test-race:
 	$(GO) test -race ./...
@@ -33,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseCompile -fuzztime=$(FUZZTIME) ./internal/compile
 	$(GO) test -run='^$$' -fuzz=FuzzMemlatSpec -fuzztime=$(FUZZTIME) ./internal/memlat
 	$(GO) test -run='^$$' -fuzz=FuzzDiskCacheCodec -fuzztime=$(FUZZTIME) ./internal/engine
+	$(GO) test -run='^$$' -fuzz=FuzzPolicySchedule -fuzztime=$(FUZZTIME) ./internal/sched
 
 # Build the bschedd compilation daemon and round-trip one request
 # through the full HTTP stack (plus a cache-hit check); exits non-zero
@@ -76,6 +79,14 @@ batch-smoke:
 fleet-obs-smoke:
 	$(GO) run ./cmd/bschedd -log-format none -fleet-obs-smoke examples/ir/demo.ir
 
+# Drive the scheduling-policy portfolio end to end over HTTP: every
+# registered policy plus auto, per-policy cache keys, the legacy
+# default sharing the forced-balanced entry, per-block auto selection
+# on a mixed program, the -policy forced override, and the per-policy
+# /stats and /metrics counters. See docs/POLICIES.md.
+policy-smoke:
+	$(GO) run ./cmd/bschedd -log-format none -policy-smoke examples/ir/demo.ir
+
 # Documentation hygiene: source is gofmt-clean, the packages godoc
 # renders without error (a parse failure here means a malformed doc
 # comment), and the HTTP API reference covers every served endpoint.
@@ -85,26 +96,29 @@ doc-lint:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	@for pkg in ./internal/obs ./internal/server ./internal/engine ./internal/cluster ./internal/compile; do \
 		$(GO) doc $$pkg >/dev/null || exit 1; done
-	@for doc in docs/API.md docs/CACHE-KEYS.md; do \
+	@for doc in docs/API.md docs/CACHE-KEYS.md docs/POLICIES.md; do \
 		[ -f $$doc ] || { echo "missing $$doc"; exit 1; }; done
+	@for pol in balanced traditional average balanced-dense critical-path auto; do \
+		grep -q "\`$$pol\`" docs/POLICIES.md || { echo "docs/POLICIES.md missing policy: $$pol"; exit 1; }; done
+	@grep -q "policy" docs/API.md || { echo "docs/API.md missing the policy option"; exit 1; }
 	@for ep in "POST /v1/compile" "POST /v1/compile/batch" "GET /v1/peer/lookup" "PUT /v1/peer/offer" "GET /healthz" "GET /stats" "GET /metrics" "GET /v1/traces" "GET /v1/fleet/stats" "GET /v1/fleet/metrics" "GET /v1/peer/trace" "GET /v1/profiles"; do \
 		grep -q "$$ep" docs/API.md || { echo "docs/API.md missing endpoint: $$ep"; exit 1; }; done
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable perf baseline: run the serve-path, block-reuse and
-# credit-pass benchmarks programmatically and write BENCH_9.json (ns/op,
-# allocs/op, B/op per benchmark) so the perf trajectory can be diffed
-# across PRs.
+# Machine-readable perf baseline: run the serve-path, block-reuse,
+# credit-pass and policy-portfolio benchmarks programmatically and write
+# BENCH_10.json (ns/op, allocs/op, B/op per benchmark) so the perf
+# trajectory can be diffed across PRs.
 bench-json:
-	$(GO) test -run '^TestBenchJSON$$' -bench-json BENCH_9.json .
+	$(GO) test -run '^TestBenchJSON$$' -bench-json BENCH_10.json .
 
 # Gate the perf trajectory: compare this PR's benchmark baseline against
 # the previous one and fail on any shared benchmark regressing more than
-# 10% in ns/op. Run `make bench-json` first to produce BENCH_9.json.
+# 10% in ns/op. Run `make bench-json` first to produce BENCH_10.json.
 bench-diff:
-	$(GO) run ./cmd/benchdiff BENCH_8.json BENCH_9.json
+	$(GO) run ./cmd/benchdiff BENCH_9.json BENCH_10.json
 
 vet:
 	$(GO) vet ./...

@@ -159,6 +159,37 @@ func weightsBench(n int, opts core.Options) func(b *testing.B) {
 	}
 }
 
+// policyWeightsBench returns the benchmark body for one portfolio
+// policy's weighting pass on an n-instruction random block — the cost
+// side of the policy registry (docs/POLICIES.md). Extracted, like
+// weightsBench, so TestBenchJSON can reuse the body.
+func policyWeightsBench(name string, n int) func(b *testing.B) {
+	p, ok := sched.PolicyByName(name)
+	blk := randomBlock(n)
+	g := deps.Build(blk, deps.BuildOptions{})
+	return func(b *testing.B) {
+		if !ok {
+			b.Fatalf("policy %q not registered", name)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Weights(g, sched.PolicyConfig{}, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPolicyWeights measures every registered policy's weighting
+// pass on the same 128-instruction block, so the portfolio's relative
+// costs (balanced's analysis vs critical-path's constant fill) stay on
+// the record.
+func BenchmarkPolicyWeights(b *testing.B) {
+	for _, name := range sched.PolicyNames() {
+		b.Run(name, policyWeightsBench(name, 128))
+	}
+}
+
 // BenchmarkBalancedWeights measures the Fig. 6 algorithm itself (the
 // O(n²·α(n)) analysis) at several block sizes.
 func BenchmarkBalancedWeights(b *testing.B) {
@@ -519,6 +550,12 @@ func TestBenchJSON(t *testing.T) {
 		{"BalancedWeightsUnionFind/n32", weightsBench(32, core.Options{Chances: core.ChancesUnionFind})},
 		{"BalancedWeightsUnionFind/n128", weightsBench(128, core.Options{Chances: core.ChancesUnionFind})},
 		{"BalancedWeightsUnionFind/n512", weightsBench(512, core.Options{Chances: core.ChancesUnionFind})},
+	}
+	for _, name := range sched.PolicyNames() {
+		cases = append(cases, struct {
+			name string
+			body func(b *testing.B)
+		}{"PolicyWeights/" + name, policyWeightsBench(name, 128)})
 	}
 	out := struct {
 		GoVersion  string           `json:"go_version"`

@@ -4,11 +4,15 @@
 // Usage:
 //
 //	bsched [-lat L] [-alias disjoint|conservative] [-weights] [-dot]
-//	       [-budget N] [-timeout D] [file.ir]
+//	       [-policy NAME] [-budget N] [-timeout D] [file.ir]
 //
 // Reads the program from the file (or stdin) and prints, per basic block,
 // the computed balanced weights and both schedules. With -dot, the code
-// DAG is printed in Graphviz syntax instead.
+// DAG is printed in Graphviz syntax instead. -policy swaps the balanced
+// column for another portfolio policy (balanced, traditional, average,
+// balanced-dense, critical-path, or auto for the per-block decision
+// rule — docs/POLICIES.md); the traditional column stays as the
+// comparator.
 //
 // Compilation runs through the hardened front door
 // (bsched/internal/compile): malformed input exits non-zero with a
@@ -23,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"bsched/internal/analytic"
 	"bsched/internal/cli"
@@ -32,6 +37,7 @@ import (
 	"bsched/internal/ir"
 	"bsched/internal/lineopt"
 	"bsched/internal/memlat"
+	"bsched/internal/sched"
 	"bsched/internal/unroll"
 )
 
@@ -46,12 +52,19 @@ func main() {
 	memSpec := flag.String("mem", "L80(2,10)", "memory model for the analytic expected-stall comparison")
 	showAnalytic := flag.Bool("analytic", true, "print the closed-form expected stalls of each schedule")
 	lineOpt := flag.Bool("lineopt", false, "mark second accesses to a cache line as known hits first (§6)")
+	policy := flag.String("policy", "", "schedule under this portfolio policy instead of balanced ("+strings.Join(sched.PolicyNames(), "|")+"|"+sched.PolicyAuto+")")
 	budget := flag.Int64("budget", 0, "work budget per block in abstract units (0 default, negative unlimited)")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound on compilation (0 none); past it blocks degrade, not abort")
 	flag.Parse()
 
 	if err := cli.CheckLatency(*lat); err != nil {
 		fatal(err)
+	}
+	if *policy != "" && *policy != sched.PolicyAuto {
+		if _, ok := sched.PolicyByName(*policy); !ok {
+			fatal(fmt.Errorf("unknown -policy %q (want %s|%s)",
+				*policy, strings.Join(sched.PolicyNames(), "|"), sched.PolicyAuto))
+		}
 	}
 	src, err := cli.ReadInput(flag.Arg(0))
 	if err != nil {
@@ -106,22 +119,27 @@ func main() {
 		}
 
 		if *stages {
-			showStages(ctx, blk, copts)
+			scopts := copts
+			scopts.Policy = *policy
+			showStages(ctx, blk, scopts)
 			continue
 		}
 
 		sopts := copts
 		sopts.SkipRegalloc = true
 		sopts.Scheduler = compile.Balanced
+		sopts.Policy = *policy
 		bal, err := compile.RunBlock(ctx, blk, sopts)
 		if err != nil {
 			fatal(err)
 		}
+		sopts.Policy = ""
 		sopts.Scheduler = compile.Traditional
 		trad, err := compile.RunBlock(ctx, blk, sopts)
 		if err != nil {
 			fatal(err)
 		}
+		polName := bal.Policy
 
 		fmt.Printf("== block %s (freq %g, %d instrs, %d loads)\n",
 			blk.Label, blk.Freq, len(blk.Instrs), blk.NumLoads())
@@ -129,7 +147,7 @@ func main() {
 
 		if *showWeights {
 			if w := bal.Pass1.Weights; w != nil {
-				fmt.Println("balanced weights:")
+				fmt.Printf("%s weights:\n", polName)
 				for i, in := range blk.Instrs {
 					marker := " "
 					if in.Op.IsLoad() {
@@ -138,15 +156,15 @@ func main() {
 					fmt.Printf("  %s w=%-7.3f %s\n", marker, w[i], in)
 				}
 			} else {
-				fmt.Println("balanced weights: unavailable (block fell back to source order)")
+				fmt.Printf("%s weights: unavailable (block fell back to source order)\n", polName)
 			}
 		}
 
-		fmt.Printf("schedules (traditional lat=%g | balanced):\n", *lat)
+		fmt.Printf("schedules (traditional lat=%g | %s):\n", *lat, polName)
 		for i := range trad.Pass1.Order {
 			fmt.Printf("  %2d: %-40s | %s\n", i, trad.Pass1.Order[i], bal.Pass1.Order[i])
 		}
-		fmt.Printf("starvation no-ops: traditional %d, balanced %d\n", trad.Pass1.VNops, bal.Pass1.VNops)
+		fmt.Printf("starvation no-ops: traditional %d, %s %d\n", trad.Pass1.VNops, polName, bal.Pass1.VNops)
 		if *showAnalytic {
 			model, err := memlat.ParseModel(*memSpec)
 			if err != nil {
@@ -156,8 +174,8 @@ func main() {
 				et, err1 := analytic.EstimateRuntime(trad.Pass1.Order, dist)
 				eb, err2 := analytic.EstimateRuntime(bal.Pass1.Order, dist)
 				if err1 == nil && err2 == nil {
-					fmt.Printf("expected stalls on %s (analytic): traditional %.2f, balanced %.2f\n",
-						dist.Name(), et.ExpectedStalls, eb.ExpectedStalls)
+					fmt.Printf("expected stalls on %s (analytic): traditional %.2f, %s %.2f\n",
+						dist.Name(), et.ExpectedStalls, polName, eb.ExpectedStalls)
 				}
 			}
 		}
@@ -196,7 +214,7 @@ func showStages(ctx context.Context, blk *ir.Block, copts compile.Options) {
 		fatal(err)
 	}
 	pass1 := display.Pass1
-	fmt.Printf("stage 1 — balanced schedule (%d starvation no-ops):\n", pass1.VNops)
+	fmt.Printf("stage 1 — %s schedule (%d starvation no-ops):\n", display.Policy, pass1.VNops)
 	for k, in := range pass1.Order {
 		if pass1.Weights != nil {
 			fmt.Printf("    %2d: %s  (w=%.2f)\n", k, in, pass1.Weights[pass1.Perm[k]])

@@ -9,6 +9,7 @@
 //	bschedd [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
 //	        [-cache-dir DIR] [-cache-max-bytes N]
 //	        [-timeout D] [-max-timeout D] [-max-bytes N]
+//	        [-policy NAME]
 //	        [-traces N] [-trace-sample N]
 //	        [-interactive-weight N] [-codel-target D] [-codel-interval D]
 //	        [-tenant-rate R] [-tenant-burst B]
@@ -22,6 +23,7 @@
 //	bschedd -cluster-smoke file.ir
 //	bschedd -batch-smoke file.ir
 //	bschedd -fleet-obs-smoke file.ir
+//	bschedd -policy-smoke file.ir
 //
 // Endpoints:
 //
@@ -80,6 +82,15 @@
 // disk to memory-only serving. -chaos injects faults (slow-compile,
 // disk-error, latency-spike) for drills.
 //
+// Scheduling-policy portfolio (docs/POLICIES.md): each request may pick
+// a policy (options.policy: balanced, traditional, average,
+// balanced-dense, critical-path, or auto for the per-block decision
+// rule); -policy forces one policy on every request this daemon serves,
+// whatever the request asked for — an operator override for A/B
+// experiments and incident drills. The policy is part of the options
+// fingerprint, so forced and per-request compilations never share cache
+// entries, on disk or across the fleet.
+//
 // Multi-node fleet (docs/CLUSTER.md): -peers joins this daemon to a
 // consistent-hash fleet over cache keys. -node-id is this node's
 // advertised base URL (its ring identity; peers must list exactly this
@@ -115,7 +126,13 @@
 // stitch into one cross-node trace, the merged /v1/fleet/metrics must
 // survive the strict exposition validator, the continuous profiler
 // must land a capture, and killing a node must degrade the fleet view
-// instead of failing it (`make fleet-obs-smoke`).
+// instead of failing it (`make fleet-obs-smoke`). -policy-smoke compiles
+// the IR file under every registered policy plus auto, asserting each
+// response names its policy and keys the cache distinctly, that the
+// auto decision rule picks per block (a load-free block lands on
+// critical-path while a loady one stays balanced), that a -policy
+// forced daemon overrides request options, and that the per-policy
+// counters land in /stats and /metrics (`make policy-smoke`).
 //
 // Continuous profiling (-profile-dir): the daemon captures periodic
 // CPU and heap pprof profiles (-profile-interval) into a bounded
@@ -148,7 +165,9 @@ import (
 	"bsched/internal/admission"
 	"bsched/internal/chaos"
 	"bsched/internal/cli"
+	"bsched/internal/compile"
 	"bsched/internal/obs"
+	"bsched/internal/sched"
 	"bsched/internal/server"
 )
 
@@ -162,6 +181,7 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultCompileTimeout, "default per-compilation deadline")
 	maxTimeout := flag.Duration("max-timeout", server.MaxCompileTimeout, "upper clamp on request-supplied deadlines")
 	maxBytes := flag.Int64("max-bytes", server.DefaultMaxRequestBytes, "maximum request body size")
+	policy := flag.String("policy", "", "force every request onto one scheduling policy ("+strings.Join(sched.PolicyNames(), "|")+"|"+sched.PolicyAuto+"); empty honors per-request options (docs/POLICIES.md)")
 	traces := flag.Int("traces", obs.DefaultTraceCapacity, "retained request trace capacity (negative disables tracing)")
 	traceSample := flag.Int("trace-sample", obs.DefaultTraceSampleEvery, "keep 1 in N healthy fast traces (errors, degradations and the slow tail are always kept)")
 	interactiveWeight := flag.Int("interactive-weight", admission.DefaultInteractiveWeight, "interactive requests served per batch request when both priority classes are backlogged")
@@ -186,7 +206,15 @@ func main() {
 	clusterSmoke := flag.String("cluster-smoke", "", "don't serve: spray a Zipf request stream across a 3-node in-process fleet for this IR file and exit")
 	batchSmoke := flag.String("batch-smoke", "", "don't serve: stream a two-program batch compile of this IR file over /v1/compile/batch and exit")
 	fleetObsSmoke := flag.String("fleet-obs-smoke", "", "don't serve: drive the fleet observability plane (aggregated stats/metrics, trace stitching, profiling) over a 3-node in-process fleet for this IR file and exit")
+	policySmoke := flag.String("policy-smoke", "", "don't serve: compile this IR file under every registered scheduling policy plus auto, verify per-policy caching, selection and counters, and exit")
 	flag.Parse()
+
+	if *policy != "" && *policy != sched.PolicyAuto {
+		if _, ok := sched.PolicyByName(*policy); !ok {
+			fatal(fmt.Errorf("unknown -policy %q (want %s|%s)",
+				*policy, strings.Join(sched.PolicyNames(), "|"), sched.PolicyAuto))
+		}
+	}
 
 	logger, err := buildLogger(*logFormat)
 	if err != nil {
@@ -215,6 +243,7 @@ func main() {
 		TenantBurst:       *tenantBurst,
 		BreakerThreshold:  *breakerThreshold,
 		BreakerCooldown:   *breakerCooldown,
+		ForcePolicy:       *policy,
 		Chaos:             inj,
 		SelfURL:           *nodeID,
 		RingReplicas:      *ringReplicas,
@@ -259,6 +288,10 @@ func main() {
 		}
 	case *fleetObsSmoke != "":
 		if err := runFleetObsSmoke(cfg, *fleetObsSmoke); err != nil {
+			fatal(err)
+		}
+	case *policySmoke != "":
+		if err := runPolicySmoke(cfg, *policySmoke); err != nil {
 			fatal(err)
 		}
 	default:
@@ -599,6 +632,57 @@ func runChaosSmoke(cfg server.Config, path string) error {
 	}
 	if inj.Fired(chaos.SlowCompile) == 0 {
 		return errors.New("chaos smoke: slow-compile fault never fired")
+	}
+
+	// Starvation under a forced policy: a wide block on the small budget
+	// tier must walk the degradation ladder, and every event it emits
+	// must name the policy it degraded under — the operator's only way
+	// to tell which portfolio member was starved. The exact charge
+	// totals per rung are an implementation detail, so probe doubling
+	// block sizes until one starves the policy's weighting rung.
+	var sawPolicyRung bool
+	for n := 128; n <= 2048 && !sawPolicyRung; n *= 2 {
+		req := server.CompileRequest{Program: widePolicyProgram(n)}
+		req.Options = server.RequestOptions{
+			Policy:       sched.PolicyBalancedDense,
+			Budget:       server.TierSmall,
+			SkipRegalloc: true,
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		hreq, err := http.NewRequest(http.MethodPost, base+"/v1/compile", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set("X-Tenant", fmt.Sprintf("starve-%d", n))
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			return err
+		}
+		var out server.CompileResponse
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("chaos smoke: starved policy compile returned %d, want 200 (ladder degradation)", resp.StatusCode)
+		}
+		for _, e := range out.Degradations {
+			if e.Policy != sched.PolicyBalancedDense {
+				return fmt.Errorf("chaos smoke: degradation %s/%s→%s names policy %q, want %q",
+					e.Stage, e.From, e.To, e.Policy, sched.PolicyBalancedDense)
+			}
+			if e.From == compile.RungPolicyPrefix+sched.PolicyBalancedDense {
+				sawPolicyRung = true
+			}
+		}
+	}
+	if !sawPolicyRung {
+		return errors.New("chaos smoke: no block size starved the forced policy's weighting rung")
 	}
 
 	// The whole episode must be visible in /metrics.
@@ -1116,6 +1200,242 @@ func runFleetObsSmoke(cfg server.Config, path string) error {
 	return nil
 }
 
+// widePolicyProgram renders a single-block program of n alternating
+// loads and adds — wide enough that a starved budget tier exhausts
+// itself inside the policy's weighting rung rather than during DAG
+// construction.
+func widePolicyProgram(n int) string {
+	var sb strings.Builder
+	sb.WriteString("func starve\nblock wide freq=1\n")
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			fmt.Fprintf(&sb, "v%d = load a[%d]\n", i, 8*i)
+		} else {
+			fmt.Fprintf(&sb, "v%d = add v%d, v%d\n", i, i-1, i-1)
+		}
+	}
+	sb.WriteString("end")
+	return sb.String()
+}
+
+// autoMixProgram is the per-block selection probe for the policy smoke:
+// one block with loads (the v1 decision rule keeps it on balanced) and
+// one load-free block (the rule sends it to critical-path). One request
+// under "auto" must land the two blocks on different policies.
+const autoMixProgram = `func automix
+block loady freq=1
+v0 = load a[0]
+v1 = load a[8]
+v2 = add v0, v1
+liveout v2
+end
+block pure freq=1
+v0 = const 1
+v1 = add v0, v0
+v2 = mul v1, v0
+liveout v2
+end`
+
+// runPolicySmoke drives the scheduling-policy portfolio end to end
+// over real HTTP: the IR file compiles under every registered policy
+// plus auto, each response names its policy and keys the cache
+// distinctly, the legacy default shares the forced-balanced entry, the
+// auto decision rule picks per block, a -policy forced daemon
+// overrides request options, and the per-policy counters land in
+// /stats and /metrics. The `make policy-smoke` CI check.
+func runPolicySmoke(cfg server.Config, path string) error {
+	src, err := cli.ReadInput(path)
+	if err != nil {
+		return err
+	}
+	cfg.ForcePolicy = "" // the forced-daemon drill runs separately below
+	svc, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	post := func(base, program string, opts server.RequestOptions) (*server.CompileResponse, error) {
+		body, err := json.Marshal(server.CompileRequest{Program: program, Options: opts})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.Post(base+"/v1/compile", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("POST /v1/compile: %s: %s", resp.Status, bytes.TrimSpace(raw))
+		}
+		var out server.CompileResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return nil, fmt.Errorf("decode response: %w", err)
+		}
+		return &out, nil
+	}
+
+	// The compatibility anchor first: a default request and a forced
+	// balanced request are one cache key, so the second must be a warm
+	// hit on the first.
+	def, err := post(base, src, server.RequestOptions{})
+	if err != nil {
+		return err
+	}
+	if len(def.Blocks) == 0 {
+		return errors.New("policy smoke: empty compile response")
+	}
+	bal, err := post(base, src, server.RequestOptions{Policy: sched.PolicyBalanced})
+	if err != nil {
+		return err
+	}
+	if !bal.Cached {
+		return errors.New("policy smoke: forced balanced request missed the default request's cache entry")
+	}
+	if bal.OptionsFingerprint != def.OptionsFingerprint {
+		return errors.New("policy smoke: forced balanced and default requests keyed differently")
+	}
+
+	// Every policy, plus auto: a 200, every block naming the policy it
+	// was compiled under, and a distinct options fingerprint per policy.
+	fps := map[string]string{sched.PolicyBalanced: bal.OptionsFingerprint}
+	names := append(sched.PolicyNames(), sched.PolicyAuto)
+	for _, name := range names {
+		resp, err := post(base, src, server.RequestOptions{Policy: name})
+		if err != nil {
+			return fmt.Errorf("policy smoke: %s: %w", name, err)
+		}
+		for _, b := range resp.Blocks {
+			got := b.Policy
+			if name == sched.PolicyAuto {
+				// Auto reports the rule's per-block pick, which must be
+				// a registered policy.
+				if _, ok := sched.PolicyByName(got); !ok {
+					return fmt.Errorf("policy smoke: auto block %s reports unregistered policy %q", b.Label, got)
+				}
+			} else if got != name {
+				return fmt.Errorf("policy smoke: block %s compiled under %q, want %q", b.Label, got, name)
+			}
+		}
+		if prev, dup := fps[name]; dup && prev != resp.OptionsFingerprint {
+			return fmt.Errorf("policy smoke: policy %q fingerprint unstable", name)
+		}
+		for other, fp := range fps {
+			if other != name && fp == resp.OptionsFingerprint {
+				return fmt.Errorf("policy smoke: policies %q and %q share options fingerprint %s", other, name, fp)
+			}
+		}
+		fps[name] = resp.OptionsFingerprint
+	}
+
+	// Per-block selection: one auto request over a mixed program must
+	// send the load-free block to critical-path and keep the loady one
+	// on balanced.
+	mix, err := post(base, autoMixProgram, server.RequestOptions{Policy: sched.PolicyAuto})
+	if err != nil {
+		return err
+	}
+	picks := map[string]string{}
+	for _, b := range mix.Blocks {
+		picks[b.Label] = b.Policy
+	}
+	if picks["loady"] != sched.PolicyBalanced {
+		return fmt.Errorf("policy smoke: auto sent loady block to %q, want balanced", picks["loady"])
+	}
+	if picks["pure"] != sched.PolicyCriticalPath {
+		return fmt.Errorf("policy smoke: auto sent load-free block to %q, want critical-path", picks["pure"])
+	}
+
+	// The episode must be visible in /stats and /metrics.
+	var snap struct {
+		PolicyBlocks map[string]int64 `json:"policy_blocks"`
+		PolicyCycles map[string]struct {
+			Count    int64   `json:"count"`
+			P50Slots float64 `json:"p50_slots"`
+		} `json:"policy_cycles"`
+	}
+	sresp, err := http.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&snap)
+	sresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, name := range sched.PolicyNames() {
+		if snap.PolicyBlocks[name] < 1 {
+			return fmt.Errorf("policy smoke: /stats policy_blocks[%s] = %d, want >= 1", name, snap.PolicyBlocks[name])
+		}
+	}
+	if cs := snap.PolicyCycles[sched.PolicyBalanced]; cs.Count < 1 || cs.P50Slots <= 0 {
+		return fmt.Errorf("policy smoke: /stats policy_cycles[balanced] = %+v, want samples", cs)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		`bschedd_policy_blocks_total{policy="balanced"}`,
+		`bschedd_policy_blocks_total{policy="critical-path"}`,
+		"# TYPE bschedd_policy_cycles histogram",
+	} {
+		if !strings.Contains(string(raw), want) {
+			return fmt.Errorf("policy smoke: /metrics missing %s", want)
+		}
+	}
+
+	// Operator override: a daemon started with -policy compiles every
+	// request under that policy, whatever the request asked for.
+	fcfg := cfg
+	fcfg.ForcePolicy = sched.PolicyCriticalPath
+	fsvc, err := server.New(fcfg)
+	if err != nil {
+		return err
+	}
+	defer fsvc.Close()
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fsrv := &http.Server{Handler: fsvc.Handler()}
+	go fsrv.Serve(fln)
+	defer fsrv.Close()
+	forced, err := post("http://"+fln.Addr().String(), src, server.RequestOptions{Policy: sched.PolicyBalanced})
+	if err != nil {
+		return err
+	}
+	for _, b := range forced.Blocks {
+		if b.Policy != sched.PolicyCriticalPath {
+			return fmt.Errorf("policy smoke: forced daemon compiled block %s under %q, want critical-path", b.Label, b.Policy)
+		}
+	}
+	if forced.OptionsFingerprint != fps[sched.PolicyCriticalPath] {
+		return errors.New("policy smoke: forced daemon keyed the cache by the requested policy, not the forced one")
+	}
+
+	fmt.Printf("bschedd: policy smoke ok — %d policies + auto over %d block(s), per-block selection and forced override verified\n",
+		len(sched.PolicyNames()), len(def.Blocks))
+	return nil
+}
+
 // requiredMetrics is the CI contract with docs/OBSERVABILITY.md: every
 // family the catalog documents must appear in a scrape.
 var requiredMetrics = []string{
@@ -1123,6 +1443,8 @@ var requiredMetrics = []string{
 	"bschedd_responses_total",
 	"bschedd_cache_events_total",
 	"bschedd_degradations_total",
+	"bschedd_policy_blocks_total",
+	"bschedd_policy_cycles",
 	"bschedd_request_duration_seconds",
 	"bschedd_stage_duration_seconds",
 	"bschedd_compile_duration_seconds",

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 	"bsched/internal/pipeline"
 	"bsched/internal/regalloc"
 	"bsched/internal/sched"
+	"bsched/internal/sched/features"
 )
 
 // Scheduler selects the weighting family.
@@ -72,6 +74,16 @@ const DefaultBlockBudget = 4 << 20
 type Options struct {
 	// Scheduler selects balanced (default) or traditional weighting.
 	Scheduler Scheduler
+	// Policy, when non-empty, selects a weighting policy from the
+	// sched registry by name ("balanced", "traditional", "average",
+	// "balanced-dense", "critical-path") and takes precedence over
+	// Scheduler. The sentinel sched.PolicyAuto ("auto") asks the static
+	// decision rule to pick a policy per block from the block's
+	// features; the pick is made once, on the pass-1 DAG, and reused
+	// for pass 2 so both passes weight consistently. Unknown names are
+	// rejected by validation. The empty value preserves the legacy
+	// Scheduler path byte for byte.
+	Policy string
 	// Weighter, when non-nil, overrides Scheduler with a custom weighting
 	// strategy (the experiment runner's ablation weighters use this). A
 	// custom weighter runs outside the weights budget, but panics and
@@ -200,6 +212,12 @@ func (o *Options) validate() error {
 	if o.TradLatency != 0 && !(o.TradLatency >= 1) { // also rejects NaN
 		return fmt.Errorf("traditional load latency %g out of range [1, ∞)", o.TradLatency)
 	}
+	if o.Policy != "" && o.Policy != sched.PolicyAuto {
+		if _, ok := sched.PolicyByName(o.Policy); !ok {
+			return fmt.Errorf("unknown scheduling policy %q (want %s|%s)",
+				o.Policy, strings.Join(sched.PolicyNames(), "|"), sched.PolicyAuto)
+		}
+	}
 	return nil
 }
 
@@ -218,6 +236,10 @@ const (
 	RungFixedLat  = "fixed-latency"
 	RungListSched = "list-scheduler"
 	RungSrcOrder  = "source-order"
+	// RungPolicyPrefix prefixes the policy name in the From rung of a
+	// degradation taken while computing a registry policy's weights
+	// (e.g. "policy:balanced-dense" → "fixed-latency").
+	RungPolicyPrefix = "policy:"
 )
 
 // Event records one degradation: a stage of a block's compilation that
@@ -233,6 +255,11 @@ type Event struct {
 	From, To string
 	// Reason is the triggering error, rendered.
 	Reason string
+	// Policy names the weighting policy the block was compiling under
+	// when the downgrade hit ("balanced", "critical-path", "custom",
+	// …), so per-policy degradation behaviour is attributable even
+	// after the ladder has flattened the weighting to a cheaper rung.
+	Policy string
 	// Deadline reports that the downgrade was forced by expiry or
 	// cancellation of the surrounding context rather than the work
 	// budget. Budget-driven downgrades are deterministic for a given
@@ -262,6 +289,13 @@ type BlockResult struct {
 	Degradations []Event
 	// WorkUsed totals the work units charged across all budgeted rungs.
 	WorkUsed int64
+	// Policy names the weighting policy the block's schedule used:
+	// the forced Options.Policy, the decision rule's per-block pick
+	// under "auto", the legacy Scheduler's name when no policy was
+	// requested, or "custom" for a caller-supplied Weighter. Ladder
+	// downgrades do not change it — the policy is what was asked for,
+	// the Degradations record what was delivered.
+	Policy string
 }
 
 // Degraded reports whether any stage fell down the ladder.
@@ -488,8 +522,36 @@ func (c *blockCompiler) timeStage(stage string, pass int) func() {
 func (c *blockCompiler) event(pass int, stage, from, to string, cause error) {
 	c.res.Degradations = append(c.res.Degradations, Event{
 		Block: c.label, Pass: pass, Stage: stage, From: from, To: to, Reason: cause.Error(),
+		Policy:   c.res.Policy,
 		Deadline: errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded),
 	})
+}
+
+// resolvePolicy fixes the block's weighting policy, once: the custom
+// Weighter wins, then a forced Options.Policy, then — under "auto" —
+// the decision rule over the pass-1 DAG's features, and otherwise the
+// legacy Scheduler's name. The resolution is cached so pass 2 reuses
+// pass 1's pick. g may be nil (DAG construction itself degraded); an
+// "auto" block then falls back to balanced, the rule's default arm.
+func (c *blockCompiler) resolvePolicy(g *deps.Graph) string {
+	if c.res.Policy != "" {
+		return c.res.Policy
+	}
+	switch {
+	case c.opts.Weighter != nil:
+		c.res.Policy = "custom"
+	case c.opts.Policy == "":
+		c.res.Policy = c.opts.Scheduler.String()
+	case c.opts.Policy == sched.PolicyAuto:
+		if g == nil {
+			c.res.Policy = sched.PolicyBalanced
+		} else {
+			c.res.Policy = sched.Decide(features.Extract(g))
+		}
+	default:
+		c.res.Policy = c.opts.Policy
+	}
+	return c.res.Policy
 }
 
 // schedulePass runs one scheduling pass (DAG build, weights, list
@@ -500,9 +562,11 @@ func (c *blockCompiler) schedulePass(work *ir.Block, pass int) (*ir.Block, *sche
 	g, err := c.buildDeps(work, pass)
 	if err != nil {
 		// No DAG → nothing to schedule against; keep the input order.
+		c.resolvePolicy(nil)
 		c.event(pass, "schedule", RungListSched, RungSrcOrder, err)
 		return sourceOrder(work)
 	}
+	c.resolvePolicy(g)
 
 	weights := c.weights(g, pass)
 	res, err := c.schedule(g, weights, pass)
@@ -514,9 +578,12 @@ func (c *blockCompiler) schedulePass(work *ir.Block, pass int) (*ir.Block, *sche
 	return nb, res
 }
 
-// weights runs the weight-computation ladder: exact DP Chances →
-// union-find Chances → fixed-latency weights. Each rung gets a fresh
-// budget allowance; the final rung is O(n) and cannot fail.
+// weights runs the weight-computation ladder for the block's resolved
+// policy. Balanced keeps its two-rung ladder (exact DP Chances →
+// union-find Chances); traditional and critical-path are O(n) and
+// cannot fail; the remaining registry policies run as a single budgeted
+// rung. Every path bottoms out at fixed-latency weights, which are O(n)
+// and unbudgeted.
 func (c *blockCompiler) weights(g *deps.Graph, pass int) []float64 {
 	defer c.timeStage(StageWeights, pass)()
 	if c.opts.Weighter != nil {
@@ -527,7 +594,17 @@ func (c *blockCompiler) weights(g *deps.Graph, pass int) []float64 {
 		c.event(pass, "weights", RungCustom, RungFixedLat, err)
 		return c.fixedWeights(g)
 	}
-	if c.opts.Scheduler == Traditional {
+	switch policy := c.resolvePolicy(g); policy {
+	case sched.PolicyBalanced:
+		// Fall through to the balanced DP → union-find ladder below.
+	case sched.PolicyTraditional:
+		return c.fixedWeights(g)
+	default:
+		w, err := c.tryPolicyWeights(g, policy)
+		if err == nil {
+			return w
+		}
+		c.event(pass, "weights", RungPolicyPrefix+policy, RungFixedLat, err)
 		return c.fixedWeights(g)
 	}
 	rungs := []struct {
@@ -567,6 +644,33 @@ func (c *blockCompiler) tryWeights(g *deps.Graph, method core.ChancesMethod) (w 
 	wb := c.fork()
 	defer func() { c.res.WorkUsed += wb.Used() }()
 	return core.WeightsBudgeted(g, copts, wb)
+}
+
+// tryPolicyWeights runs one registry policy's weighting as a single
+// budgeted rung behind the panic boundary, rejecting wrong-length
+// results the same way the custom-weighter rung does.
+func (c *blockCompiler) tryPolicyWeights(g *deps.Graph, policy string) (w []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	p, ok := sched.PolicyByName(policy)
+	if !ok {
+		// Unreachable for validated options; the ladder still absorbs it.
+		return nil, fmt.Errorf("unknown policy %q", policy)
+	}
+	cfg := sched.PolicyConfig{Core: c.opts.Core, TradLatency: c.opts.tradLatency()}
+	wb := c.fork()
+	defer func() { c.res.WorkUsed += wb.Used() }()
+	w, err = p.Weights(g, cfg, wb)
+	if err != nil {
+		return nil, err
+	}
+	if len(w) != g.N() {
+		return nil, fmt.Errorf("policy %q returned %d weights for %d nodes", policy, len(w), g.N())
+	}
+	return w, nil
 }
 
 // tryCustomWeights runs a caller-supplied Weighter behind the panic

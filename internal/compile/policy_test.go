@@ -1,0 +1,233 @@
+package compile
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"bsched/internal/ir"
+	"bsched/internal/sched"
+)
+
+func parseBlock(t *testing.T, src string) *ir.Block {
+	t.Helper()
+	prog, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Blocks()[0]
+}
+
+const loadySrc = `func f
+block b freq=1
+v0 = load a[0]
+v1 = load b[8]
+v2 = add v0, v1
+v3 = add v2, v0
+liveout v3
+end`
+
+const loadFreeSrc = `func f
+block b freq=1
+v0 = const 1
+v1 = const 2
+v2 = add v0, v1
+v3 = mul v2, v0
+liveout v3
+end`
+
+// TestPolicyForced compiles one block under every registered policy:
+// all must succeed, record the forced policy name, and emit a complete
+// schedule.
+func TestPolicyForced(t *testing.T) {
+	for _, name := range sched.PolicyNames() {
+		blk := parseBlock(t, loadySrc)
+		res, err := RunBlock(context.Background(), blk, Options{Policy: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Policy != name {
+			t.Fatalf("%s: BlockResult.Policy = %q", name, res.Policy)
+		}
+		if len(res.Block.Instrs) < len(blk.Instrs) {
+			t.Fatalf("%s: schedule lost instructions (%d < %d)", name, len(res.Block.Instrs), len(blk.Instrs))
+		}
+		if res.Degraded() {
+			t.Fatalf("%s: degraded unexpectedly: %v", name, res.Degradations)
+		}
+	}
+}
+
+// TestPolicyBalancedMatchesLegacy pins the compatibility contract: a
+// forced "balanced" policy is byte-identical to the legacy Scheduler
+// path, whole pipeline included.
+func TestPolicyBalancedMatchesLegacy(t *testing.T) {
+	for _, src := range []string{loadySrc, loadFreeSrc} {
+		legacy, err := RunBlock(context.Background(), parseBlock(t, src), Options{Scheduler: Balanced})
+		if err != nil {
+			t.Fatal(err)
+		}
+		forced, err := RunBlock(context.Background(), parseBlock(t, src), Options{Policy: sched.PolicyBalanced})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := forced.Block.String(), legacy.Block.String(); got != want {
+			t.Fatalf("forced balanced differs from legacy:\n%s\nvs\n%s", got, want)
+		}
+		if legacy.Policy != sched.PolicyBalanced || forced.Policy != sched.PolicyBalanced {
+			t.Fatalf("policies recorded as %q / %q", legacy.Policy, forced.Policy)
+		}
+	}
+	// Same for traditional.
+	legacy, err := RunBlock(context.Background(), parseBlock(t, loadySrc), Options{Scheduler: Traditional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := RunBlock(context.Background(), parseBlock(t, loadySrc), Options{Policy: sched.PolicyTraditional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Block.String() != legacy.Block.String() {
+		t.Fatal("forced traditional differs from legacy Scheduler path")
+	}
+}
+
+// TestPolicyAuto pins the decision rule's routing: load-free blocks go
+// critical-path, load-bearing blocks go balanced, and pass 2 reuses
+// pass 1's pick (one policy per block).
+func TestPolicyAuto(t *testing.T) {
+	res, err := RunBlock(context.Background(), parseBlock(t, loadFreeSrc), Options{Policy: sched.PolicyAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != sched.PolicyCriticalPath {
+		t.Fatalf("auto on load-free block picked %q, want critical-path", res.Policy)
+	}
+	res, err = RunBlock(context.Background(), parseBlock(t, loadySrc), Options{Policy: sched.PolicyAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != sched.PolicyBalanced {
+		t.Fatalf("auto on loady block picked %q, want balanced", res.Policy)
+	}
+}
+
+// TestPolicyUnknownRejected pins validation: an unregistered policy is
+// an options error, not a degradation.
+func TestPolicyUnknownRejected(t *testing.T) {
+	_, err := RunBlock(context.Background(), parseBlock(t, loadySrc), Options{Policy: "nope"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scheduling policy") {
+		t.Fatalf("err = %v, want unknown-policy options error", err)
+	}
+}
+
+// TestPolicyDegradationNamesPolicy exercises satellite coverage for
+// policy selection under degradation: a starved budget must walk every
+// policy down the existing ladder to a valid schedule, and every
+// degradation event must name the policy it happened under.
+func TestPolicyDegradationNamesPolicy(t *testing.T) {
+	for _, name := range append(sched.PolicyNames(), sched.PolicyAuto) {
+		blk := parseBlock(t, loadySrc)
+		res, err := RunBlock(context.Background(), blk, Options{
+			Policy:       name,
+			SkipRegalloc: true,
+			BlockBudget:  1, // starve every budgeted rung
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Degraded() {
+			t.Fatalf("%s: budget 1 did not degrade", name)
+		}
+		wantPolicy := name
+		if name == sched.PolicyAuto {
+			// DAG construction itself starved, so auto could not inspect
+			// features and fell back to the rule's default arm.
+			wantPolicy = sched.PolicyBalanced
+		}
+		if res.Policy != wantPolicy {
+			t.Fatalf("%s: BlockResult.Policy = %q, want %q", name, res.Policy, wantPolicy)
+		}
+		for _, e := range res.Degradations {
+			if e.Policy != wantPolicy {
+				t.Fatalf("%s: degradation %v does not name policy %q", name, e, wantPolicy)
+			}
+		}
+		// The ladder floor still yields a complete, valid schedule.
+		if len(res.Block.Instrs) != len(blk.Instrs) {
+			t.Fatalf("%s: degraded schedule incomplete", name)
+		}
+	}
+}
+
+// TestPolicyWeightsLadder pins the single-rung policy ladder: a budget
+// generous enough for DAG construction but too small for the balanced
+// analysis drops balanced-dense onto fixed-latency weights with a
+// policy-named From rung.
+func TestPolicyWeightsLadder(t *testing.T) {
+	// A wider block so the weights rung dominates the deps rung.
+	var sb strings.Builder
+	sb.WriteString("func f\nblock b freq=1\n")
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			sb.WriteString("v")
+			sb.WriteString(itoa(i))
+			sb.WriteString(" = load a[")
+			sb.WriteString(itoa(8 * i))
+			sb.WriteString("]\n")
+		} else {
+			sb.WriteString("v")
+			sb.WriteString(itoa(i))
+			sb.WriteString(" = add v")
+			sb.WriteString(itoa(i - 1))
+			sb.WriteString(", v")
+			sb.WriteString(itoa(i - 1))
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("end")
+	blk := parseBlock(t, sb.String())
+	// The exact charge totals per rung are an implementation detail, so
+	// probe a ladder of budgets: somewhere between "everything starves"
+	// and "everything fits" sits a budget where DAG construction
+	// succeeds but the policy's weighting rung does not.
+	var sawPolicyRung bool
+	for budget := int64(60); budget <= 4096 && !sawPolicyRung; budget *= 2 {
+		res, err := RunBlock(context.Background(), blk, Options{
+			Policy:       sched.PolicyBalancedDense,
+			SkipRegalloc: true,
+			BlockBudget:  budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range res.Degradations {
+			if e.Stage == "weights" && e.From == RungPolicyPrefix+sched.PolicyBalancedDense {
+				sawPolicyRung = true
+				if e.To != RungFixedLat {
+					t.Fatalf("policy weights rung fell to %q, want %q", e.To, RungFixedLat)
+				}
+				if e.Policy != sched.PolicyBalancedDense {
+					t.Fatalf("weights degradation names %q, want %q", e.Policy, sched.PolicyBalancedDense)
+				}
+			}
+		}
+	}
+	if !sawPolicyRung {
+		t.Fatal("no budget produced a policy-named weights degradation")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

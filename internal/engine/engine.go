@@ -120,6 +120,12 @@ type Config struct {
 	// OnDegradations, when non-nil, is called with the degradation-event
 	// count of each successfully compiled job that had any.
 	OnDegradations func(n int)
+	// ObservePolicy, when non-nil, receives the scheduling policy each
+	// successfully compiled block landed on plus the block's schedule
+	// length in issue slots (instructions + pass-1 starvation no-ops) —
+	// the deterministic cycle estimate behind the per-policy outcome
+	// metrics.
+	ObservePolicy func(policy string, scheduleSlots int)
 	// OnBreakerTransition, when non-nil, observes disk circuit-breaker
 	// state changes.
 	OnBreakerTransition func(from, to admission.BreakerState)
@@ -438,8 +444,14 @@ func (en *Engine) runJob(j *Job) {
 			en.cfg.OnDegradations(len(br.Degradations))
 		}
 	}
+	if br.Policy != "" {
+		compileSpan.SetAttr("policy", br.Policy)
+	}
 	compileSpan.End()
 	resp := buildBlockResponse(br, j.Key)
+	if en.cfg.ObservePolicy != nil && resp.Summary.Policy != "" {
+		en.cfg.ObservePolicy(resp.Summary.Policy, resp.Summary.Instrs+resp.Summary.VNops1)
+	}
 	if deadlineDegraded(br) {
 		// The schedule is valid for the request whose deadline forced the
 		// cheap rungs, but not for the key: the deadline is not part of

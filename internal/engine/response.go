@@ -24,6 +24,10 @@ type BlockSummary struct {
 	// WorkUsed is the budget charge across all rungs.
 	WorkUsed int64 `json:"work_used"`
 	Degraded bool  `json:"degraded,omitempty"`
+	// Policy names the scheduling policy the block was compiled under
+	// ("balanced", "critical-path", …; docs/POLICIES.md). For an "auto"
+	// request this is the decision rule's per-block pick.
+	Policy string `json:"policy,omitempty"`
 }
 
 // DegradationEvent mirrors compile.Event for JSON.
@@ -38,6 +42,9 @@ type DegradationEvent struct {
 	// wall-clock deadline rather than its budget tier; such results are
 	// served but never cached.
 	Deadline bool `json:"deadline,omitempty"`
+	// Policy names the scheduling policy the block degraded under, so a
+	// fleet operator can tell which portfolio member was starved.
+	Policy string `json:"policy,omitempty"`
 }
 
 // BlockResponse is the engine's unit of caching, single-flight, disk
@@ -75,6 +82,7 @@ func buildBlockResponse(br *compile.BlockResult, key Key) *BlockResponse {
 		MaxPressure: br.Spill.MaxPressure,
 		WorkUsed:    br.WorkUsed,
 		Degraded:    br.Degraded(),
+		Policy:      br.Policy,
 	}
 	if br.Pass1 != nil {
 		out.Summary.VNops1 = br.Pass1.VNops
@@ -83,6 +91,7 @@ func buildBlockResponse(br *compile.BlockResult, key Key) *BlockResponse {
 		out.Degradations = append(out.Degradations, DegradationEvent{
 			Block: e.Block, Pass: e.Pass, Stage: e.Stage,
 			From: e.From, To: e.To, Reason: e.Reason, Deadline: e.Deadline,
+			Policy: e.Policy,
 		})
 	}
 	return out

@@ -1,0 +1,138 @@
+// Package features extracts per-block scheduling features from a code
+// DAG. The policy registry's decision rule (bsched/internal/sched)
+// consumes them to pick a weighting policy per block, and the
+// differential harness uses them to characterize its corpus.
+//
+// Every feature is a pure function of the DAG's structure and of
+// per-instruction properties (opcode class, latency override, register
+// arity). None depends on the textual order the block's instructions
+// happened to be generated in beyond the dependences that order induces,
+// so two isomorphic DAGs — the same dependence structure under any
+// topological relabeling — extract identical features. The package
+// property tests pin that invariance, along with determinism and
+// boundedness (no NaN, no negative values, densities within [0, 1]).
+package features
+
+import (
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+)
+
+// DefaultLoadLatency is the fixed per-load latency the longest-latency
+// path assumes when an instruction carries no explicit override — the
+// paper's cache hit time, matching the traditional scheduler's default.
+const DefaultLoadLatency = 2
+
+// maxLatency clamps per-instruction latency overrides, mirroring the
+// scheduler's own weight cap: a hostile "!lat=1e300" must not leak an
+// unbounded value into LLP.
+const maxLatency = 1e12
+
+// Features summarizes one basic block for policy selection.
+type Features struct {
+	// Instrs is the number of DAG nodes (instructions in the block).
+	Instrs int
+	// Loads is the number of load instructions.
+	Loads int
+	// LoadDensity is Loads/Instrs, in [0, 1]; 0 for an empty block.
+	LoadDensity float64
+	// LLP is the longest-latency path through the DAG under fixed
+	// latencies (per-instruction overrides, else DefaultLoadLatency for
+	// loads and 1 otherwise), counting one slot for the final
+	// instruction — the fixed-latency critical path in issue slots.
+	LLP float64
+	// ChainDepth is the longest dependence chain in instructions (the
+	// DAG's height); 0 for an empty block.
+	ChainDepth int
+	// Width is Instrs/ChainDepth — the average number of instructions
+	// per chain level, a parallelism measure; 0 for an empty block.
+	Width float64
+	// Pressure is a structural register-pressure estimate: the maximum,
+	// over dependence-depth levels, of register-defining instructions at
+	// one level. Values defined at the same depth have no dependence
+	// path between them and so tend to be live together.
+	Pressure int
+}
+
+// Extract computes the features of a code DAG. It is deterministic,
+// invariant under topological relabeling of the graph, and runs in
+// O(nodes + edges).
+func Extract(g *deps.Graph) Features {
+	n := g.N()
+	f := Features{Instrs: n}
+	if n == 0 {
+		return f
+	}
+
+	// depth[i]: longest path (in edges) from any root to i. Nodes are
+	// topologically ordered by construction (edges point lower→higher),
+	// so one forward sweep suffices.
+	depth := make([]int, n)
+	// dist[i]: longest latency-weighted path ending at i, excluding i's
+	// own final slot. A True edge from p costs p's latency; every other
+	// dependence costs one slot — the same gap rule the list scheduler
+	// enforces.
+	dist := make([]float64, n)
+	maxDepth, llp := 0, 0.0
+	for i := 0; i < n; i++ {
+		for _, e := range g.Preds[i] {
+			p := e.To
+			if d := depth[p] + 1; d > depth[i] {
+				depth[i] = d
+			}
+			gap := 1.0
+			if e.Kind == deps.True {
+				gap = latencyOf(g.Instr(p))
+			}
+			if d := dist[p] + gap; d > dist[i] {
+				dist[i] = d
+			}
+		}
+		if g.IsLoad(i) {
+			f.Loads++
+		}
+		if depth[i] > maxDepth {
+			maxDepth = depth[i]
+		}
+		if d := dist[i] + 1; d > llp {
+			llp = d
+		}
+	}
+
+	// Pressure: register-defining nodes per depth level; the widest
+	// level bounds how many mutually independent values the block wants
+	// live at once.
+	defsAtLevel := make([]int, maxDepth+1)
+	for i := 0; i < n; i++ {
+		if g.Instr(i).Def() != ir.NoReg {
+			defsAtLevel[depth[i]]++
+		}
+	}
+	for _, c := range defsAtLevel {
+		if c > f.Pressure {
+			f.Pressure = c
+		}
+	}
+
+	f.LoadDensity = float64(f.Loads) / float64(n)
+	f.LLP = llp
+	f.ChainDepth = maxDepth + 1
+	f.Width = float64(n) / float64(f.ChainDepth)
+	return f
+}
+
+// latencyOf returns the fixed latency the LLP feature assumes for one
+// instruction: its explicit override when present (clamped), else
+// DefaultLoadLatency for loads and 1 for everything else.
+func latencyOf(in *ir.Instr) float64 {
+	if in.KnownLatency > 0 {
+		if in.KnownLatency > maxLatency {
+			return maxLatency
+		}
+		return in.KnownLatency
+	}
+	if in.Op.IsLoad() {
+		return DefaultLoadLatency
+	}
+	return 1
+}

@@ -1,0 +1,168 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+)
+
+// randomGraph builds a random DAG directly in graph form: node i may
+// depend on any lower-numbered node, so program order is a topological
+// order, matching the deps invariant. Instructions are synthesized to
+// cover the feature inputs: loads (some with latency overrides), ALU
+// defs and stores (no def).
+func randomGraph(rng *rand.Rand, n int) *deps.Graph {
+	b := &ir.Block{Label: "t"}
+	kinds := []deps.EdgeKind{deps.True, deps.Anti, deps.Output, deps.Mem, deps.Control}
+	g := &deps.Graph{Block: b, Succs: make([][]deps.Edge, n), Preds: make([][]deps.Edge, n)}
+	for i := 0; i < n; i++ {
+		var in *ir.Instr
+		switch rng.Intn(4) {
+		case 0:
+			in = &ir.Instr{Op: ir.OpLoad, Dst: ir.Virt(i), Sym: "a"}
+			if rng.Intn(3) == 0 {
+				in.KnownLatency = float64(1 + rng.Intn(30))
+			}
+		case 1:
+			in = &ir.Instr{Op: ir.OpStore, Sym: "a", Srcs: []ir.Reg{ir.Phys(0)}}
+		default:
+			in = &ir.Instr{Op: ir.OpAdd, Dst: ir.Virt(i), Srcs: []ir.Reg{ir.Phys(0), ir.Phys(1)}}
+		}
+		in.Seq = i
+		b.Instrs = append(b.Instrs, in)
+		for p := 0; p < i; p++ {
+			if rng.Float64() < 2.0/float64(i+1) {
+				k := kinds[rng.Intn(len(kinds))]
+				g.Succs[p] = append(g.Succs[p], deps.Edge{To: i, Kind: k})
+				g.Preds[i] = append(g.Preds[i], deps.Edge{To: p, Kind: k})
+			}
+		}
+	}
+	return g
+}
+
+// relabel returns an isomorphic copy of g under a random linear
+// extension: node old becomes position perm[old], chosen by a randomized
+// Kahn walk so edges still point from lower to higher indices.
+func relabel(rng *rand.Rand, g *deps.Graph) *deps.Graph {
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.Preds[i])
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	perm := make([]int, n) // old index -> new index
+	for pos := 0; pos < n; pos++ {
+		k := rng.Intn(len(ready))
+		old := ready[k]
+		ready = append(ready[:k], ready[k+1:]...)
+		perm[old] = pos
+		for _, e := range g.Succs[old] {
+			if indeg[e.To]--; indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	nb := &ir.Block{Label: g.Block.Label, Instrs: make([]*ir.Instr, n)}
+	out := &deps.Graph{Block: nb, Succs: make([][]deps.Edge, n), Preds: make([][]deps.Edge, n)}
+	for old := 0; old < n; old++ {
+		nb.Instrs[perm[old]] = g.Block.Instrs[old]
+		for _, e := range g.Succs[old] {
+			out.Succs[perm[old]] = append(out.Succs[perm[old]], deps.Edge{To: perm[e.To], Kind: e.Kind})
+		}
+		for _, e := range g.Preds[old] {
+			out.Preds[perm[old]] = append(out.Preds[perm[old]], deps.Edge{To: perm[e.To], Kind: e.Kind})
+		}
+	}
+	return out
+}
+
+// TestFeaturesProperties drives the three contract properties over
+// randomly generated DAGs via testing/quick: determinism, invariance
+// under topological relabeling, and boundedness.
+func TestFeaturesProperties(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(sz)%60
+		g := randomGraph(rng, n)
+		f := Extract(g)
+
+		// Determinism: a second extraction is identical.
+		if f != Extract(g) {
+			t.Logf("seed %d: extraction not deterministic", seed)
+			return false
+		}
+
+		// Permutation invariance over equivalent node orders.
+		for trial := 0; trial < 3; trial++ {
+			if rf := Extract(relabel(rng, g)); rf != f {
+				t.Logf("seed %d: relabeled features %+v != %+v", seed, rf, f)
+				return false
+			}
+		}
+
+		// Boundedness: no NaN, nothing negative, densities in range.
+		for name, v := range map[string]float64{
+			"LoadDensity": f.LoadDensity, "LLP": f.LLP, "Width": f.Width,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Logf("seed %d: %s = %v out of range", seed, name, v)
+				return false
+			}
+		}
+		ok := f.Instrs == n &&
+			f.Loads >= 0 && f.Loads <= n &&
+			f.LoadDensity <= 1 &&
+			f.ChainDepth >= 1 && f.ChainDepth <= n &&
+			f.Pressure >= 0 && f.Pressure <= n &&
+			f.LLP >= float64(f.ChainDepth) &&
+			f.Width >= 1 && f.Width <= float64(n)
+		if !ok {
+			t.Logf("seed %d: features out of bounds: %+v", seed, f)
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtractEmpty pins the zero-value contract for an empty block.
+func TestExtractEmpty(t *testing.T) {
+	g := &deps.Graph{Block: &ir.Block{Label: "empty"}}
+	if f := Extract(g); f != (Features{}) {
+		t.Fatalf("empty block features = %+v, want zero value", f)
+	}
+}
+
+// TestExtractChain pins the features of a hand-computable shape: a
+// three-load serial chain feeding one add.
+func TestExtractChain(t *testing.T) {
+	b := &ir.Block{Label: "chain", Instrs: []*ir.Instr{
+		{Op: ir.OpLoad, Dst: ir.Virt(0), Sym: "a"},
+		{Op: ir.OpLoad, Dst: ir.Virt(1), Sym: "a", Base: ir.Virt(0)},
+		{Op: ir.OpLoad, Dst: ir.Virt(2), Sym: "a", Base: ir.Virt(1)},
+		{Op: ir.OpAdd, Dst: ir.Virt(3), Srcs: []ir.Reg{ir.Virt(2), ir.Virt(2)}},
+	}}
+	ir.Renumber(b)
+	g := deps.Build(b, deps.BuildOptions{})
+	f := Extract(g)
+	want := Features{
+		Instrs: 4, Loads: 3, LoadDensity: 0.75,
+		// Three loads at latency 2 plus the add's own slot.
+		LLP:        7,
+		ChainDepth: 4, Width: 1, Pressure: 1,
+	}
+	if f != want {
+		t.Fatalf("chain features = %+v, want %+v", f, want)
+	}
+}

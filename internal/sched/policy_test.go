@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+	"bsched/internal/sched/features"
+)
+
+func policyTestBlock() *deps.Graph {
+	b := &ir.Block{Label: "p", Instrs: []*ir.Instr{
+		{Op: ir.OpLoad, Dst: ir.Virt(0), Sym: "a"},
+		{Op: ir.OpLoad, Dst: ir.Virt(1), Sym: "b"},
+		{Op: ir.OpAddI, Dst: ir.Virt(2), Srcs: []ir.Reg{ir.Phys(0)}, Imm: 1},
+		{Op: ir.OpAdd, Dst: ir.Virt(3), Srcs: []ir.Reg{ir.Virt(0), ir.Virt(1)}},
+	}}
+	ir.Renumber(b)
+	return deps.Build(b, deps.BuildOptions{})
+}
+
+// TestPolicyRegistry pins the built-in portfolio: the five documented
+// policies, sorted names, lookup round-trips, and no "auto" entry.
+func TestPolicyRegistry(t *testing.T) {
+	want := []string{PolicyAverage, PolicyBalanced, PolicyBalancedDense, PolicyCriticalPath, PolicyTraditional}
+	if got := PolicyNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("PolicyNames() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		p, ok := PolicyByName(name)
+		if !ok || p.Name() != name {
+			t.Fatalf("PolicyByName(%q) = %v, %v", name, p, ok)
+		}
+		if p.Description() == "" {
+			t.Fatalf("policy %q has no description", name)
+		}
+	}
+	if _, ok := PolicyByName(PolicyAuto); ok {
+		t.Fatal("auto must not be a registered policy")
+	}
+}
+
+// TestPolicyWeightsSanity runs every policy over one DAG: correct
+// length, all finite, all >= 1, and non-loads always weight 1 except
+// under explicit overrides.
+func TestPolicyWeightsSanity(t *testing.T) {
+	g := policyTestBlock()
+	for _, name := range PolicyNames() {
+		p, _ := PolicyByName(name)
+		w, err := p.Weights(g, PolicyConfig{}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(w) != g.N() {
+			t.Fatalf("%s: %d weights for %d nodes", name, len(w), g.N())
+		}
+		for i, v := range w {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 1 {
+				t.Fatalf("%s: weight[%d] = %v", name, i, v)
+			}
+			if !g.IsLoad(i) && v != 1 {
+				t.Fatalf("%s: non-load weight[%d] = %v, want 1", name, i, v)
+			}
+		}
+	}
+}
+
+// TestPolicyDistinctSchedulesExist sanity-checks that the portfolio is
+// not five spellings of one policy: traditional and balanced disagree
+// on at least this block's load weights.
+func TestPolicyDistinctSchedulesExist(t *testing.T) {
+	g := policyTestBlock()
+	bal, _ := PolicyByName(PolicyBalanced)
+	trad, _ := PolicyByName(PolicyTraditional)
+	wb, _ := bal.Weights(g, PolicyConfig{}, nil)
+	wt, _ := trad.Weights(g, PolicyConfig{}, nil)
+	if reflect.DeepEqual(wb, wt) {
+		t.Fatalf("balanced and traditional weights identical: %v", wb)
+	}
+	cp, _ := PolicyByName(PolicyCriticalPath)
+	wc, _ := cp.Weights(g, PolicyConfig{}, nil)
+	for i, v := range wc {
+		if v != 1 {
+			t.Fatalf("critical-path weight[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+// TestBalancedDenseScaling pins the variant's contract: load weights
+// move away from balanced by the density scale, non-loads and explicit
+// overrides stay put.
+func TestBalancedDenseScaling(t *testing.T) {
+	b := &ir.Block{Label: "d", Instrs: []*ir.Instr{
+		{Op: ir.OpLoad, Dst: ir.Virt(0), Sym: "a"},
+		{Op: ir.OpLoad, Dst: ir.Virt(1), Sym: "b", KnownLatency: 7},
+		{Op: ir.OpAddI, Dst: ir.Virt(2), Srcs: []ir.Reg{ir.Phys(0)}, Imm: 1},
+		{Op: ir.OpAddI, Dst: ir.Virt(3), Srcs: []ir.Reg{ir.Phys(0)}, Imm: 2},
+	}}
+	ir.Renumber(b)
+	g := deps.Build(b, deps.BuildOptions{})
+	bal, _ := PolicyByName(PolicyBalanced)
+	dense, _ := PolicyByName(PolicyBalancedDense)
+	wb, _ := bal.Weights(g, PolicyConfig{}, nil)
+	wd, _ := dense.Weights(g, PolicyConfig{}, nil)
+	scale := 0.5 + 2.0/4.0 // 2 loads in 4 instructions
+	if want := 1 + (wb[0]-1)*scale; math.Abs(wd[0]-want) > 1e-9 {
+		t.Fatalf("scaled load weight = %v, want %v", wd[0], want)
+	}
+	if wd[1] != wb[1] {
+		t.Fatalf("override load rescaled: %v != %v", wd[1], wb[1])
+	}
+	if wd[2] != 1 || wd[3] != 1 {
+		t.Fatalf("non-load weights changed: %v", wd)
+	}
+}
+
+// TestDecide pins the v1 decision rule: load-free blocks go
+// critical-path, everything else balanced.
+func TestDecide(t *testing.T) {
+	if got := Decide(features.Features{Instrs: 8, Loads: 0}); got != PolicyCriticalPath {
+		t.Fatalf("Decide(no loads) = %q", got)
+	}
+	if got := Decide(features.Features{Instrs: 8, Loads: 3, LoadDensity: 0.375}); got != PolicyBalanced {
+		t.Fatalf("Decide(loads) = %q", got)
+	}
+	if _, ok := PolicyByName(Decide(features.Features{})); !ok {
+		t.Fatal("Decide returned an unregistered policy")
+	}
+}

@@ -1,0 +1,163 @@
+// Package policytest is the simulator-backed differential harness for
+// the scheduling-policy portfolio (docs/POLICIES.md). It runs every
+// registered policy over a shared corpus — the paper's figure DAGs, the
+// workload kernels, and deterministically generated random blocks — and
+// gives tests three checks:
+//
+//   - dependency safety: every policy's schedule is a valid topological
+//     order of the code DAG (CheckSchedule);
+//   - register allocatability: every policy's schedule survives the full
+//     hardened pipeline, spills included;
+//   - regret: the static decision rule's per-block pick, measured by the
+//     §4.3 simulator, is never worse than the best policy for that block
+//     by more than the documented bound (RegretFactor / RegretSlack).
+//
+// The package deliberately holds only corpus construction and checking
+// helpers; the tests themselves live in its _test files so the harness
+// runs under plain `go test ./internal/sched/policytest`.
+package policytest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bsched/internal/deps"
+	"bsched/internal/ir"
+	"bsched/internal/machine"
+	"bsched/internal/memlat"
+	"bsched/internal/paperdag"
+	"bsched/internal/sched"
+	"bsched/internal/sim"
+	"bsched/internal/workload"
+)
+
+// Regret bound for the decision rule, the harness's headline assertion:
+// over SimTrials simulated executions, the rule's pick must satisfy
+//
+//	mean(pick) <= RegretFactor*mean(best) + RegretSlack
+//
+// where best is the policy with the lowest mean simulated cycles for
+// that block and latency model. The factor absorbs proportional noise
+// on long blocks, the slack absorbs quantization on tiny ones (a
+// one-cycle difference on a five-cycle block is 20%, not a scheduling
+// mistake). docs/POLICIES.md documents the methodology; tightening
+// either constant is how a future, wider decision rule earns its keep.
+var (
+	RegretFactor = 1.10
+	RegretSlack  = 2.0
+)
+
+// SimTrials is how many latency-sampled executions average into one
+// policy's simulated cost per (block, model) pair.
+const SimTrials = 25
+
+// Case is one corpus entry. Build returns a fresh block every call:
+// the compile pipeline mutates blocks in place, so cases must never
+// share instruction storage across policies.
+type Case struct {
+	Name string
+	// Build constructs the block anew.
+	Build func() *ir.Block
+}
+
+// Corpus returns the differential corpus: the paper's figure DAGs, a
+// spread of workload kernels (serial chains, wide reductions, gathers,
+// mixed loops), and deterministic random blocks covering load-free,
+// balanced and load-dense shapes.
+func Corpus() []Case {
+	cases := []Case{
+		{Name: "fig1", Build: func() *ir.Block { return paperdag.Figure1().Block }},
+		{Name: "fig4", Build: func() *ir.Block { return paperdag.Figure4().Block }},
+		{Name: "fig7", Build: func() *ir.Block { return paperdag.Figure7().Block }},
+		{Name: "saxpy4", Build: func() *ir.Block { return workload.Saxpy("saxpy4", 1, 4) }},
+		{Name: "dot4", Build: func() *ir.Block { return workload.Dot("dot4", 1, 4) }},
+		{Name: "stencil2", Build: func() *ir.Block { return workload.Stencil3("stencil2", 1, 2) }},
+		{Name: "gather4", Build: func() *ir.Block { return workload.Gather("gather4", 1, 4) }},
+		{Name: "chase6", Build: func() *ir.Block { return workload.Chase("chase6", 1, 6) }},
+		{Name: "reduce8", Build: func() *ir.Block { return workload.ReduceTree("reduce8", 1, 8) }},
+		{Name: "recur4", Build: func() *ir.Block { return workload.Recurrence("recur4", 1, 4) }},
+	}
+	// Deterministic random blocks. Each shape re-seeds its own rng so
+	// adding a shape never reshuffles the others.
+	shapes := []struct {
+		name   string
+		seed   int64
+		params workload.RandomParams
+	}{
+		{"rand-mixed-12", 1, workload.DefaultRandomParams(12)},
+		{"rand-mixed-32", 2, workload.DefaultRandomParams(32)},
+		{"rand-loadfree-16", 3, workload.RandomParams{Instrs: 16, PLoad: 0, PStore: 0.1, Syms: 2}},
+		{"rand-dense-24", 4, workload.RandomParams{Instrs: 24, PLoad: 0.6, PStore: 0.05, PIndirect: 0.5, Syms: 3}},
+		{"rand-serial-20", 5, workload.RandomParams{Instrs: 20, PLoad: 0.45, PStore: 0, PIndirect: 0.9, Syms: 1}},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		cases = append(cases, Case{
+			Name: sh.name,
+			Build: func() *ir.Block {
+				return workload.Random(rand.New(rand.NewSource(sh.seed)), sh.params)
+			},
+		})
+	}
+	return cases
+}
+
+// CheckSchedule verifies that res is a dependency-safe schedule of g: a
+// complete permutation of the DAG's nodes in which every edge points
+// forward. This is the portfolio's hard safety contract — a policy may
+// produce a slow schedule, never an invalid one.
+func CheckSchedule(g *deps.Graph, res *sched.Result) error {
+	n := g.N()
+	if len(res.Order) != n || len(res.Perm) != n {
+		return fmt.Errorf("schedule has %d/%d entries for %d nodes", len(res.Order), len(res.Perm), n)
+	}
+	pos := make([]int, n) // original node index -> schedule position
+	seen := make([]bool, n)
+	for k, node := range res.Perm {
+		if node < 0 || node >= n || seen[node] {
+			return fmt.Errorf("Perm is not a permutation: entry %d = %d", k, node)
+		}
+		seen[node] = true
+		pos[node] = k
+		if res.Order[k] != g.Instr(node) {
+			return fmt.Errorf("Order[%d] is not the instruction of node %d", k, node)
+		}
+	}
+	for from := 0; from < n; from++ {
+		for _, e := range g.Succs[from] {
+			if pos[from] >= pos[e.To] {
+				return fmt.Errorf("edge %d→%d (%v) scheduled backwards (positions %d, %d)",
+					from, e.To, e.Kind, pos[from], pos[e.To])
+			}
+		}
+	}
+	return nil
+}
+
+// Models returns the latency models the regret assertion averages over:
+// the paper's L80(2,5) cache, a heavier L50(2,20) miss regime, and the
+// interconnect N(10,3). Deterministic Fixed models are pointless here —
+// with every load the same, all weightings collapse.
+func Models() []memlat.Model {
+	return []memlat.Model{
+		memlat.Cache{HitRate: 0.8, HitLat: 2, MissLat: 5},
+		memlat.Cache{HitRate: 0.5, HitLat: 2, MissLat: 20},
+		memlat.NewNormal(10, 3),
+	}
+}
+
+// MeanCycles simulates the instruction sequence SimTrials times under
+// the model and returns the mean runtime in cycles. The rng seed is
+// fixed per call site, so the measurement is reproducible; the model is
+// forked per stream so stateful models cannot leak state across
+// policies.
+func MeanCycles(instrs []*ir.Instr, model memlat.Model, seed int64) float64 {
+	total := 0
+	rng := rand.New(rand.NewSource(seed))
+	m := memlat.ForStream(model)
+	for trial := 0; trial < SimTrials; trial++ {
+		st := sim.RunBlock(instrs, machine.Config{}, m, rng, sim.Options{})
+		total += st.Cycles
+	}
+	return float64(total) / SimTrials
+}

@@ -225,6 +225,9 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request) {
 			preq := &req.Programs[pi]
 			p := &batchProgram{index: pi, start: time.Now()}
 
+			if s.cfg.ForcePolicy != "" {
+				preq.Options.Policy = s.cfg.ForcePolicy
+			}
 			opts, err := preq.Options.compileOptions()
 			if err != nil {
 				frames <- BatchFrame{Type: "error", Program: pi, Stage: "options", Error: err.Error()}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"strings"
 
 	"bsched/internal/compile"
 	"bsched/internal/core"
@@ -12,6 +13,7 @@ import (
 	"bsched/internal/engine"
 	"bsched/internal/pipeline"
 	"bsched/internal/regalloc"
+	"bsched/internal/sched"
 )
 
 // The cache key, entry and per-block response shapes live in
@@ -95,6 +97,12 @@ type CompileRequest struct {
 type RequestOptions struct {
 	// Scheduler is "balanced" (default) or "traditional".
 	Scheduler string `json:"scheduler,omitempty"`
+	// Policy selects a scheduling policy from the portfolio registry
+	// ("balanced", "traditional", "average", "balanced-dense",
+	// "critical-path") or "auto" for the per-block decision rule
+	// (docs/POLICIES.md). When set it takes precedence over Scheduler;
+	// empty preserves the legacy scheduler path byte for byte.
+	Policy string `json:"policy,omitempty"`
 	// TradLatency is the traditional scheduler's fixed load latency
 	// (default 2, the paper's cache hit time).
 	TradLatency float64 `json:"trad_latency,omitempty"`
@@ -132,6 +140,13 @@ func (o *RequestOptions) compileOptions() (compile.Options, error) {
 	default:
 		return out, fmt.Errorf("unknown scheduler %q (want balanced|traditional)", o.Scheduler)
 	}
+	if o.Policy != "" && o.Policy != sched.PolicyAuto {
+		if _, ok := sched.PolicyByName(o.Policy); !ok {
+			return out, fmt.Errorf("unknown policy %q (want %s|%s)",
+				o.Policy, strings.Join(sched.PolicyNames(), "|"), sched.PolicyAuto)
+		}
+	}
+	out.Policy = o.Policy
 	out.TradLatency = o.TradLatency
 	if o.TradLatency != 0 && !(o.TradLatency >= 1) {
 		return out, fmt.Errorf("trad_latency %g out of range [1, ∞)", o.TradLatency)
@@ -213,7 +228,20 @@ func (o *RequestOptions) fingerprint() uint64 {
 		}
 		return s
 	}
-	wstr(norm(o.Scheduler, "balanced"))
+	// The effective policy hashes in the historical scheduler slot: an
+	// empty Policy resolves to the legacy Scheduler name, so default and
+	// spelled-out balanced requests keep their pre-portfolio fingerprints
+	// (warm caches survive the upgrade), while any forced policy re-keys.
+	// "auto" folds the decision-rule version in as well: a pick cached by
+	// an older rule must not satisfy a request expecting the new one.
+	eff := o.Policy
+	switch eff {
+	case "":
+		eff = norm(o.Scheduler, "balanced")
+	case sched.PolicyAuto:
+		eff = sched.PolicyAuto + "@" + sched.DecisionRuleVersion
+	}
+	wstr(eff)
 	lat := o.TradLatency
 	if lat == 0 {
 		lat = 2

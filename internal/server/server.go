@@ -159,6 +159,11 @@ type Config struct {
 	// slow-compile and latency-spike delays plus disk-error faults for
 	// exercising the breaker. Nil in production.
 	Chaos *chaos.Injector
+	// ForcePolicy, when non-empty, overrides every request's scheduling
+	// policy (-policy flag): a registered portfolio name or "auto". The
+	// override lands before options validation and fingerprinting, so
+	// cache keys reflect the policy actually used, not the one requested.
+	ForcePolicy string
 
 	// Peers, when non-empty, joins this daemon to a fleet: the listed
 	// base URLs plus SelfURL form a consistent-hash ring over cache keys
@@ -347,6 +352,7 @@ func New(cfg Config) (*Server, error) {
 			s.stats.tiers.With(tier).ObserveDuration(d)
 		},
 		OnDegradations: func(n int) { s.stats.degradations.Add(int64(n)) },
+		ObservePolicy:  s.stats.observePolicy,
 		OnBreakerTransition: func(from, to admission.BreakerState) {
 			switch {
 			case to == admission.BreakerOpen:
@@ -880,6 +886,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, status, &ErrorResponse{Error: fmt.Sprintf("decode request: %v", err)})
 		return
+	}
+	if s.cfg.ForcePolicy != "" {
+		req.Options.Policy = s.cfg.ForcePolicy
 	}
 	opts, err := req.Options.compileOptions()
 	if err != nil {

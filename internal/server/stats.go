@@ -9,6 +9,7 @@ import (
 	"bsched/internal/cluster"
 	"bsched/internal/engine"
 	"bsched/internal/obs"
+	"bsched/internal/sched"
 )
 
 // Stage label values the server records itself, alongside the
@@ -82,6 +83,14 @@ type Stats struct {
 	// reason (periodic, breaker_open, shed_burst). All zero without
 	// -profile-dir.
 	profileCaptures *obs.CounterVec // bschedd_profile_captures_total{kind,reason}
+
+	// Scheduling-policy portfolio outcomes (docs/POLICIES.md): blocks
+	// compiled per policy, and the deterministic schedule-length estimate
+	// (instructions + pass-1 starvation no-ops, in issue slots) per
+	// policy. Children for every registered policy are materialized
+	// eagerly so both families render in /metrics from startup.
+	policyBlocks *obs.CounterVec   // bschedd_policy_blocks_total{policy}
+	policyCycles *obs.HistogramVec // bschedd_policy_cycles{policy}
 
 	// Per-tenant counters, label-bounded: the first maxTenantLabels
 	// distinct tenants get their own label value; the rest aggregate
@@ -177,6 +186,16 @@ func newStats() *Stats {
 		"Disk-cache circuit-breaker events: trip (opened), probe (half-open probe admitted), recover (probe succeeded, closed again) or reject (disk I/O skipped while open).",
 		"event")
 	disk.Rejects = breaker.With("reject")
+	policyBlocks := reg.CounterVec("bschedd_policy_blocks_total",
+		"Blocks compiled by scheduling policy (docs/POLICIES.md): the registered portfolio names. An \"auto\" request contributes under the policy the decision rule picked for the block, so the split shows what actually ran, not what was asked for.",
+		"policy")
+	policyCycles := reg.HistogramVec("bschedd_policy_cycles",
+		"Schedule length per compiled block, in issue slots (final instructions plus pass-1 starvation no-ops), by scheduling policy — the deterministic per-policy outcome estimate; cycle-accurate comparison lives in the offline differential harness.",
+		cycleBuckets, "policy")
+	for _, name := range sched.PolicyNames() {
+		policyBlocks.With(name)
+		policyCycles.With(name)
+	}
 	blockEvents := reg.CounterVec("bschedd_block_cache_events_total",
 		"Per-block cache dispatch outcomes: hit (completed in-memory entry), miss (this request became the block's compile leader), coalesced (joined another request's in-flight block), disk (served from the persistent layer) or peer (served by the block's ring owner). One program request contributes one sample per block, so cross-program block reuse shows up here as hits the request-level counters never see.",
 		"outcome")
@@ -237,8 +256,24 @@ func newStats() *Stats {
 		profileCaptures: reg.CounterVec("bschedd_profile_captures_total",
 			"Continuous-profiling captures by kind (cpu, heap) and trigger reason (periodic, breaker_open, shed_burst). All zero without -profile-dir.",
 			"kind", "reason"),
+		policyBlocks:   policyBlocks,
+		policyCycles:   policyCycles,
 		tenantCounters: make(map[string]*tenantCounters),
 	}
+}
+
+// cycleBuckets are the bschedd_policy_cycles histogram bounds: schedule
+// lengths are small integers (issue slots), so the default
+// seconds-denominated latency buckets would collapse every sample into
+// +Inf. Powers of two cover one-instruction blocks through the largest
+// budget-bounded schedules.
+var cycleBuckets = []float64{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// observePolicy records one compiled block's policy outcome; it is the
+// engine's Config.ObservePolicy seam. Safe for concurrent use.
+func (s *Stats) observePolicy(policy string, scheduleSlots int) {
+	s.policyBlocks.With(policy).Inc()
+	s.policyCycles.With(policy).Observe(float64(scheduleSlots))
 }
 
 // registerRuntimeMetrics adds process-identity and Go-runtime health
@@ -379,9 +414,52 @@ type Snapshot struct {
 	// heavy cardinality aggregates under "_other").
 	QuotaTenants int                      `json:"quota_tenants"`
 	Tenants      map[string]TenantSummary `json:"tenants,omitempty"`
+	// PolicyBlocks counts compiled blocks per scheduling policy;
+	// PolicyCycles is the per-policy schedule-length breakdown, in issue
+	// slots (docs/POLICIES.md). Policies with no blocks yet are omitted.
+	PolicyBlocks map[string]int64        `json:"policy_blocks,omitempty"`
+	PolicyCycles map[string]CycleSummary `json:"policy_cycles,omitempty"`
 	// Cluster is this node's fleet view (docs/CLUSTER.md); absent for a
 	// standalone daemon, so single-node /stats output is unchanged.
 	Cluster *ClusterSummary `json:"cluster,omitempty"`
+}
+
+// CycleSummary is one policy's schedule-length breakdown inside a
+// Snapshot — counts and quantiles in issue slots, not milliseconds.
+type CycleSummary struct {
+	Count    int64   `json:"count"`
+	P50Slots float64 `json:"p50_slots"`
+	P99Slots float64 `json:"p99_slots"`
+}
+
+// policySummaries snapshots the per-policy counters for /stats,
+// dropping policies that have compiled nothing so an idle daemon's
+// /stats output stays unchanged.
+func (s *Stats) policySummaries() (map[string]int64, map[string]CycleSummary) {
+	blocks := make(map[string]int64)
+	for _, name := range sched.PolicyNames() {
+		if v := s.policyBlocks.With(name).Value(); v > 0 {
+			blocks[name] = v
+		}
+	}
+	cycles := make(map[string]CycleSummary)
+	s.policyCycles.Each(func(values []string, h *obs.Histogram) {
+		if h.Count() == 0 {
+			return
+		}
+		cycles[values[0]] = CycleSummary{
+			Count:    h.Count(),
+			P50Slots: h.Quantile(0.50),
+			P99Slots: h.Quantile(0.99),
+		}
+	})
+	if len(blocks) == 0 {
+		blocks = nil
+	}
+	if len(cycles) == 0 {
+		cycles = nil
+	}
+	return blocks, cycles
 }
 
 // ClusterSummary is the fleet slice of a Snapshot.
@@ -461,7 +539,10 @@ func (s *Stats) snapshot() Snapshot {
 	if _, id, ok := s.hist.Exemplar(); ok {
 		lastTrace = id
 	}
+	policyBlocks, policyCycles := s.policySummaries()
 	return Snapshot{
+		PolicyBlocks:       policyBlocks,
+		PolicyCycles:       policyCycles,
 		LastTraceID:        lastTrace,
 		Requests:           s.requests.Value(),
 		OK:                 s.ok.Value(),
